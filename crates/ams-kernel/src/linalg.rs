@@ -1,0 +1,231 @@
+//! Minimal dense linear algebra for the analog solver's Newton iterations.
+//!
+//! Analog equation systems in this kernel are small (a handful of states per
+//! block), so a dense Gaussian elimination with partial pivoting is both
+//! simple and fast. The transistor-level simulator has its own, larger-scale
+//! solver in the `spice` crate.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DMatrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Error raised when a linear system cannot be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrixError {
+    /// Pivot column at which elimination broke down.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "singular matrix: no usable pivot in column {}", self.pivot)
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+/// Solves `A x = b` in place by Gaussian elimination with partial pivoting.
+///
+/// `a` is destroyed; `b` is overwritten with the solution.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] if a pivot smaller than `1e-300` in
+/// magnitude is encountered.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.len() != a.rows()`.
+pub fn solve_in_place(a: &mut DMatrix, b: &mut [f64]) -> Result<(), SingularMatrixError> {
+    let n = a.rows;
+    assert_eq!(a.rows, a.cols, "solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot_row = col;
+        let mut pivot_mag = a[(col, col)].abs();
+        for r in (col + 1)..n {
+            let m = a[(r, col)].abs();
+            if m > pivot_mag {
+                pivot_mag = m;
+                pivot_row = r;
+            }
+        }
+        if pivot_mag < 1e-300 {
+            return Err(SingularMatrixError { pivot: col });
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = a[(col, c)];
+                a[(col, c)] = a[(pivot_row, c)];
+                a[(pivot_row, c)] = tmp;
+            }
+            b.swap(col, pivot_row);
+        }
+        let pv = a[(col, col)];
+        for r in (col + 1)..n {
+            let factor = a[(r, col)] / pv;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = a[(col, c)];
+                a[(r, c)] -= factor * v;
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in (col + 1)..n {
+            acc -= a[(col, c)] * b[c];
+        }
+        b[col] = acc / a[(col, col)];
+    }
+    Ok(())
+}
+
+/// Solves `A x = b` without destroying the inputs.
+///
+/// # Errors
+///
+/// See [`solve_in_place`].
+pub fn solve(a: &DMatrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+    let mut a = a.clone();
+    let mut x = b.to_vec();
+    solve_in_place(&mut a, &mut x)?;
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_2x2() {
+        let mut a = DMatrix::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = DMatrix::zeros(2, 2);
+        a[(0, 0)] = 0.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 0.0;
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_errors() {
+        let mut a = DMatrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        let err = solve(&a, &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn identity_round_trips() {
+        let a = DMatrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x, b.to_vec());
+    }
+
+    #[test]
+    fn mul_vec_matches_solution() {
+        let mut a = DMatrix::zeros(3, 3);
+        let vals = [
+            [4.0, 1.0, 0.5],
+            [1.0, 3.0, -1.0],
+            [0.5, -1.0, 5.0],
+        ];
+        for r in 0..3 {
+            for c in 0..3 {
+                a[(r, c)] = vals[r][c];
+            }
+        }
+        let b = [1.0, 2.0, 3.0];
+        let x = solve(&a, &b).unwrap();
+        let back = a.mul_vec(&x);
+        for (bi, bb) in back.iter().zip(&b) {
+            assert!((bi - bb).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Mixed-signal scheduling: the lock-step synchroniser between the
+//! event-driven digital kernel and the continuous-time analog solver.
+//!
+//! The scheme mirrors the ADMS co-simulation model the paper relies on:
+//! analog blocks advance in fixed steps (the paper uses 0.05 ns); at every
+//! step boundary the digital kernel processes all pending events, analog
+//! blocks sample the digital signals they are connected to, advance, and
+//! publish their outputs back as `Real` signals.
+
+use crate::signal::{SignalId, Value};
+use crate::sim::Simulator;
+use crate::solver::SolveError;
+use crate::time::SimTime;
+use std::any::Any;
+
+/// A continuous-time block participating in mixed-signal lock-step.
+///
+/// Implementations typically wrap an [`AnalogModel`](crate::analog::AnalogModel)
+/// plus an [`ImplicitSolver`](crate::solver::ImplicitSolver), but the trait is
+/// deliberately open so that a transistor-level netlist simulator can hide
+/// behind the same seam — the paper's substitute-and-play step.
+pub trait AnalogBlock {
+    /// Reads the digital signals this block depends on.
+    fn sample_inputs(&mut self, sim: &Simulator);
+
+    /// Advances the internal continuous state from `t0` by `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    fn step(&mut self, t0: SimTime, dt: SimTime) -> Result<(), SolveError>;
+
+    /// Writes this block's outputs back into the digital kernel
+    /// (via [`Simulator::force`] so processes see fresh samples without
+    /// being woken for every analog step).
+    fn publish(&self, sim: &mut Simulator);
+
+    /// Upcast for callers that need the concrete type back.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Handle to an analog block inside a [`MixedSimulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(usize);
+
+/// The lock-step mixed-signal simulator.
+///
+/// # Examples
+///
+/// ```
+/// use ams_kernel::analog::IdealGatedIntegrator;
+/// use ams_kernel::scheduler::{MixedSimulator, OdeBlock};
+/// use ams_kernel::time::SimTime;
+///
+/// let mut ms = MixedSimulator::new(SimTime::from_ps(50));
+/// let vin = ms.digital.add_signal("vin", 0.1f64);
+/// let sel = ms.digital.add_signal("sel", true);
+/// let hold = ms.digital.add_signal("hold", false);
+/// let vout = ms.digital.add_signal("vout", 0.0f64);
+///
+/// let blk = OdeBlock::new(
+///     IdealGatedIntegrator::new(1e9),
+///     vec![vin, sel, hold],
+///     vec![(vout, 0)],
+/// );
+/// ms.add_block(Box::new(blk));
+/// ms.run_until(SimTime::from_ns(100)).unwrap();
+/// // ∫ 0.1 V · 1e9 / s over 100 ns = 10 V
+/// let v = ms.digital.read(vout).as_real();
+/// assert!((v - 10.0).abs() < 0.01);
+/// ```
+pub struct MixedSimulator {
+    /// The digital event kernel. Public: testbenches declare signals and
+    /// processes directly on it.
+    pub digital: Simulator,
+    blocks: Vec<Box<dyn AnalogBlock>>,
+    dt: SimTime,
+    now: SimTime,
+    /// Total analog steps taken across all blocks (CPU-cost proxy).
+    analog_steps: u64,
+}
+
+impl std::fmt::Debug for MixedSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixedSimulator")
+            .field("now", &self.now)
+            .field("dt", &self.dt)
+            .field("blocks", &self.blocks.len())
+            .field("analog_steps", &self.analog_steps)
+            .finish()
+    }
+}
+
+impl MixedSimulator {
+    /// Creates a mixed simulator with analog step `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero.
+    pub fn new(dt: SimTime) -> Self {
+        assert!(dt > SimTime::ZERO, "analog step must be positive");
+        MixedSimulator {
+            digital: Simulator::new(),
+            blocks: Vec::new(),
+            dt,
+            now: SimTime::ZERO,
+            analog_steps: 0,
+        }
+    }
+
+    /// Current lock-step time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The fixed analog step.
+    pub fn dt(&self) -> SimTime {
+        self.dt
+    }
+
+    /// Total analog block-steps executed.
+    pub fn analog_steps(&self) -> u64 {
+        self.analog_steps
+    }
+
+    /// Registers an analog block.
+    pub fn add_block(&mut self, block: Box<dyn AnalogBlock>) -> BlockId {
+        self.blocks.push(block);
+        BlockId(self.blocks.len() - 1)
+    }
+
+    /// Borrows a block back as its concrete type.
+    pub fn block<T: 'static>(&self, id: BlockId) -> Option<&T> {
+        self.blocks.get(id.0).and_then(|b| b.as_any().downcast_ref())
+    }
+
+    /// Mutably borrows a block back as its concrete type.
+    pub fn block_mut<T: 'static>(&mut self, id: BlockId) -> Option<&mut T> {
+        self.blocks
+            .get_mut(id.0)
+            .and_then(|b| b.as_any_mut().downcast_mut())
+    }
+
+    /// Advances the co-simulation to `stop` in lock-step.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first analog solver failure.
+    pub fn run_until(&mut self, stop: SimTime) -> Result<(), SolveError> {
+        while self.now < stop {
+            let dt = self.dt.min(stop - self.now);
+            // 1. Digital catches up to the step start (events, delta cycles).
+            self.digital.run_until(self.now);
+            // 2. Analog blocks sample the settled digital state...
+            for b in &mut self.blocks {
+                b.sample_inputs(&self.digital);
+            }
+            // 3. ...advance...
+            for b in &mut self.blocks {
+                b.step(self.now, dt)?;
+                self.analog_steps += 1;
+            }
+            self.now += dt;
+            // 4. ...and publish at the step end.
+            self.digital.run_until(self.now);
+            for b in &self.blocks {
+                b.publish(&mut self.digital);
+            }
+        }
+        self.digital.run_until(stop);
+        Ok(())
+    }
+}
+
+/// Convenience [`AnalogBlock`]: an [`AnalogModel`](crate::analog::AnalogModel)
+/// fed from digital signals and publishing selected states back.
+pub struct OdeBlock<M> {
+    model: M,
+    solver: crate::solver::ImplicitSolver,
+    state: crate::solver::TransientState,
+    input_signals: Vec<SignalId>,
+    inputs: Vec<f64>,
+    /// (signal, state index) pairs to publish after each step.
+    outputs: Vec<(SignalId, usize)>,
+}
+
+impl<M: std::fmt::Debug> std::fmt::Debug for OdeBlock<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OdeBlock")
+            .field("model", &self.model)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl<M: crate::analog::AnalogModel> OdeBlock<M> {
+    /// Wraps `model`, reading `input_signals` in order into `u` and
+    /// publishing `outputs` = (signal, state index) after each step.
+    pub fn new(
+        model: M,
+        input_signals: Vec<SignalId>,
+        outputs: Vec<(SignalId, usize)>,
+    ) -> Self {
+        let state = crate::solver::TransientState::from_model(&model);
+        let n_in = input_signals.len();
+        OdeBlock {
+            model,
+            solver: crate::solver::ImplicitSolver::default(),
+            state,
+            input_signals,
+            inputs: vec![0.0; n_in],
+            outputs,
+        }
+    }
+
+    /// Replaces the solver options.
+    pub fn with_solver_options(mut self, options: crate::solver::SolverOptions) -> Self {
+        self.solver = crate::solver::ImplicitSolver::new(options);
+        self
+    }
+
+    /// Current state vector.
+    pub fn state(&self) -> &[f64] {
+        &self.state.x
+    }
+
+    /// Applies a `break`: overwrite states discontinuously.
+    pub fn apply_break(&mut self, new_x: &[f64]) {
+        self.state.apply_break(new_x);
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Cumulative Newton iterations (CPU-cost proxy).
+    pub fn newton_iterations(&self) -> u64 {
+        self.solver.newton_iterations
+    }
+}
+
+impl<M: crate::analog::AnalogModel + 'static> AnalogBlock for OdeBlock<M> {
+    fn sample_inputs(&mut self, sim: &Simulator) {
+        for (slot, &sig) in self.inputs.iter_mut().zip(&self.input_signals) {
+            *slot = sim.read(sig).as_real();
+        }
+    }
+
+    fn step(&mut self, t0: SimTime, dt: SimTime) -> Result<(), SolveError> {
+        self.solver.step(
+            &self.model,
+            t0.as_secs_f64(),
+            dt.as_secs_f64(),
+            &self.inputs,
+            &mut self.state,
+        )
+    }
+
+    fn publish(&self, sim: &mut Simulator) {
+        for &(sig, idx) in &self.outputs {
+            sim.force(sig, Value::Real(self.state.x[idx]));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analog::{FirstOrderLag, IdealGatedIntegrator};
+
+    #[test]
+    fn lockstep_integrator_tracks_digital_gate() {
+        let mut ms = MixedSimulator::new(SimTime::from_ps(100));
+        let vin = ms.digital.add_signal("vin", 0.2f64);
+        let sel = ms.digital.add_signal("sel", true);
+        let hold = ms.digital.add_signal("hold", false);
+        let vout = ms.digital.add_signal("vout", 0.0f64);
+        let id = ms.add_block(Box::new(OdeBlock::new(
+            IdealGatedIntegrator::new(1e9),
+            vec![vin, sel, hold],
+            vec![(vout, 0)],
+        )));
+
+        // Integrate 50 ns, then dump.
+        ms.digital.schedule(sel, false, SimTime::from_ns(50));
+        ms.run_until(SimTime::from_ns(50)).unwrap();
+        let peak = ms.digital.read(vout).as_real();
+        assert!((peak - 10.0).abs() < 0.05, "peak = {peak}");
+
+        ms.run_until(SimTime::from_ns(60)).unwrap();
+        let dumped = ms.digital.read(vout).as_real();
+        assert!(dumped.abs() < 1e-6, "dumped = {dumped}");
+        let blk: &OdeBlock<IdealGatedIntegrator> = ms.block(id).unwrap();
+        assert!(blk.state()[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn analog_chain_propagates_through_signals() {
+        // Two cascaded lags coupled through a digital Real signal.
+        let mut ms = MixedSimulator::new(SimTime::from_ns(1));
+        let u = ms.digital.add_signal("u", 1.0f64);
+        let mid = ms.digital.add_signal("mid", 0.0f64);
+        let out = ms.digital.add_signal("out", 0.0f64);
+        ms.add_block(Box::new(OdeBlock::new(
+            FirstOrderLag { tau: 50e-9, gain: 1.0 },
+            vec![u],
+            vec![(mid, 0)],
+        )));
+        ms.add_block(Box::new(OdeBlock::new(
+            FirstOrderLag { tau: 50e-9, gain: 2.0 },
+            vec![mid],
+            vec![(out, 0)],
+        )));
+        ms.run_until(SimTime::from_us(2)).unwrap();
+        let v = ms.digital.read(out).as_real();
+        assert!((v - 2.0).abs() < 0.01, "settled = {v}");
+    }
+
+    #[test]
+    fn digital_events_between_steps_are_seen() {
+        let mut ms = MixedSimulator::new(SimTime::from_ps(500));
+        let vin = ms.digital.add_signal("vin", 1.0f64);
+        let sel = ms.digital.add_signal("sel", true);
+        let hold = ms.digital.add_signal("hold", false);
+        let vout = ms.digital.add_signal("vout", 0.0f64);
+        ms.add_block(Box::new(OdeBlock::new(
+            IdealGatedIntegrator::new(1e9),
+            vec![vin, sel, hold],
+            vec![(vout, 0)],
+        )));
+        // Gate toggles mid-run driven by a digital process.
+        let p = ms.digital.add_process("gate", move |ctx| {
+            let v = ctx.read_bit(sel);
+            ctx.assign(sel, !v);
+            ctx.wake_after(SimTime::from_ns(10));
+        });
+        ms.digital.schedule_wakeup(p, SimTime::from_ns(10));
+        ms.run_until(SimTime::from_ns(15)).unwrap();
+        // After 10 ns of integration the gate dropped → output dumped to 0.
+        assert!(ms.digital.read(vout).as_real().abs() < 1e-6);
+    }
+
+    #[test]
+    fn run_until_partial_step_lands_exactly() {
+        let mut ms = MixedSimulator::new(SimTime::from_ns(3));
+        let u = ms.digital.add_signal("u", 1.0f64);
+        let y = ms.digital.add_signal("y", 0.0f64);
+        ms.add_block(Box::new(OdeBlock::new(
+            FirstOrderLag { tau: 1e-9, gain: 1.0 },
+            vec![u],
+            vec![(y, 0)],
+        )));
+        ms.run_until(SimTime::from_ns(10)).unwrap();
+        assert_eq!(ms.now(), SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn block_downcast_roundtrip() {
+        let mut ms = MixedSimulator::new(SimTime::from_ns(1));
+        let u = ms.digital.add_signal("u", 0.0f64);
+        let y = ms.digital.add_signal("y", 0.0f64);
+        let id = ms.add_block(Box::new(OdeBlock::new(
+            FirstOrderLag { tau: 1e-9, gain: 3.0 },
+            vec![u],
+            vec![(y, 0)],
+        )));
+        let blk: &OdeBlock<FirstOrderLag> = ms.block(id).expect("downcast");
+        assert_eq!(blk.model().gain, 3.0);
+        assert!(ms.block::<OdeBlock<IdealGatedIntegrator>>(id).is_none());
+    }
+}

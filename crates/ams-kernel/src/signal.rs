@@ -1,0 +1,143 @@
+//! Digital signals.
+//!
+//! Signals are the discrete-event side of the kernel: named, typed values
+//! that change only through scheduled transactions and that record their
+//! last event time (the VHDL `'last_event` attribute the synchroniser and
+//! AGC logic rely on).
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// The value carried by a digital signal.
+///
+/// VHDL's scalar types collapse to three variants here: `Bit` for
+/// `std_logic`-style controls, `Int` for counters/ADC codes, and `Real`
+/// for the sampled analog values exchanged with the continuous side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A two-valued logic level.
+    Bit(bool),
+    /// A signed integer (counter values, ADC output codes, gain codes).
+    Int(i64),
+    /// A real number (sampled analog node voltages).
+    Real(f64),
+}
+
+impl Value {
+    /// Interprets the value as a bit.
+    ///
+    /// `Int` is `true` when non-zero; `Real` when greater than 0.5
+    /// (a crude but conventional logic threshold).
+    pub fn as_bit(self) -> bool {
+        match self {
+            Value::Bit(b) => b,
+            Value::Int(i) => i != 0,
+            Value::Real(r) => r > 0.5,
+        }
+    }
+
+    /// Interprets the value as an integer, truncating reals.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Bit(b) => b as i64,
+            Value::Int(i) => i,
+            Value::Real(r) => r as i64,
+        }
+    }
+
+    /// Interprets the value as a real number.
+    pub fn as_real(self) -> f64 {
+        match self {
+            Value::Bit(b) => {
+                if b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::Int(i) => i as f64,
+            Value::Real(r) => r,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bit(b) => write!(f, "'{}'", u8::from(*b)),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bit(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+
+/// Handle to a signal owned by a [`Simulator`](crate::sim::Simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) usize);
+
+impl SignalId {
+    /// The arena index of this signal.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Internal per-signal bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct SignalState {
+    pub name: String,
+    pub value: Value,
+    /// Time of the most recent value *change* (not mere assignment).
+    pub last_event: Option<SimTime>,
+    /// Processes statically sensitive to this signal.
+    pub sensitive: Vec<crate::sim::ProcessId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_between_kinds() {
+        assert!(Value::Bit(true).as_bit());
+        assert_eq!(Value::Bit(true).as_int(), 1);
+        assert_eq!(Value::Bit(false).as_real(), 0.0);
+        assert!(Value::Int(7).as_bit());
+        assert!(!Value::Int(0).as_bit());
+        assert_eq!(Value::Real(2.9).as_int(), 2);
+        assert!(Value::Real(0.6).as_bit());
+        assert!(!Value::Real(0.4).as_bit());
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(true), Value::Bit(true));
+        assert_eq!(Value::from(42i64), Value::Int(42));
+        assert_eq!(Value::from(1.5f64), Value::Real(1.5));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Bit(true).to_string(), "'1'");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Real(0.25).to_string(), "0.25");
+    }
+}

@@ -1,0 +1,542 @@
+//! The event-driven digital simulator.
+//!
+//! A classic VHDL-style kernel: signal transactions live in a time-ordered
+//! queue; applying the transactions at one instant produces *events*, events
+//! wake sensitive processes, processes schedule new transactions. Zero-delay
+//! scheduling creates delta cycles at the same instant.
+
+use crate::signal::{SignalId, SignalState, Value};
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Handle to a process registered with a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(pub(crate) usize);
+
+/// The context handed to a running process.
+///
+/// Through it the process reads signals, schedules transactions and requests
+/// timed wake-ups — the moral equivalents of VHDL signal reads, signal
+/// assignments and `wait for`.
+#[derive(Debug)]
+pub struct ProcessCtx<'a> {
+    now: SimTime,
+    signals: &'a [SignalState],
+    /// (delay, signal, value) transactions to enqueue after the process body.
+    pub(crate) scheduled: Vec<(SimTime, SignalId, Value)>,
+    /// Requested timed wake-up, if any.
+    pub(crate) wake_after: Option<SimTime>,
+}
+
+impl<'a> ProcessCtx<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Reads the current value of `sig`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` does not belong to this simulator.
+    pub fn read(&self, sig: SignalId) -> Value {
+        self.signals[sig.0].value
+    }
+
+    /// Reads `sig` as a bit; see [`Value::as_bit`].
+    pub fn read_bit(&self, sig: SignalId) -> bool {
+        self.read(sig).as_bit()
+    }
+
+    /// Reads `sig` as an integer.
+    pub fn read_int(&self, sig: SignalId) -> i64 {
+        self.read(sig).as_int()
+    }
+
+    /// Reads `sig` as a real.
+    pub fn read_real(&self, sig: SignalId) -> f64 {
+        self.read(sig).as_real()
+    }
+
+    /// `true` if `sig` changed value in the current delta cycle.
+    pub fn event_on(&self, sig: SignalId) -> bool {
+        self.signals[sig.0].last_event == Some(self.now)
+    }
+
+    /// Schedules `value` onto `sig` after `delay` (zero delay = next delta).
+    pub fn schedule(&mut self, sig: SignalId, value: impl Into<Value>, delay: SimTime) {
+        self.scheduled.push((delay, sig, value.into()));
+    }
+
+    /// Schedules `value` onto `sig` in the next delta cycle.
+    pub fn assign(&mut self, sig: SignalId, value: impl Into<Value>) {
+        self.schedule(sig, value, SimTime::ZERO);
+    }
+
+    /// Requests this process be woken again after `delay`, in addition to
+    /// any signal-sensitivity wake-ups.
+    pub fn wake_after(&mut self, delay: SimTime) {
+        self.wake_after = Some(delay);
+    }
+}
+
+type ProcessFn = Box<dyn FnMut(&mut ProcessCtx<'_>)>;
+
+struct ProcessSlot {
+    name: String,
+    body: Option<ProcessFn>,
+}
+
+impl std::fmt::Debug for ProcessSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessSlot")
+            .field("name", &self.name)
+            .field("running", &self.body.is_none())
+            .finish()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Transaction {
+    time: SimTime,
+    seq: u64,
+    signal: SignalId,
+    value_idx: usize,
+}
+
+impl Ord for Transaction {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Transaction {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Wakeup {
+    time: SimTime,
+    seq: u64,
+    process: ProcessId,
+}
+
+impl Ord for Wakeup {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Wakeup {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Maximum delta cycles per instant before the kernel declares livelock.
+const MAX_DELTAS: usize = 10_000;
+
+/// The event-driven digital simulation kernel.
+///
+/// # Examples
+///
+/// ```
+/// use ams_kernel::sim::Simulator;
+/// use ams_kernel::time::SimTime;
+///
+/// let mut sim = Simulator::new();
+/// let clk = sim.add_signal("clk", false);
+/// let q = sim.add_signal("q", 0i64);
+///
+/// // A divider: count rising edges of clk.
+/// let p = sim.add_process("counter", move |ctx| {
+///     if ctx.event_on(clk) && ctx.read_bit(clk) {
+///         let n = ctx.read_int(q);
+///         ctx.assign(q, n + 1);
+///     }
+/// });
+/// sim.set_sensitivity(p, &[clk]);
+///
+/// // Drive three clock edges.
+/// for i in 0..3 {
+///     sim.schedule(clk, true, SimTime::from_ns(10 * i + 5));
+///     sim.schedule(clk, false, SimTime::from_ns(10 * i + 10));
+/// }
+/// sim.run_until(SimTime::from_ns(100));
+/// assert_eq!(sim.read(q).as_int(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    now: SimTime,
+    signals: Vec<SignalState>,
+    processes: Vec<ProcessSlot>,
+    queue: BinaryHeap<Reverse<Transaction>>,
+    wakeups: BinaryHeap<Reverse<Wakeup>>,
+    values: Vec<Value>,
+    seq: u64,
+    /// Total events applied (diagnostic).
+    event_count: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            signals: Vec::new(),
+            processes: Vec::new(),
+            queue: BinaryHeap::new(),
+            wakeups: BinaryHeap::new(),
+            values: Vec::new(),
+            seq: 0,
+            event_count: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of signal events applied so far.
+    pub fn event_count(&self) -> u64 {
+        self.event_count
+    }
+
+    /// Declares a signal with an initial value.
+    pub fn add_signal(&mut self, name: &str, init: impl Into<Value>) -> SignalId {
+        let id = SignalId(self.signals.len());
+        self.signals.push(SignalState {
+            name: name.to_string(),
+            value: init.into(),
+            last_event: None,
+            sensitive: Vec::new(),
+        });
+        id
+    }
+
+    /// Registers a process body. It will not run until it is made sensitive
+    /// to signals via [`set_sensitivity`](Self::set_sensitivity), woken via a
+    /// scheduled wake-up, or kicked once with [`run_process_now`](Self::run_process_now).
+    pub fn add_process(
+        &mut self,
+        name: &str,
+        body: impl FnMut(&mut ProcessCtx<'_>) + 'static,
+    ) -> ProcessId {
+        let id = ProcessId(self.processes.len());
+        self.processes.push(ProcessSlot {
+            name: name.to_string(),
+            body: Some(Box::new(body)),
+        });
+        id
+    }
+
+    /// Makes `process` sensitive to each signal in `signals`.
+    pub fn set_sensitivity(&mut self, process: ProcessId, signals: &[SignalId]) {
+        for &s in signals {
+            let list = &mut self.signals[s.0].sensitive;
+            if !list.contains(&process) {
+                list.push(process);
+            }
+        }
+    }
+
+    /// Reads the current value of a signal.
+    pub fn read(&self, sig: SignalId) -> Value {
+        self.signals[sig.0].value
+    }
+
+    /// The name a signal was declared with.
+    pub fn signal_name(&self, sig: SignalId) -> &str {
+        &self.signals[sig.0].name
+    }
+
+    /// Time of the last value change of `sig`, if it ever changed.
+    pub fn last_event(&self, sig: SignalId) -> Option<SimTime> {
+        self.signals[sig.0].last_event
+    }
+
+    /// Schedules `value` on `sig` after `delay` from *now*.
+    pub fn schedule(&mut self, sig: SignalId, value: impl Into<Value>, delay: SimTime) {
+        let t = self.now + delay;
+        let seq = self.next_seq();
+        let value_idx = self.values.len();
+        self.values.push(value.into());
+        self.queue.push(Reverse(Transaction {
+            time: t,
+            seq,
+            signal: sig,
+            value_idx,
+        }));
+    }
+
+    /// Forces `sig` to `value` immediately, without queueing.
+    ///
+    /// Used by the mixed-signal scheduler to publish analog samples. Sets the
+    /// last-event time when the value changes but does *not* wake processes;
+    /// the caller decides when to resume digital activity.
+    pub fn force(&mut self, sig: SignalId, value: impl Into<Value>) {
+        let value = value.into();
+        let st = &mut self.signals[sig.0];
+        if st.value != value {
+            st.value = value;
+            st.last_event = Some(self.now);
+            self.event_count += 1;
+        }
+    }
+
+    /// Like [`force`](Self::force) but also wakes processes sensitive to the
+    /// signal (at the current time, via an immediate delta cycle).
+    pub fn force_and_notify(&mut self, sig: SignalId, value: impl Into<Value>) {
+        let value = value.into();
+        if self.signals[sig.0].value != value {
+            self.schedule(sig, value, SimTime::ZERO);
+            self.settle();
+        }
+    }
+
+    /// Schedules a wake-up for `process` after `delay` from now.
+    pub fn schedule_wakeup(&mut self, process: ProcessId, delay: SimTime) {
+        let w = Wakeup {
+            time: self.now + delay,
+            seq: self.next_seq(),
+            process,
+        };
+        self.wakeups.push(Reverse(w));
+    }
+
+    /// Runs a process body once at the current time (e.g. for VHDL-style
+    /// initial execution).
+    pub fn run_process_now(&mut self, process: ProcessId) {
+        self.run_processes(&[process]);
+        self.settle();
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Earliest pending activity (transaction or wake-up), if any.
+    pub fn next_activity(&self) -> Option<SimTime> {
+        let tq = self.queue.peek().map(|Reverse(t)| t.time);
+        let tw = self.wakeups.peek().map(|Reverse(w)| w.time);
+        match (tq, tw) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Processes all activity up to and including `t`, leaving `now == t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(tn) = self.next_activity() {
+            if tn > t {
+                break;
+            }
+            self.now = tn;
+            self.settle();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Processes every delta cycle at the current instant until quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 10 000 delta cycles (zero-delay livelock), naming the
+    /// offending instant.
+    pub fn settle(&mut self) {
+        for _ in 0..MAX_DELTAS {
+            let woken = self.apply_current_transactions();
+            if woken.is_empty() {
+                return;
+            }
+            self.run_processes(&woken);
+        }
+        panic!("delta-cycle livelock at t = {}", self.now);
+    }
+
+    /// Applies all transactions and wake-ups scheduled for `self.now`.
+    /// Returns the de-duplicated list of processes to run.
+    fn apply_current_transactions(&mut self) -> Vec<ProcessId> {
+        let mut woken: Vec<ProcessId> = Vec::new();
+        while let Some(Reverse(tx)) = self.queue.peek() {
+            if tx.time > self.now {
+                break;
+            }
+            let Reverse(tx) = self.queue.pop().expect("peeked");
+            let value = self.values[tx.value_idx];
+            let st = &mut self.signals[tx.signal.0];
+            if st.value != value {
+                st.value = value;
+                st.last_event = Some(self.now);
+                self.event_count += 1;
+                for &p in &st.sensitive {
+                    if !woken.contains(&p) {
+                        woken.push(p);
+                    }
+                }
+            }
+        }
+        while let Some(Reverse(w)) = self.wakeups.peek() {
+            if w.time > self.now {
+                break;
+            }
+            let Reverse(w) = self.wakeups.pop().expect("peeked");
+            if !woken.contains(&w.process) {
+                woken.push(w.process);
+            }
+        }
+        woken
+    }
+
+    fn run_processes(&mut self, procs: &[ProcessId]) {
+        for &pid in procs {
+            let mut body = match self.processes[pid.0].body.take() {
+                Some(b) => b,
+                // Re-entrant wake of a currently-running process: skip.
+                None => continue,
+            };
+            let mut ctx = ProcessCtx {
+                now: self.now,
+                signals: &self.signals,
+                scheduled: Vec::new(),
+                wake_after: None,
+            };
+            body(&mut ctx);
+            let scheduled = std::mem::take(&mut ctx.scheduled);
+            let wake_after = ctx.wake_after;
+            drop(ctx);
+            self.processes[pid.0].body = Some(body);
+            for (delay, sig, value) in scheduled {
+                self.schedule(sig, value, delay);
+            }
+            if let Some(d) = wake_after {
+                self.schedule_wakeup(pid, d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transactions_apply_in_time_order() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 0i64);
+        sim.schedule(s, 2i64, SimTime::from_ns(20));
+        sim.schedule(s, 1i64, SimTime::from_ns(10));
+        sim.run_until(SimTime::from_ns(15));
+        assert_eq!(sim.read(s).as_int(), 1);
+        sim.run_until(SimTime::from_ns(25));
+        assert_eq!(sim.read(s).as_int(), 2);
+    }
+
+    #[test]
+    fn same_value_assignment_is_not_an_event() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", false);
+        sim.schedule(s, false, SimTime::from_ns(5));
+        sim.run_until(SimTime::from_ns(10));
+        assert_eq!(sim.last_event(s), None);
+        assert_eq!(sim.event_count(), 0);
+    }
+
+    #[test]
+    fn sensitivity_wakes_process_and_delta_cycles_cascade() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", false);
+        let b = sim.add_signal("b", false);
+        let c = sim.add_signal("c", false);
+
+        // b follows a; c follows b — two delta cycles deep.
+        let p1 = sim.add_process("follow_ab", move |ctx| {
+            let v = ctx.read_bit(a);
+            ctx.assign(b, v);
+        });
+        sim.set_sensitivity(p1, &[a]);
+        let p2 = sim.add_process("follow_bc", move |ctx| {
+            let v = ctx.read_bit(b);
+            ctx.assign(c, v);
+        });
+        sim.set_sensitivity(p2, &[b]);
+
+        sim.schedule(a, true, SimTime::from_ns(1));
+        sim.run_until(SimTime::from_ns(1));
+        assert!(sim.read(c).as_bit());
+        // All three changed at the same instant.
+        assert_eq!(sim.last_event(c), Some(SimTime::from_ns(1)));
+    }
+
+    #[test]
+    fn timed_wakeups_build_an_oscillator() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", false);
+        let p = sim.add_process("osc", move |ctx| {
+            let v = ctx.read_bit(clk);
+            ctx.assign(clk, !v);
+            ctx.wake_after(SimTime::from_ns(5));
+        });
+        sim.run_process_now(p);
+        sim.run_until(SimTime::from_ns(23));
+        // Toggles at 0,5,10,15,20 → after 5 toggles clk is '1'.
+        assert!(sim.read(clk).as_bit());
+        assert_eq!(sim.last_event(clk), Some(SimTime::from_ns(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "livelock")]
+    fn zero_delay_livelock_is_detected() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", false);
+        let p = sim.add_process("inverter_loop", move |ctx| {
+            let v = ctx.read_bit(s);
+            ctx.assign(s, !v);
+        });
+        sim.set_sensitivity(p, &[s]);
+        sim.schedule(s, true, SimTime::ZERO);
+        sim.settle();
+    }
+
+    #[test]
+    fn force_sets_value_without_waking() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 0.0f64);
+        let hit = sim.add_signal("hit", false);
+        let p = sim.add_process("watch", move |ctx| {
+            ctx.assign(hit, true);
+        });
+        sim.set_sensitivity(p, &[s]);
+        sim.force(s, 3.5);
+        assert_eq!(sim.read(s).as_real(), 3.5);
+        sim.run_until(SimTime::from_ns(1));
+        assert!(!sim.read(hit).as_bit(), "force must not wake processes");
+        sim.force_and_notify(s, 4.5);
+        assert!(sim.read(hit).as_bit());
+    }
+
+    #[test]
+    fn next_activity_reports_earliest_of_queue_and_wakeups() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", false);
+        let p = sim.add_process("noop", |_| {});
+        sim.schedule(s, true, SimTime::from_ns(10));
+        sim.schedule_wakeup(p, SimTime::from_ns(4));
+        assert_eq!(sim.next_activity(), Some(SimTime::from_ns(4)));
+    }
+}

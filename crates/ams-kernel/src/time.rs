@@ -1,0 +1,250 @@
+//! Simulation time.
+//!
+//! [`SimTime`] is a femtosecond-resolution instant/duration newtype. One
+//! femtosecond resolution covers the paper's fixed 0.05 ns step (50 000 fs)
+//! exactly, and a `u64` of femtoseconds spans ~5.1 hours of simulated time —
+//! ten orders of magnitude beyond the 30 µs system simulations used here.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// Femtoseconds per second.
+pub const FS_PER_SEC: u64 = 1_000_000_000_000_000;
+
+/// A simulation instant or duration with femtosecond resolution.
+///
+/// # Examples
+///
+/// ```
+/// use ams_kernel::time::SimTime;
+///
+/// let step = SimTime::from_ps(50); // the paper's 0.05 ns time step
+/// let stop = SimTime::from_us(30); // the paper's 30 µs system run
+/// assert_eq!(stop / step, 600_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from femtoseconds.
+    pub const fn from_fs(fs: u64) -> Self {
+        SimTime(fs)
+    }
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps * 1_000)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000_000)
+    }
+
+    /// Creates a time from seconds expressed as a float, rounding to the
+    /// nearest femtosecond. Negative or non-finite inputs saturate to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_nan() || secs <= 0.0 {
+            return SimTime::ZERO;
+        }
+        if secs.is_infinite() {
+            return SimTime::MAX;
+        }
+        let fs = (secs * FS_PER_SEC as f64).round();
+        if fs >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(fs as u64)
+        }
+    }
+
+    /// Raw femtosecond count.
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// This time in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / FS_PER_SEC as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// The smaller of `self` and `other`.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of `self` and `other`.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<SimTime> for SimTime {
+    type Output = u64;
+    fn div(self, rhs: SimTime) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Rem<SimTime> for SimTime {
+    type Output = SimTime;
+    fn rem(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 % rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fs = self.0;
+        if fs == 0 {
+            return write!(f, "0 s");
+        }
+        const UNITS: [(u64, &str); 5] = [
+            (1_000_000_000_000_000, "s"),
+            (1_000_000_000_000, "ms"),
+            (1_000_000_000, "us"),
+            (1_000_000, "ns"),
+            (1_000, "ps"),
+        ];
+        for (scale, unit) in UNITS {
+            if fs >= scale {
+                let whole = fs / scale;
+                let frac = fs % scale;
+                if frac == 0 {
+                    return write!(f, "{whole} {unit}");
+                }
+                return write!(f, "{:.3} {unit}", fs as f64 / scale as f64);
+            }
+        }
+        write!(f, "{fs} fs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(SimTime::from_ps(1).as_fs(), 1_000);
+        assert_eq!(SimTime::from_ns(1).as_fs(), 1_000_000);
+        assert_eq!(SimTime::from_us(1).as_fs(), 1_000_000_000);
+        assert_eq!(SimTime::from_ms(1).as_fs(), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn float_round_trip_is_tight() {
+        let t = SimTime::from_secs_f64(30e-6);
+        assert_eq!(t, SimTime::from_us(30));
+        let back = t.as_secs_f64();
+        assert!((back - 30e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn from_secs_f64_saturates_on_bad_input() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::MAX);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(3);
+        assert_eq!(a + b, SimTime::from_ns(13));
+        assert_eq!(a - b, SimTime::from_ns(7));
+        assert_eq!(a / b, 3);
+        assert_eq!(a % b, SimTime::from_ns(1));
+        assert_eq!(b * 4, SimTime::from_ns(12));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(SimTime::from_ns(50).to_string(), "50 ns");
+        assert_eq!(SimTime::from_us(30).to_string(), "30 us");
+        assert_eq!(SimTime::from_ps(50).to_string(), "50 ps");
+        assert_eq!(SimTime::ZERO.to_string(), "0 s");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_ns(1);
+        let b = SimTime::from_ns(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

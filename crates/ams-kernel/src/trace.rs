@@ -1,0 +1,301 @@
+//! Waveform probes.
+//!
+//! A [`Probe`] records `(time, value)` samples from any simulation level —
+//! digital signals, analog states or circuit node voltages — and offers the
+//! small analysis/export toolkit the examples and benches need (CSV dump,
+//! interpolation, extrema, decimation).
+
+use std::fmt::Write as _;
+
+/// A recorded waveform: monotonically non-decreasing times with values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Probe {
+    name: String,
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Probe {
+    /// Creates an empty probe with a display name.
+    pub fn new(name: &str) -> Self {
+        Probe {
+            name: name.to_string(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The probe's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the previous sample (probes are
+    /// time-ordered by construction).
+    pub fn push(&mut self, t: f64, v: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t >= last, "probe samples must be time-ordered");
+        }
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Iterates `(t, v)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Linear interpolation at `t`; clamps outside the recorded span.
+    /// Returns `None` for an empty probe.
+    pub fn value_at(&self, t: f64) -> Option<f64> {
+        if self.times.is_empty() {
+            return None;
+        }
+        if t <= self.times[0] {
+            return Some(self.values[0]);
+        }
+        if t >= *self.times.last().expect("non-empty") {
+            return Some(*self.values.last().expect("non-empty"));
+        }
+        let idx = self.times.partition_point(|&x| x <= t);
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        if t1 == t0 {
+            return Some(v1);
+        }
+        Some(v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+    }
+
+    /// Minimum value, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum value, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Keeps every `n`-th sample (n ≥ 1), retaining the final sample.
+    pub fn decimate(&self, n: usize) -> Probe {
+        let n = n.max(1);
+        let mut out = Probe::new(&self.name);
+        for (i, (t, v)) in self.iter().enumerate() {
+            if i % n == 0 {
+                out.push(t, v);
+            }
+        }
+        if self.len() > 1 && (self.len() - 1) % n != 0 {
+            out.push(
+                *self.times.last().expect("non-empty"),
+                *self.values.last().expect("non-empty"),
+            );
+        }
+        out
+    }
+
+    /// Renders `time,value` CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::with_capacity(self.len() * 24 + 16);
+        let _ = writeln!(s, "time,{}", self.name);
+        for (t, v) in self.iter() {
+            let _ = writeln!(s, "{t:.12e},{v:.9e}");
+        }
+        s
+    }
+}
+
+/// Renders probes as a VCD (value-change dump) file with real-valued
+/// variables, viewable in GTKWave and friends. Times are quantised to the
+/// given `timescale` in seconds (e.g. `1e-12` for 1 ps).
+///
+/// Returns an empty string for an empty probe list.
+///
+/// # Panics
+///
+/// Panics unless `timescale` is positive.
+pub fn probes_to_vcd(probes: &[&Probe], timescale: f64) -> String {
+    assert!(timescale > 0.0, "timescale must be positive");
+    if probes.is_empty() {
+        return String::new();
+    }
+    let mut s = String::new();
+    let unit = if timescale >= 1e-6 {
+        format!("{} us", (timescale / 1e-6).round() as u64)
+    } else if timescale >= 1e-9 {
+        format!("{} ns", (timescale / 1e-9).round() as u64)
+    } else if timescale >= 1e-12 {
+        format!("{} ps", (timescale / 1e-12).round() as u64)
+    } else {
+        format!("{} fs", (timescale / 1e-15).round() as u64)
+    };
+    let _ = writeln!(s, "$timescale {unit} $end");
+    let _ = writeln!(s, "$scope module uwb_ams $end");
+    let ids: Vec<char> = (0..probes.len())
+        .map(|i| char::from(b'!' + i as u8))
+        .collect();
+    for (p, id) in probes.iter().zip(&ids) {
+        let _ = writeln!(s, "$var real 64 {id} {} $end", p.name().replace(' ', "_"));
+    }
+    let _ = writeln!(s, "$upscope $end");
+    let _ = writeln!(s, "$enddefinitions $end");
+
+    // Merge events across probes in time order.
+    let mut events: Vec<(u64, usize, f64)> = Vec::new();
+    for (k, p) in probes.iter().enumerate() {
+        for (t, v) in p.iter() {
+            events.push(((t / timescale).round() as u64, k, v));
+        }
+    }
+    events.sort_by_key(|&(t, k, _)| (t, k));
+    let mut current_t = None;
+    for (t, k, v) in events {
+        if current_t != Some(t) {
+            let _ = writeln!(s, "#{t}");
+            current_t = Some(t);
+        }
+        let _ = writeln!(s, "r{v:.9e} {}", ids[k]);
+    }
+    s
+}
+
+/// Renders several probes sharing a time base as one CSV table
+/// (times taken from the first probe; others interpolated).
+///
+/// Returns an empty string if `probes` is empty.
+pub fn probes_to_csv(probes: &[&Probe]) -> String {
+    let Some(first) = probes.first() else {
+        return String::new();
+    };
+    let mut s = String::new();
+    let _ = write!(s, "time");
+    for p in probes {
+        let _ = write!(s, ",{}", p.name());
+    }
+    let _ = writeln!(s);
+    for &t in first.times() {
+        let _ = write!(s, "{t:.12e}");
+        for p in probes {
+            let v = p.value_at(t).unwrap_or(f64::NAN);
+            let _ = write!(s, ",{v:.9e}");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_interpolate() {
+        let mut p = Probe::new("v");
+        p.push(0.0, 0.0);
+        p.push(1.0, 2.0);
+        p.push(2.0, 2.0);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.value_at(0.5), Some(1.0));
+        assert_eq!(p.value_at(-1.0), Some(0.0));
+        assert_eq!(p.value_at(5.0), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_push_panics() {
+        let mut p = Probe::new("v");
+        p.push(1.0, 0.0);
+        p.push(0.5, 0.0);
+    }
+
+    #[test]
+    fn extrema() {
+        let mut p = Probe::new("v");
+        for i in 0..10 {
+            p.push(i as f64, (i as f64 - 4.5).abs());
+        }
+        assert_eq!(p.min(), Some(0.5));
+        assert_eq!(p.max(), Some(4.5));
+        assert_eq!(Probe::new("e").min(), None);
+    }
+
+    #[test]
+    fn decimate_keeps_endpoints() {
+        let mut p = Probe::new("v");
+        for i in 0..=10 {
+            p.push(i as f64, i as f64);
+        }
+        let d = p.decimate(4);
+        assert_eq!(d.times(), &[0.0, 4.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut p = Probe::new("vout");
+        p.push(0.0, 1.0);
+        let csv = p.to_csv();
+        assert!(csv.starts_with("time,vout\n"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn vcd_has_header_and_ordered_timestamps() {
+        let mut a = Probe::new("vout");
+        a.push(0.0, 0.1);
+        a.push(1e-9, 0.2);
+        let mut b = Probe::new("sel");
+        b.push(0.5e-9, 1.0);
+        let vcd = probes_to_vcd(&[&a, &b], 1e-12);
+        assert!(vcd.starts_with("$timescale 1 ps $end"));
+        assert!(vcd.contains("$var real 64 ! vout $end"));
+        assert!(vcd.contains("$var real 64 \" sel $end"));
+        assert!(vcd.contains("#0"));
+        assert!(vcd.contains("#500"));
+        assert!(vcd.contains("#1000"));
+        // Timestamps appear in order.
+        let i0 = vcd.find("#0\n").unwrap();
+        let i500 = vcd.find("#500").unwrap();
+        let i1000 = vcd.find("#1000").unwrap();
+        assert!(i0 < i500 && i500 < i1000);
+        assert_eq!(probes_to_vcd(&[], 1e-12), "");
+    }
+
+    #[test]
+    fn multi_probe_csv_interpolates() {
+        let mut a = Probe::new("a");
+        a.push(0.0, 0.0);
+        a.push(1.0, 1.0);
+        let mut b = Probe::new("b");
+        b.push(0.0, 10.0);
+        b.push(2.0, 30.0);
+        let csv = probes_to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,a,b");
+        assert!(lines[2].contains("2.0"), "b interpolated at t=1: {}", lines[2]);
+        assert_eq!(probes_to_csv(&[]), "");
+    }
+}

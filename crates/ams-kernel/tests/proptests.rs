@@ -1,0 +1,123 @@
+//! Property-based tests for the kernel's invariants.
+
+use ams_kernel::analog::{FirstOrderLag, IdealGatedIntegrator};
+use ams_kernel::linalg::{solve, DMatrix};
+use ams_kernel::solver::{ImplicitSolver, Method, SolverOptions, TransientState};
+use ams_kernel::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Addition/subtraction of times round-trips.
+    #[test]
+    fn time_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = SimTime::from_fs(a);
+        let tb = SimTime::from_fs(b);
+        prop_assert_eq!((ta + tb) - tb, ta);
+        prop_assert!(ta + tb >= ta.max(tb));
+    }
+
+    /// Seconds→SimTime→seconds is tight for simulation-scale values.
+    #[test]
+    fn time_float_roundtrip(secs in 1e-12f64..1e-3) {
+        let t = SimTime::from_secs_f64(secs);
+        let back = t.as_secs_f64();
+        prop_assert!((back - secs).abs() <= 1e-15 + secs * 1e-12);
+    }
+
+    /// Division and remainder decompose a duration exactly.
+    #[test]
+    fn time_div_rem_decompose(total in 1u64..1_000_000_000, step in 1u64..1_000_000) {
+        let t = SimTime::from_fs(total);
+        let s = SimTime::from_fs(step);
+        let q = t / s;
+        let r = t % s;
+        prop_assert_eq!(s * q + r, t);
+        prop_assert!(r < s);
+    }
+
+    /// Diagonally dominant systems solve to small residuals.
+    #[test]
+    fn linalg_residual_small(
+        n in 2usize..6,
+        seed_vals in prop::collection::vec(-1.0f64..1.0, 36),
+        rhs in prop::collection::vec(-10.0f64..10.0, 6),
+    ) {
+        let mut a = DMatrix::zeros(n, n);
+        for r in 0..n {
+            let mut row_sum = 0.0;
+            for c in 0..n {
+                if r != c {
+                    let v = seed_vals[r * 6 + c];
+                    a[(r, c)] = v;
+                    row_sum += v.abs();
+                }
+            }
+            a[(r, r)] = row_sum + 1.0; // strict dominance
+        }
+        let b: Vec<f64> = rhs[..n].to_vec();
+        let x = solve(&a, &b).expect("dominant systems are nonsingular");
+        let back = a.mul_vec(&x);
+        for (bi, bb) in back.iter().zip(&b) {
+            prop_assert!((bi - bb).abs() < 1e-8, "residual {} vs {}", bi, bb);
+        }
+    }
+
+    /// The lag settles to `gain·u` regardless of step size (stability of
+    /// the implicit methods).
+    #[test]
+    fn lag_settles_for_any_step(
+        tau_exp in -8.0f64..-5.0,
+        h_rel in 0.01f64..2.0,
+        gain in 0.1f64..5.0,
+        method in prop::sample::select(vec![Method::BackwardEuler, Method::Trapezoidal]),
+    ) {
+        let tau = 10f64.powf(tau_exp);
+        let h = h_rel * tau;
+        let model = FirstOrderLag { tau, gain };
+        let mut solver = ImplicitSolver::new(SolverOptions { method, ..Default::default() });
+        let mut st = TransientState::from_model(&model);
+        let steps = ((10.0 * tau / h).ceil() as usize).max(20);
+        solver
+            .run(&model, 0.0, h, steps, &mut st, |_| vec![1.0], |_, _| {})
+            .expect("stable");
+        prop_assert!(
+            (st.x[0] - gain).abs() < 0.05 * gain,
+            "settled {} vs {}", st.x[0], gain
+        );
+    }
+
+    /// The gated integrator is linear in its input.
+    #[test]
+    fn integrator_linearity(vin in 0.001f64..0.2, k_exp in 6.0f64..9.0) {
+        let k = 10f64.powf(k_exp);
+        let run = |v: f64| {
+            let model = IdealGatedIntegrator::new(k);
+            let mut solver = ImplicitSolver::default();
+            let mut st = TransientState::from_model(&model);
+            solver
+                .run(&model, 0.0, 1e-10, 200, &mut st, |_| vec![v, 1.0, 0.0], |_, _| {})
+                .expect("run");
+            st.x[0]
+        };
+        let y1 = run(vin);
+        let y2 = run(2.0 * vin);
+        prop_assert!((y2 - 2.0 * y1).abs() < 1e-6 * y1.abs().max(1e-12));
+    }
+
+    /// Dumping always drives the state to zero, from any accumulated value.
+    #[test]
+    fn dump_always_zeroes(vin in -0.5f64..0.5, n in 10usize..300) {
+        let model = IdealGatedIntegrator::new(1e8);
+        let mut solver = ImplicitSolver::default();
+        let mut st = TransientState::from_model(&model);
+        solver
+            .run(&model, 0.0, 1e-10, n, &mut st, |_| vec![vin, 1.0, 0.0], |_, _| {})
+            .expect("integrate");
+        solver
+            .step(&model, 0.0, 1e-10, &[vin, 0.0, 0.0], &mut st)
+            .expect("dump");
+        prop_assert!(st.x[0].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,129 @@
+//! Ablation studies on the design choices DESIGN.md calls out:
+//!
+//! 1. **Two-stage AGC** (the paper's §5 proposed fix) vs the baseline
+//!    single loop — measured on TWR accuracy and failed exchanges with the
+//!    transistor-level integrator in both receivers.
+//! 2. **Leading-edge synchronisation** (first-echo isolation) vs a global
+//!    argmax bin pick — measured on TWR outliers over CM1 multipath.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use uwb_ams_core::metrics::BerCampaign;
+use uwb_ams_core::report::Table;
+use uwb_txrx::integrator::{build_integrator, Fidelity};
+use uwb_txrx::receiver::{ReceiverConfig, SyncStrategy, TwoStageAgcConfig};
+use uwb_txrx::transceiver::{twr_iteration, TwrConfig};
+
+/// Runs `n` independent TWR exchanges, tolerating failed ones, and returns
+/// (mean, std, worst |error|, failures).
+fn campaign(
+    cfg: &TwrConfig,
+    n: usize,
+    fidelity: Fidelity,
+    seed: u64,
+) -> (f64, f64, f64, usize) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut estimates = Vec::new();
+    let mut failures = 0usize;
+    for _ in 0..n {
+        match twr_iteration(
+            cfg,
+            || build_integrator(fidelity).expect("integrator"),
+            &mut rng,
+        ) {
+            Ok(it) => estimates.push(it.distance_est),
+            Err(_) => failures += 1,
+        }
+    }
+    if estimates.is_empty() {
+        return (f64::NAN, f64::NAN, f64::NAN, failures);
+    }
+    let n = estimates.len() as f64;
+    let mean = estimates.iter().sum::<f64>() / n;
+    let var =
+        estimates.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+    let worst = estimates
+        .iter()
+        .map(|d| (d - cfg.distance).abs())
+        .fold(0.0f64, f64::max);
+    (mean, var.sqrt(), worst, failures)
+}
+
+fn main() {
+    let seed = 0xAB1A;
+
+    // --- Ablation 1: single vs two-stage AGC, circuit integrator, BER.
+    // The paper's single-AGC pathology: chasing the ADC range drives the
+    // VGA until the squared signal exceeds the integrator's linear input
+    // range. The two-stage fix caps the front-end drive and recovers the
+    // ADC range after the integrator.
+    println!("=== Ablation 1: AGC architecture (circuit I&D, BER) ===\n");
+    let mut t1 = Table::new(
+        "AGC architecture ablation (BER, circuit integrator)",
+        &["Architecture", "BER @ 10 dB", "BER @ 14 dB", "BER @ 22 dB", "BER @ 30 dB"],
+    );
+    for (label, two_stage) in [
+        ("single-stage AGC (paper baseline)", None),
+        (
+            "two-stage AGC (paper's proposed fix)",
+            Some(TwoStageAgcConfig::default()),
+        ),
+    ] {
+        let campaign = BerCampaign {
+            receiver: ReceiverConfig {
+                two_stage_agc: two_stage,
+                ..ReceiverConfig::default()
+            },
+            ebn0_db: vec![10.0, 14.0, 22.0, 30.0],
+            bits_per_point: 600,
+            ..Default::default()
+        };
+        let t0 = std::time::Instant::now();
+        match campaign.run(label, || build_integrator(Fidelity::Circuit)) {
+            Ok(curve) => {
+                let cells: Vec<String> = curve
+                    .points
+                    .iter()
+                    .map(|p| format!("{:.3e} ({}/{})", p.ber(), p.errors, p.bits))
+                    .collect();
+                println!("{label}: {} ({:?})", cells.join(", "), t0.elapsed());
+                let mut row = vec![label.to_string()];
+                row.extend(cells);
+                t1.push_row(row);
+            }
+            Err(e) => println!("{label}: FAILED ({e})"),
+        }
+    }
+    println!("\n{t1}");
+
+    // --- Ablation 2: sync strategy, ideal integrator (isolates the sync).
+    println!("\n=== Ablation 2: synchroniser strategy (ideal I&D, TWR @ 9.9 m) ===\n");
+    let mut t2 = Table::new(
+        "Sync strategy ablation",
+        &["Strategy", "Mean (m)", "Std (m)", "Worst |err| (m)", "Failures"],
+    );
+    for (label, strategy) in [
+        ("leading-edge (first echo)", SyncStrategy::LeadingEdge),
+        ("argmax (strongest bin)", SyncStrategy::Argmax),
+    ] {
+        let mut cfg = TwrConfig::default();
+        cfg.receiver.sync.strategy = strategy;
+        let (mean, std, worst, failures) = campaign(&cfg, 12, Fidelity::Ideal, seed);
+        println!(
+            "{label}: mean {mean:.2} m, std {std:.2} m, worst {worst:.2} m, {failures} failures"
+        );
+        t2.push_row(vec![
+            label.into(),
+            format!("{mean:.2}"),
+            format!("{std:.2}"),
+            format!("{worst:.2}"),
+            failures.to_string(),
+        ]);
+    }
+    println!("\n{t2}");
+    println!(
+        "expected: argmax suffers slot-level outliers on dense CM1 realisations\n\
+         that leading-edge first-echo isolation avoids; the two-stage AGC keeps\n\
+         the front-end out of the integrator's compression region."
+    );
+}

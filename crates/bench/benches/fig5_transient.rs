@@ -1,0 +1,85 @@
+//! Figure 5 — Integrator transient responses.
+//!
+//! Regenerates the paper's Figure 5: the integrate / hold / dump transient
+//! of the three I&D fidelities on the same drive. The VHDL-AMS model
+//! overlaps the circuit far better than the ideal integrator, but the
+//! mismatch from the limited linear input range remains visible — the
+//! paper's argument for refining Phase IV models.
+
+use ams_kernel::trace::{probes_to_csv, Probe};
+use uwb_txrx::integrator::{
+    BehavioralIntegrator, CircuitIntegrator, IdealIntegrator, IntegratorBlock,
+};
+
+fn burst(t: f64) -> f64 {
+    if t < 5e-9 || t > 25e-9 {
+        return 0.0;
+    }
+    let u = (t - 5e-9) / 20e-9;
+    0.90 * (std::f64::consts::PI * u).sin().powi(2)
+}
+
+fn run(label: &str, mut intg: Box<dyn IntegratorBlock>) -> Probe {
+    let dt = 50e-12; // the paper's fixed 0.05 ns step
+    let mut probe = Probe::new(label);
+    for i in 0..(80e-9 / dt) as usize {
+        let t = i as f64 * dt;
+        intg.set_control(t < 50e-9); // integrate + natural hold, then dump
+        let v = intg.step(dt, burst(t)).expect("step");
+        probe.push(t, v);
+    }
+    probe
+}
+
+fn main() {
+    let start = std::time::Instant::now();
+    println!("=== Figure 5: Integrators transient responses ===\n");
+
+    let t0 = std::time::Instant::now();
+    let ideal = run("ideal", Box::new(IdealIntegrator::default()));
+    let d_ideal = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let model = run(
+        "vhdl_ams_model",
+        Box::new(BehavioralIntegrator::from_default_calibration()),
+    );
+    let d_model = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let circuit = run(
+        "eldo_circuit",
+        Box::new(CircuitIntegrator::with_defaults().expect("operating point")),
+    );
+    let d_ckt = t0.elapsed();
+
+    println!("{:>8} {:>10} {:>12} {:>12}", "t (ns)", "ideal", "model", "circuit");
+    for i in (0..ideal.len()).step_by(80) {
+        println!(
+            "{:>8.1} {:>10.4} {:>12.4} {:>12.4}",
+            ideal.times()[i] * 1e9,
+            ideal.values()[i],
+            model.values()[i],
+            circuit.values()[i]
+        );
+    }
+
+    let (pi, pm, pc) = (
+        ideal.max().unwrap_or(0.0),
+        model.max().unwrap_or(0.0),
+        circuit.max().unwrap_or(0.0),
+    );
+    println!("\npeaks: ideal {pi:.4} V, model {pm:.4} V, circuit {pc:.4} V");
+    println!(
+        "mismatch vs circuit: ideal {:+.1} %, model {:+.1} % (paper: model close,\n\
+         residual mismatch from the limited linear input range)",
+        100.0 * (pi - pc) / pc,
+        100.0 * (pm - pc) / pc
+    );
+    println!(
+        "wall time for this 80 ns window: ideal {d_ideal:?}, model {d_model:?}, circuit {d_ckt:?}"
+    );
+
+    std::fs::write("fig5_transient.csv", probes_to_csv(&[&ideal, &model, &circuit]))
+        .expect("write");
+    println!("\nwrote fig5_transient.csv");
+    println!("bench wall time: {:?}", start.elapsed());
+}

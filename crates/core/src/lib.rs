@@ -1,0 +1,44 @@
+//! # uwb-ams-core — the AMS top-down methodology engine
+//!
+//! The paper's primary contribution, as a reusable library:
+//!
+//! * [`substitute`] — substitute-and-play block slots with electrical
+//!   interface compatibility checks (the ADMS mechanism that lets one
+//!   transistor-level netlist sit inside a behavioural system),
+//! * [`flow`] — the four-phase top-down flow (behavioural entity →
+//!   architectural partition → netlist-in-the-loop → calibrated model),
+//! * [`calibrate`] — Phase IV extraction: AC-characterise the detailed
+//!   block and fit the two-pole behavioural model,
+//! * [`metrics`] — the system-level campaigns behind the paper's
+//!   evaluation: BER curves (Fig 6), TWR statistics (Table 2) and CPU-time
+//!   accounting (Table 1),
+//! * [`report`] — paper-shaped tables and series.
+//!
+//! ## Example: run the flow
+//!
+//! ```no_run
+//! use uwb_ams_core::flow::{FlowScenario, Phase, TopDownFlow};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let flow = TopDownFlow::new(FlowScenario::default());
+//! let report = flow.run_phase(Phase::II)?;
+//! println!("bit errors: {:?}", report.metric("bit_errors"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod flow;
+pub mod plan;
+pub mod metrics;
+pub mod report;
+pub mod substitute;
+
+pub use calibrate::{fit_two_pole, phase4_extract, TwoPoleFit};
+pub use flow::{FlowScenario, Phase, PhaseReport, TopDownFlow};
+pub use metrics::{BerCampaign, BerCurve, CpuTimeCampaign, CpuTimeRow, TwrRow};
+pub use plan::RefinementPlan;
+pub use report::{Series, Table};
+pub use substitute::{BlockInterface, BlockSlot, PortKind, PortSpec, SubstituteError};

@@ -1,0 +1,217 @@
+//! Refinement plans: which block sits at which fidelity.
+//!
+//! The methodology's working state is a map from block name to abstraction
+//! level. Phases II–IV are specific plans over the architecture's blocks;
+//! Phase IV-style completion (the paper's stated future work: "use the
+//! methodology to complete the design of the entire UWB receiver") is a
+//! sequence of plans, each refining one more block.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use uwb_txrx::integrator::Fidelity;
+
+/// The refinable blocks of the Fig 1 architecture.
+pub const BLOCKS: [&str; 8] = [
+    "lna",
+    "vga",
+    "squarer",
+    "integrate_dump",
+    "adc",
+    "agc",
+    "synchronizer",
+    "demodulator",
+];
+
+/// A per-block fidelity assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefinementPlan {
+    name: String,
+    map: BTreeMap<String, Fidelity>,
+}
+
+impl RefinementPlan {
+    /// All blocks ideal — the Phase II starting point.
+    pub fn all_ideal(name: &str) -> Self {
+        RefinementPlan {
+            name: name.to_string(),
+            map: BLOCKS
+                .iter()
+                .map(|b| (b.to_string(), Fidelity::Ideal))
+                .collect(),
+        }
+    }
+
+    /// The paper's Phase III: only the I&D at transistor level.
+    pub fn phase3() -> Self {
+        let mut p = Self::all_ideal("phase III");
+        p.set("integrate_dump", Fidelity::Circuit);
+        p
+    }
+
+    /// The paper's Phase IV: the I&D as a calibrated behavioural model.
+    pub fn phase4() -> Self {
+        let mut p = Self::all_ideal("phase IV");
+        p.set("integrate_dump", Fidelity::Behavioral);
+        p
+    }
+
+    /// Plan name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets one block's fidelity (inserting the block if unknown — plans
+    /// are open to architecture extensions).
+    pub fn set(&mut self, block: &str, fidelity: Fidelity) {
+        self.map.insert(block.to_string(), fidelity);
+    }
+
+    /// Fidelity of a block, if planned.
+    pub fn fidelity(&self, block: &str) -> Option<Fidelity> {
+        self.map.get(block).copied()
+    }
+
+    /// Iterates `(block, fidelity)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Fidelity)> + '_ {
+        self.map.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Blocks whose fidelity differs from `other` — the "what changed
+    /// between phases" view.
+    pub fn diff<'a>(&'a self, other: &'a RefinementPlan) -> Vec<(&'a str, Option<Fidelity>, Option<Fidelity>)> {
+        let mut keys: Vec<&str> = self.map.keys().map(String::as_str).collect();
+        for k in other.map.keys() {
+            if !keys.contains(&k.as_str()) {
+                keys.push(k);
+            }
+        }
+        keys.sort_unstable();
+        keys.into_iter()
+            .filter_map(|k| {
+                let a = self.fidelity(k);
+                let b = other.fidelity(k);
+                if a != b {
+                    Some((k, a, b))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Count of blocks at each fidelity: (ideal, behavioural, circuit).
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for (_, f) in self.iter() {
+            match f {
+                Fidelity::Ideal => c.0 += 1,
+                Fidelity::Behavioral => c.1 += 1,
+                Fidelity::Circuit => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// The substitute-and-play discipline: at most one block at transistor
+    /// level at a time (the whole point of the paper's Phase III/IV loop).
+    pub fn obeys_single_netlist_rule(&self) -> bool {
+        self.census().2 <= 1
+    }
+
+    /// The completion sequence the paper's conclusion sketches: starting
+    /// from this plan, refine each remaining ideal block in turn —
+    /// netlist first, then re-abstract to a behavioural model — yielding
+    /// the ordered list of intermediate plans.
+    pub fn completion_sequence(&self) -> Vec<RefinementPlan> {
+        let mut seq = Vec::new();
+        let mut current = self.clone();
+        let pending: Vec<String> = current
+            .iter()
+            .filter(|&(_, f)| f == Fidelity::Ideal)
+            .map(|(b, _)| b.to_string())
+            .collect();
+        for block in pending {
+            let mut circuit_step = current.clone();
+            circuit_step.name = format!("refine {block}: netlist in the loop");
+            // Previous detailed blocks stay at their behavioural models.
+            circuit_step.set(&block, Fidelity::Circuit);
+            seq.push(circuit_step.clone());
+
+            let mut model_step = circuit_step.clone();
+            model_step.name = format!("refine {block}: calibrated model");
+            model_step.set(&block, Fidelity::Behavioral);
+            seq.push(model_step.clone());
+            current = model_step;
+        }
+        seq
+    }
+}
+
+impl fmt::Display for RefinementPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name)?;
+        for (b, fidelity) in self.iter() {
+            writeln!(f, "  {b:>16}: {fidelity}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_presets() {
+        let p2 = RefinementPlan::all_ideal("phase II");
+        assert_eq!(p2.census(), (8, 0, 0));
+        let p3 = RefinementPlan::phase3();
+        assert_eq!(p3.fidelity("integrate_dump"), Some(Fidelity::Circuit));
+        assert_eq!(p3.census(), (7, 0, 1));
+        let p4 = RefinementPlan::phase4();
+        assert_eq!(p4.census(), (7, 1, 0));
+    }
+
+    #[test]
+    fn diff_shows_the_substituted_block() {
+        let p2 = RefinementPlan::all_ideal("phase II");
+        let p3 = RefinementPlan::phase3();
+        let d = p2.diff(&p3);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, "integrate_dump");
+        assert_eq!(d[0].1, Some(Fidelity::Ideal));
+        assert_eq!(d[0].2, Some(Fidelity::Circuit));
+    }
+
+    #[test]
+    fn single_netlist_rule() {
+        let mut p = RefinementPlan::phase3();
+        assert!(p.obeys_single_netlist_rule());
+        p.set("vga", Fidelity::Circuit);
+        assert!(!p.obeys_single_netlist_rule());
+    }
+
+    #[test]
+    fn completion_sequence_covers_all_blocks_one_at_a_time() {
+        let p4 = RefinementPlan::phase4();
+        let seq = p4.completion_sequence();
+        // 7 remaining ideal blocks, two steps each.
+        assert_eq!(seq.len(), 14);
+        for step in &seq {
+            assert!(
+                step.obeys_single_netlist_rule(),
+                "never more than one netlist in the loop: {step}"
+            );
+        }
+        // The final plan has every block at behavioural-or-better fidelity.
+        let last = seq.last().expect("non-empty");
+        assert_eq!(last.census().0, 0, "no ideal blocks remain: {last}");
+    }
+
+    #[test]
+    fn display_lists_blocks() {
+        let s = RefinementPlan::phase3().to_string();
+        assert!(s.contains("integrate_dump"));
+        assert!(s.contains("SPICE netlist"));
+    }
+}

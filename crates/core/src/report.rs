@@ -1,0 +1,170 @@
+//! Paper-shaped outputs: aligned tables (like Table 1 / Table 2) and
+//! series (like the BER curves and AC responses of Figures 4-6).
+
+use std::fmt;
+
+/// A printable table.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct Table {
+    /// Caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (each row should match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut s = self.headers.join(",");
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.join(","));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line: usize = widths.iter().sum::<usize>() + 3 * ncols.saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(line))?;
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{h:>w$}", w = widths[i])?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat(line))?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:>w$}", w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named (x, y) series.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Series {
+    /// Series name.
+    pub name: String,
+    /// Sample points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from points.
+    pub fn new(name: &str, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.to_string(),
+            points,
+        }
+    }
+
+    /// Renders `x,y` CSV with a header.
+    pub fn to_csv(&self) -> String {
+        let mut s = format!("x,{}\n", self.name);
+        for (x, y) in &self.points {
+            s.push_str(&format!("{x:.9e},{y:.9e}\n"));
+        }
+        s
+    }
+
+    /// Interleaves several series that share an x grid into a single CSV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if series lengths differ.
+    pub fn merge_csv(series: &[&Series]) -> String {
+        let Some(first) = series.first() else {
+            return String::new();
+        };
+        for s in series {
+            assert_eq!(s.points.len(), first.points.len(), "length mismatch");
+        }
+        let mut out = String::from("x");
+        for s in series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        for i in 0..first.points.len() {
+            out.push_str(&format!("{:.9e}", first.points[i].0));
+            for s in series {
+                out.push_str(&format!(",{:.9e}", s.points[i].1));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Table 1. CPU time comparison", &["Model", "CPU Time"]);
+        t.push_row(vec!["ELDO".into(), "59 m 33 s".into()]);
+        t.push_row(vec!["IDEAL".into(), "9 m 11 s".into()]);
+        let s = t.to_string();
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("ELDO"));
+        assert!(s.lines().count() >= 6);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("Model,CPU Time\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn series_csv() {
+        let s = Series::new("ber", vec![(0.0, 0.5), (14.0, 1e-4)]);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("x,ber\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn merged_series() {
+        let a = Series::new("ideal", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let b = Series::new("eldo", vec![(0.0, 3.0), (1.0, 4.0)]);
+        let csv = Series::merge_csv(&[&a, &b]);
+        assert!(csv.starts_with("x,ideal,eldo\n"));
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(Series::merge_csv(&[]), "");
+    }
+}

@@ -1,0 +1,324 @@
+//! Substitute-and-play: swapping one block's implementation behind an
+//! electrically compatible interface.
+//!
+//! ADMS lets the designer replace a single block of the VHDL-AMS system
+//! with a transistor-level netlist "provided that input/output terminals
+//! are electrically compatible". [`BlockSlot`] encodes that rule: an
+//! implementation can only be installed if its [`BlockInterface`] matches
+//! the slot's, port for port.
+
+use std::fmt;
+
+/// Electrical nature of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortKind {
+    /// Continuous-valued input terminal.
+    AnalogIn,
+    /// Continuous-valued output terminal.
+    AnalogOut,
+    /// Logic-level input.
+    DigitalIn,
+    /// Logic-level output.
+    DigitalOut,
+    /// Power/ground rail.
+    Supply,
+}
+
+impl fmt::Display for PortKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PortKind::AnalogIn => "analog in",
+            PortKind::AnalogOut => "analog out",
+            PortKind::DigitalIn => "digital in",
+            PortKind::DigitalOut => "digital out",
+            PortKind::Supply => "supply",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One named, typed port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PortSpec {
+    /// Port name (case-insensitive for compatibility checks).
+    pub name: String,
+    /// Electrical kind.
+    pub kind: PortKind,
+}
+
+impl PortSpec {
+    /// Creates a port spec.
+    pub fn new(name: &str, kind: PortKind) -> Self {
+        PortSpec {
+            name: name.to_ascii_lowercase(),
+            kind,
+        }
+    }
+}
+
+/// A block's terminal list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInterface {
+    /// Block type name (e.g. `"integrate_dump"`).
+    pub name: String,
+    /// Ordered port list.
+    pub ports: Vec<PortSpec>,
+}
+
+impl BlockInterface {
+    /// Builds an interface.
+    pub fn new(name: &str, ports: Vec<PortSpec>) -> Self {
+        BlockInterface {
+            name: name.to_string(),
+            ports,
+        }
+    }
+
+    /// Checks electrical compatibility: same port names and kinds
+    /// (order-insensitive, names case-insensitive).
+    pub fn compatible_with(&self, other: &BlockInterface) -> Result<(), SubstituteError> {
+        if self.ports.len() != other.ports.len() {
+            return Err(SubstituteError::PortCountMismatch {
+                expected: self.ports.len(),
+                found: other.ports.len(),
+            });
+        }
+        for p in &self.ports {
+            match other.ports.iter().find(|q| q.name == p.name) {
+                None => {
+                    return Err(SubstituteError::MissingPort {
+                        port: p.name.clone(),
+                    })
+                }
+                Some(q) if q.kind != p.kind => {
+                    return Err(SubstituteError::KindMismatch {
+                        port: p.name.clone(),
+                        expected: p.kind,
+                        found: q.kind,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The canonical I&D interface of the paper's Figure 3.
+pub fn integrate_dump_interface() -> BlockInterface {
+    BlockInterface::new(
+        "integrate_dump",
+        vec![
+            PortSpec::new("inp", PortKind::AnalogIn),
+            PortSpec::new("inm", PortKind::AnalogIn),
+            PortSpec::new("controlp", PortKind::DigitalIn),
+            PortSpec::new("controlm", PortKind::DigitalIn),
+            PortSpec::new("vdd", PortKind::Supply),
+            PortSpec::new("gnd", PortKind::Supply),
+            PortSpec::new("out_intp", PortKind::AnalogOut),
+            PortSpec::new("out_intm", PortKind::AnalogOut),
+        ],
+    )
+}
+
+/// Rejection reasons for a substitution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubstituteError {
+    /// Different number of terminals.
+    PortCountMismatch {
+        /// Ports on the slot.
+        expected: usize,
+        /// Ports on the candidate.
+        found: usize,
+    },
+    /// A named terminal is absent.
+    MissingPort {
+        /// The missing port name.
+        port: String,
+    },
+    /// A terminal exists but with the wrong electrical kind.
+    KindMismatch {
+        /// Port name.
+        port: String,
+        /// Kind on the slot.
+        expected: PortKind,
+        /// Kind on the candidate.
+        found: PortKind,
+    },
+}
+
+impl fmt::Display for SubstituteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubstituteError::PortCountMismatch { expected, found } => {
+                write!(f, "port count mismatch: slot has {expected}, candidate {found}")
+            }
+            SubstituteError::MissingPort { port } => {
+                write!(f, "candidate lacks port '{port}'")
+            }
+            SubstituteError::KindMismatch {
+                port,
+                expected,
+                found,
+            } => write!(
+                f,
+                "port '{port}' is {found}, slot requires {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubstituteError {}
+
+/// A slot holding one implementation of a block, enforcing interface
+/// compatibility on every swap.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_ams_core::substitute::{integrate_dump_interface, BlockSlot};
+/// use uwb_txrx::integrator::{BehavioralIntegrator, IdealIntegrator, IntegratorBlock};
+///
+/// let iface = integrate_dump_interface();
+/// let initial: Box<dyn IntegratorBlock> = Box::new(IdealIntegrator::default());
+/// let mut slot = BlockSlot::new(iface.clone(), initial, iface.clone())
+///     .expect("ideal fits");
+///
+/// // Swap in the Phase IV model; the displaced Phase II block comes back.
+/// let phase4: Box<dyn IntegratorBlock> = Box::new(BehavioralIntegrator::default());
+/// let displaced = slot.substitute(phase4, iface).expect("compatible");
+/// drop(displaced);
+/// ```
+#[derive(Debug)]
+pub struct BlockSlot<T> {
+    interface: BlockInterface,
+    current: T,
+}
+
+impl<T> BlockSlot<T> {
+    /// Creates the slot with an initial implementation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an implementation whose interface is incompatible.
+    pub fn new(
+        slot_interface: BlockInterface,
+        initial: T,
+        initial_interface: BlockInterface,
+    ) -> Result<Self, SubstituteError> {
+        slot_interface.compatible_with(&initial_interface)?;
+        Ok(BlockSlot {
+            interface: slot_interface,
+            current: initial,
+        })
+    }
+
+    /// The slot's interface.
+    pub fn interface(&self) -> &BlockInterface {
+        &self.interface
+    }
+
+    /// Borrows the installed implementation.
+    pub fn get(&self) -> &T {
+        &self.current
+    }
+
+    /// Mutably borrows the installed implementation.
+    pub fn get_mut(&mut self) -> &mut T {
+        &mut self.current
+    }
+
+    /// Consumes the slot, returning the implementation.
+    pub fn into_inner(self) -> T {
+        self.current
+    }
+
+    /// Swaps in a new implementation, returning the displaced one.
+    ///
+    /// # Errors
+    ///
+    /// Rejects candidates whose interface is incompatible — the candidate
+    /// is *not* installed and is returned inside the error-free path only.
+    pub fn substitute(
+        &mut self,
+        candidate: T,
+        candidate_interface: BlockInterface,
+    ) -> Result<T, SubstituteError> {
+        self.interface.compatible_with(&candidate_interface)?;
+        Ok(std::mem::replace(&mut self.current, candidate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iface(ports: &[(&str, PortKind)]) -> BlockInterface {
+        BlockInterface::new(
+            "blk",
+            ports.iter().map(|(n, k)| PortSpec::new(n, *k)).collect(),
+        )
+    }
+
+    #[test]
+    fn identical_interfaces_are_compatible() {
+        let a = integrate_dump_interface();
+        let b = integrate_dump_interface();
+        assert!(a.compatible_with(&b).is_ok());
+    }
+
+    #[test]
+    fn case_and_order_insensitive() {
+        let a = iface(&[("inp", PortKind::AnalogIn), ("out", PortKind::AnalogOut)]);
+        let b = BlockInterface::new(
+            "blk",
+            vec![
+                PortSpec::new("OUT", PortKind::AnalogOut),
+                PortSpec::new("InP", PortKind::AnalogIn),
+            ],
+        );
+        assert!(a.compatible_with(&b).is_ok());
+    }
+
+    #[test]
+    fn missing_port_rejected() {
+        let a = iface(&[("inp", PortKind::AnalogIn), ("out", PortKind::AnalogOut)]);
+        let b = iface(&[("inp", PortKind::AnalogIn), ("outx", PortKind::AnalogOut)]);
+        let err = a.compatible_with(&b).unwrap_err();
+        assert_eq!(err, SubstituteError::MissingPort { port: "out".into() });
+        assert!(err.to_string().contains("out"));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let a = iface(&[("ctl", PortKind::DigitalIn)]);
+        let b = iface(&[("ctl", PortKind::AnalogIn)]);
+        assert!(matches!(
+            a.compatible_with(&b),
+            Err(SubstituteError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn port_count_mismatch_rejected() {
+        let a = iface(&[("x", PortKind::AnalogIn)]);
+        let b = iface(&[("x", PortKind::AnalogIn), ("y", PortKind::AnalogIn)]);
+        assert!(matches!(
+            a.compatible_with(&b),
+            Err(SubstituteError::PortCountMismatch { expected: 1, found: 2 })
+        ));
+    }
+
+    #[test]
+    fn slot_swaps_and_returns_displaced() {
+        let i = iface(&[("x", PortKind::AnalogIn)]);
+        let mut slot = BlockSlot::new(i.clone(), 1u32, i.clone()).unwrap();
+        let old = slot.substitute(2u32, i.clone()).unwrap();
+        assert_eq!(old, 1);
+        assert_eq!(*slot.get(), 2);
+        // Incompatible candidate: slot unchanged.
+        let bad = iface(&[("y", PortKind::AnalogIn)]);
+        assert!(slot.substitute(3u32, bad).is_err());
+        assert_eq!(slot.into_inner(), 2);
+    }
+}

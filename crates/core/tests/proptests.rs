@@ -1,0 +1,137 @@
+//! Property-based tests for the methodology engine.
+
+use proptest::prelude::*;
+use uwb_ams_core::calibrate::fit_two_pole;
+use uwb_ams_core::plan::RefinementPlan;
+use uwb_ams_core::report::{Series, Table};
+use uwb_ams_core::substitute::{BlockInterface, PortKind, PortSpec};
+use uwb_txrx::integrator::Fidelity;
+
+fn two_pole_db(gain_db: f64, f1: f64, f2: f64, f: f64) -> f64 {
+    gain_db
+        - 10.0 * (1.0 + (f / f1).powi(2)).log10()
+        - 10.0 * (1.0 + (f / f2).powi(2)).log10()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Phase IV fitter recovers randomly-drawn two-pole responses.
+    #[test]
+    fn fit_recovers_random_two_pole(
+        gain_db in 5.0f64..35.0,
+        f1_exp in 5.0f64..6.8,
+        sep in 2.0f64..4.0, // decades between the poles
+    ) {
+        let f1 = 10f64.powf(f1_exp);
+        let f2 = f1 * 10f64.powf(sep);
+        let freqs: Vec<f64> = (0..=140)
+            .map(|i| 1e4 * 10f64.powf(7.0 * i as f64 / 140.0))
+            .collect();
+        let mag: Vec<f64> = freqs.iter().map(|&f| two_pole_db(gain_db, f1, f2, f)).collect();
+        let fit = fit_two_pole(&freqs, &mag);
+        prop_assert!((fit.gain_db - gain_db).abs() < 0.5, "gain {} vs {}", fit.gain_db, gain_db);
+        prop_assert!((fit.f_pole1 / f1).ln().abs() < 0.15, "f1 {} vs {}", fit.f_pole1, f1);
+        prop_assert!((fit.f_pole2 / f2).ln().abs() < 0.3, "f2 {} vs {}", fit.f_pole2, f2);
+        prop_assert!(fit.rms_error_db < 0.5);
+    }
+
+    /// Interface compatibility is symmetric and reflexive under shuffles.
+    #[test]
+    fn interface_compatibility_is_order_insensitive(perm in prop::sample::subsequence(
+        vec![0usize, 1, 2, 3, 4], 5)
+    ) {
+        let kinds = [
+            PortKind::AnalogIn,
+            PortKind::AnalogOut,
+            PortKind::DigitalIn,
+            PortKind::DigitalOut,
+            PortKind::Supply,
+        ];
+        let base = BlockInterface::new(
+            "blk",
+            (0..5).map(|i| PortSpec::new(&format!("p{i}"), kinds[i])).collect(),
+        );
+        // Any permutation of the same port set stays compatible both ways.
+        let mut order: Vec<usize> = perm.clone();
+        for i in 0..5 {
+            if !order.contains(&i) {
+                order.push(i);
+            }
+        }
+        let shuffled = BlockInterface::new(
+            "blk2",
+            order.iter().map(|&i| PortSpec::new(&format!("p{i}"), kinds[i])).collect(),
+        );
+        prop_assert!(base.compatible_with(&shuffled).is_ok());
+        prop_assert!(shuffled.compatible_with(&base).is_ok());
+    }
+
+    /// Refinement plans: setting any subset of blocks to any fidelities,
+    /// the census always sums to the block count, and the completion
+    /// sequence always ends with no ideal blocks while never holding two
+    /// netlists at once.
+    #[test]
+    fn plan_invariants(assignments in prop::collection::vec(0u8..3, 8)) {
+        let mut plan = RefinementPlan::all_ideal("random");
+        for (block, &a) in uwb_ams_core::plan::BLOCKS.iter().zip(&assignments) {
+            let f = match a {
+                0 => Fidelity::Ideal,
+                1 => Fidelity::Behavioral,
+                _ => Fidelity::Circuit,
+            };
+            plan.set(block, f);
+        }
+        let (i, b, c) = plan.census();
+        prop_assert_eq!(i + b + c, 8);
+        // Completion from the behavioural-ised plan (clear extra netlists
+        // first, as the discipline demands).
+        let mut start = plan.clone();
+        for (block, f) in plan.iter().map(|(b, f)| (b.to_string(), f)).collect::<Vec<_>>() {
+            if f == Fidelity::Circuit {
+                start.set(&block, Fidelity::Behavioral);
+            }
+        }
+        for step in start.completion_sequence() {
+            prop_assert!(step.obeys_single_netlist_rule());
+        }
+    }
+
+    /// Tables render every row and CSV round-trips the cell count.
+    #[test]
+    fn table_rendering_is_total(rows in prop::collection::vec(
+        prop::collection::vec("[a-z0-9]{1,8}", 3..4), 0..6)
+    ) {
+        let mut t = Table::new("t", &["a", "b", "c"]);
+        for r in &rows {
+            t.push_row(r.clone());
+        }
+        let text = t.to_string();
+        for r in &rows {
+            for cell in r {
+                prop_assert!(text.contains(cell.as_str()));
+            }
+        }
+        let csv = t.to_csv();
+        prop_assert_eq!(csv.lines().count(), rows.len() + 1);
+    }
+
+    /// Series CSV merging keeps x-grid length and column counts coherent.
+    #[test]
+    fn series_merge_is_shape_stable(n in 1usize..20, k in 1usize..4) {
+        let series: Vec<Series> = (0..k)
+            .map(|j| {
+                Series::new(
+                    &format!("s{j}"),
+                    (0..n).map(|i| (i as f64, (i * j) as f64)).collect(),
+                )
+            })
+            .collect();
+        let refs: Vec<&Series> = series.iter().collect();
+        let csv = Series::merge_csv(&refs);
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header");
+        prop_assert_eq!(header.split(',').count(), k + 1);
+        prop_assert_eq!(lines.count(), n);
+    }
+}

@@ -1,0 +1,439 @@
+//! DC operating point: damped Newton-Raphson with gmin and source stepping.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::error::SpiceError;
+use crate::linalg::Matrix;
+use crate::mna::{assemble, AssembleMode, AssembleParams, MnaLayout};
+
+/// Newton iteration controls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum iterations per stage.
+    pub max_iter: usize,
+    /// Absolute voltage tolerance, V.
+    pub vntol: f64,
+    /// Relative tolerance.
+    pub reltol: f64,
+    /// Per-iteration clamp on node-voltage updates, V (damping).
+    pub max_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iter: 200,
+            vntol: 1e-6,
+            reltol: 1e-3,
+            max_step: 0.5,
+        }
+    }
+}
+
+/// One damped Newton solve at fixed `gmin`/`source_scale`.
+///
+/// Returns the converged solution or the last iterate with an error.
+pub(crate) fn newton_solve(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    x0: &[f64],
+    mode: AssembleMode<'_>,
+    t: f64,
+    externals: &[f64],
+    gmin: f64,
+    source_scale: f64,
+    opts: &NewtonOptions,
+    iter_count: &mut usize,
+) -> Result<Vec<f64>, SpiceError> {
+    let n = layout.size();
+    let mut x = x0.to_vec();
+    let mut mat = Matrix::zeros(n);
+    let mut rhs = vec![0.0; n];
+    let params = AssembleParams {
+        t,
+        externals,
+        gmin,
+        source_scale,
+    };
+    let n_volt = layout.n_nodes() - 1;
+    let mut last_delta = f64::INFINITY;
+    for _ in 0..opts.max_iter {
+        *iter_count += 1;
+        assemble(circuit, layout, &x, mode, &params, &mut mat, &mut rhs);
+        let mut x_new = rhs.clone();
+        if !mat.solve_in_place(&mut x_new) {
+            return Err(SpiceError::Singular { analysis: "dcop" });
+        }
+        // Damping: clamp the largest node-voltage update.
+        let mut max_dv = 0.0f64;
+        for i in 0..n_volt {
+            max_dv = max_dv.max((x_new[i] - x[i]).abs());
+        }
+        let scale = if max_dv > opts.max_step {
+            opts.max_step / max_dv
+        } else {
+            1.0
+        };
+        let mut converged = scale == 1.0;
+        for i in 0..n {
+            let delta = (x_new[i] - x[i]) * scale;
+            x[i] += delta;
+            if i < n_volt && delta.abs() > opts.vntol + opts.reltol * x[i].abs() {
+                converged = false;
+            }
+        }
+        last_delta = max_dv * scale;
+        if converged {
+            if x.iter().any(|v| !v.is_finite()) {
+                return Err(SpiceError::Singular { analysis: "dcop" });
+            }
+            return Ok(x);
+        }
+    }
+    Err(SpiceError::DcopDiverged {
+        iterations: *iter_count,
+        delta: last_delta,
+    })
+}
+
+/// A converged DC solution.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    /// Raw unknown vector.
+    pub x: Vec<f64>,
+    pub(crate) layout: MnaLayout,
+    /// Total Newton iterations spent (including homotopy stages).
+    pub iterations: usize,
+}
+
+impl DcSolution {
+    /// Voltage of `node`.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.layout.voltage(&self.x, node)
+    }
+
+    /// The layout used (for follow-on analyses).
+    pub fn layout(&self) -> &MnaLayout {
+        &self.layout
+    }
+
+    /// Per-MOSFET bias report: name, operating region, drain current and
+    /// small-signal gm — the working view an analog designer checks first
+    /// after an operating point.
+    pub fn mosfet_report(&self, circuit: &Circuit) -> Vec<MosfetBias> {
+        use crate::circuit::Element;
+        use crate::mosfet::eval_mosfet;
+        let v = |n| self.layout.voltage(&self.x, n);
+        circuit
+            .elements()
+            .iter()
+            .filter_map(|(name, e)| match e {
+                Element::Mosfet {
+                    d,
+                    g,
+                    s: src,
+                    b,
+                    model,
+                    w,
+                    l,
+                } => {
+                    let (ev, _) =
+                        eval_mosfet(&circuit.models[*model].1, *w, *l, v(*g), v(*d), v(*src), v(*b));
+                    Some(MosfetBias {
+                        name: name.clone(),
+                        region: ev.region,
+                        ids: ev.ids,
+                        gm: ev.gm,
+                        vgs: v(*g) - v(*src),
+                        vds: v(*d) - v(*src),
+                    })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// One MOSFET's bias point (see [`DcSolution::mosfet_report`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosfetBias {
+    /// Element name.
+    pub name: String,
+    /// Operating region.
+    pub region: crate::mosfet::MosRegion,
+    /// Drain current (drain→source convention), A.
+    pub ids: f64,
+    /// Transconductance, S.
+    pub gm: f64,
+    /// Gate-source voltage, V.
+    pub vgs: f64,
+    /// Drain-source voltage, V.
+    pub vds: f64,
+}
+
+impl std::fmt::Display for MosfetBias {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>8}: {:?}, Ids = {:+.3e} A, gm = {:.3e} S, Vgs = {:+.3} V, Vds = {:+.3} V",
+            self.name, self.region, self.ids, self.gm, self.vgs, self.vds
+        )
+    }
+}
+
+/// Final gmin used once homotopy succeeds.
+pub(crate) const GMIN_FINAL: f64 = 1e-12;
+
+/// Computes the DC operating point of `circuit` with external inputs.
+///
+/// Strategy: plain Newton at `gmin = 1e-12`; on failure, gmin stepping from
+/// 1e-3 down; on failure, source stepping 0.1 → 1.0 with gmin relaxed.
+///
+/// # Errors
+///
+/// [`SpiceError::DcopDiverged`] if every homotopy fails, or
+/// [`SpiceError::Singular`] for structurally defective circuits.
+pub fn dcop_with(circuit: &Circuit, externals: &[f64]) -> Result<DcSolution, SpiceError> {
+    let layout = MnaLayout::new(circuit);
+    let opts = NewtonOptions::default();
+    let x0 = vec![0.0; layout.size()];
+    let mut iters = 0usize;
+
+    // Stage 1: direct.
+    if let Ok(x) = newton_solve(
+        circuit,
+        &layout,
+        &x0,
+        AssembleMode::Dc,
+        0.0,
+        externals,
+        GMIN_FINAL,
+        1.0,
+        &opts,
+        &mut iters,
+    ) {
+        return Ok(DcSolution {
+            x,
+            layout,
+            iterations: iters,
+        });
+    }
+
+    // Stage 2: gmin stepping.
+    let mut x = x0.clone();
+    let mut ok = true;
+    for exp in [3, 4, 5, 6, 7, 8, 9, 10, 11, 12] {
+        let gmin = 10f64.powi(-exp);
+        match newton_solve(
+            circuit,
+            &layout,
+            &x,
+            AssembleMode::Dc,
+            0.0,
+            externals,
+            gmin,
+            1.0,
+            &opts,
+            &mut iters,
+        ) {
+            Ok(sol) => x = sol,
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        return Ok(DcSolution {
+            x,
+            layout,
+            iterations: iters,
+        });
+    }
+
+    // Stage 3: source stepping (at modest gmin, then tighten).
+    let mut x = x0;
+    for step in 1..=10 {
+        let scale = step as f64 / 10.0;
+        x = newton_solve(
+            circuit,
+            &layout,
+            &x,
+            AssembleMode::Dc,
+            0.0,
+            externals,
+            1e-9,
+            scale,
+            &opts,
+            &mut iters,
+        )
+        .map_err(|_| SpiceError::DcopDiverged {
+            iterations: iters,
+            delta: f64::NAN,
+        })?;
+    }
+    let x = newton_solve(
+        circuit,
+        &layout,
+        &x,
+        AssembleMode::Dc,
+        0.0,
+        externals,
+        GMIN_FINAL,
+        1.0,
+        &opts,
+        &mut iters,
+    )?;
+    Ok(DcSolution {
+        x,
+        layout,
+        iterations: iters,
+    })
+}
+
+/// [`dcop_with`] for circuits without external inputs.
+///
+/// # Errors
+///
+/// See [`dcop_with`].
+pub fn dcop(circuit: &Circuit) -> Result<DcSolution, SpiceError> {
+    dcop_with(circuit, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::SourceWave;
+    use crate::mosfet::MosParams;
+
+    #[test]
+    fn divider_op() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), SourceWave::Dc(1.8));
+        c.resistor("R1", a, b, 10e3);
+        c.resistor("R2", b, Circuit::gnd(), 20e3);
+        let op = dcop(&c).unwrap();
+        assert!((op.voltage(b) - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_connected_nmos_settles() {
+        // Vdd -- R -- drain=gate of NMOS to ground: classic bias leg.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        c.add_model("nch", MosParams::nmos_018());
+        c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
+        c.resistor("RB", vdd, d, 10e3);
+        c.mosfet("M1", d, d, Circuit::gnd(), Circuit::gnd(), "nch", 10e-6, 1e-6)
+            .unwrap();
+        let op = dcop(&c).unwrap();
+        let vgs = op.voltage(d);
+        // Must sit above threshold, below supply.
+        assert!(vgs > 0.45 && vgs < 1.2, "vgs = {vgs}");
+        // KCL check: resistor current equals device saturation current.
+        let ir = (1.8 - vgs) / 10e3;
+        let p = MosParams::nmos_018();
+        let (ev, _) = crate::mosfet::eval_mosfet(&p, 10e-6, 1e-6, vgs, vgs, 0.0, 0.0);
+        assert!((ir - ev.ids).abs() / ir < 1e-3, "ir={ir}, ids={}", ev.ids);
+    }
+
+    #[test]
+    fn nmos_inverter_transfer_points() {
+        // NMOS common-source with resistive load.
+        let build = |vin: f64| {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let vi = c.node("in");
+            let vo = c.node("out");
+            c.add_model("nch", MosParams::nmos_018());
+            c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
+            c.vsource("VIN", vi, Circuit::gnd(), SourceWave::Dc(vin));
+            c.resistor("RL", vdd, vo, 10e3);
+            c.mosfet("M1", vo, vi, Circuit::gnd(), Circuit::gnd(), "nch", 10e-6, 1e-6)
+                .unwrap();
+            dcop(&c).unwrap().voltage(vo)
+        };
+        let off = build(0.0);
+        let on = build(1.8);
+        assert!((off - 1.8).abs() < 1e-3, "off-state output = {off}");
+        assert!(on < 0.2, "on-state output = {on}");
+    }
+
+    #[test]
+    fn cmos_inverter_rails() {
+        let build = |vin: f64| {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let vi = c.node("in");
+            let vo = c.node("out");
+            c.add_model("nch", MosParams::nmos_018());
+            c.add_model("pch", MosParams::pmos_018());
+            c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
+            c.vsource("VIN", vi, Circuit::gnd(), SourceWave::Dc(vin));
+            c.mosfet("MN", vo, vi, Circuit::gnd(), Circuit::gnd(), "nch", 2e-6, 0.18e-6)
+                .unwrap();
+            c.mosfet("MP", vo, vi, vdd, vdd, "pch", 6e-6, 0.18e-6).unwrap();
+            dcop(&c).unwrap().voltage(vo)
+        };
+        assert!(build(0.0) > 1.75);
+        assert!(build(1.8) < 0.05);
+        let mid = build(0.9);
+        assert!(mid > 0.2 && mid < 1.6, "mid transfer = {mid}");
+    }
+
+    #[test]
+    fn current_mirror_ratio() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let ref_n = c.node("ref");
+        let out = c.node("out");
+        c.add_model("nch", MosParams::nmos_018());
+        c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
+        // 100 µA into the diode device.
+        c.isource("IB", vdd, ref_n, SourceWave::Dc(100e-6));
+        c.mosfet("M1", ref_n, ref_n, Circuit::gnd(), Circuit::gnd(), "nch", 10e-6, 1e-6)
+            .unwrap();
+        // Mirror 2× into a resistor load.
+        c.mosfet("M2", out, ref_n, Circuit::gnd(), Circuit::gnd(), "nch", 20e-6, 1e-6)
+            .unwrap();
+        c.resistor("RL", vdd, out, 3e3);
+        let op = dcop(&c).unwrap();
+        let i_out = (1.8 - op.voltage(out)) / 3e3;
+        // ~200 µA (λ mismatch allows a tolerance).
+        assert!((i_out - 200e-6).abs() < 30e-6, "i_out = {i_out}");
+    }
+
+    #[test]
+    fn transmission_gate_passes_voltage() {
+        // NMOS+PMOS pass gate driven on, passing 0.9 V to a load.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let src = c.node("src");
+        let dst = c.node("dst");
+        c.add_model("nch", MosParams::nmos_018());
+        c.add_model("pch", MosParams::pmos_018());
+        c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
+        c.vsource("VS", src, Circuit::gnd(), SourceWave::Dc(0.9));
+        c.mosfet("MN", src, vdd, dst, Circuit::gnd(), "nch", 5e-6, 0.18e-6)
+            .unwrap();
+        c.mosfet("MP", src, Circuit::gnd(), dst, vdd, "pch", 10e-6, 0.18e-6)
+            .unwrap();
+        c.resistor("RL", dst, Circuit::gnd(), 1e6);
+        let op = dcop(&c).unwrap();
+        assert!((op.voltage(dst) - 0.9).abs() < 0.02, "v = {}", op.voltage(dst));
+    }
+
+    #[test]
+    fn floating_node_is_held_by_gmin_not_fatal() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), SourceWave::Dc(1.0));
+        c.resistor("R1", a, b, 1e3);
+        // b only connects through R1: gmin to ground defines it.
+        let op = dcop(&c).unwrap();
+        assert!((op.voltage(b) - 1.0).abs() < 1e-3);
+    }
+}

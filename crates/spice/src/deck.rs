@@ -1,0 +1,263 @@
+//! Deck execution: run the analyses a SPICE deck asks for.
+//!
+//! [`run_deck`] parses a netlist, honours its `.tran`, `.ac` and `.print`
+//! cards and returns the requested waveforms — the closest thing to handing
+//! a deck to Eldo on the command line.
+
+use crate::ac::{ac_analysis, log_sweep, AcSweep};
+use crate::circuit::{Circuit, NodeId};
+use crate::dcop::{dcop, DcSolution};
+use crate::error::SpiceError;
+use crate::netlist::{parse_deck, parse_value};
+use crate::tran::{TranOptions, TransientSimulator};
+
+/// Transient analysis request (`.tran tstep tstop`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranCard {
+    /// Step, s.
+    pub tstep: f64,
+    /// Stop time, s.
+    pub tstop: f64,
+}
+
+/// AC analysis request (`.ac dec n fstart fstop`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcCard {
+    /// Points per decade.
+    pub points_per_decade: usize,
+    /// Start frequency, Hz.
+    pub f_start: f64,
+    /// Stop frequency, Hz.
+    pub f_stop: f64,
+}
+
+/// The analyses found in a deck.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeckAnalyses {
+    /// `.tran` card, if present.
+    pub tran: Option<TranCard>,
+    /// `.ac` card, if present.
+    pub ac: Option<AcCard>,
+    /// Node names from `.print` cards (all non-ground nodes when absent).
+    pub prints: Vec<String>,
+}
+
+/// A sampled transient waveform for one printed node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranTrace {
+    /// Node name.
+    pub node: String,
+    /// Sample times, s.
+    pub times: Vec<f64>,
+    /// Node voltages, V.
+    pub values: Vec<f64>,
+}
+
+/// Everything a deck run produced.
+#[derive(Debug)]
+pub struct DeckRun {
+    /// The parsed circuit.
+    pub circuit: Circuit,
+    /// The analyses that were requested.
+    pub analyses: DeckAnalyses,
+    /// DC operating point (always computed).
+    pub op: DcSolution,
+    /// Transient traces (one per printed node) when `.tran` was present.
+    pub tran: Vec<TranTrace>,
+    /// AC sweep when `.ac` was present.
+    pub ac: Option<AcSweep>,
+}
+
+impl DeckRun {
+    /// Finds a transient trace by node name.
+    pub fn trace(&self, node: &str) -> Option<&TranTrace> {
+        let key = node.to_ascii_lowercase();
+        self.tran.iter().find(|t| t.node == key)
+    }
+}
+
+/// Extracts analysis cards from a deck's dot-lines.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::Parse`] for malformed cards.
+pub fn parse_analyses(deck: &str) -> Result<DeckAnalyses, SpiceError> {
+    let mut out = DeckAnalyses::default();
+    for (ln, raw) in deck.lines().enumerate() {
+        let line = raw.trim();
+        let lower = line.to_ascii_lowercase();
+        let err = |message: String| SpiceError::Parse {
+            line: ln + 1,
+            message,
+        };
+        if lower.starts_with(".tran") {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() < 3 {
+                return Err(err(".tran needs: tstep tstop".into()));
+            }
+            out.tran = Some(TranCard {
+                tstep: parse_value(toks[1]).map_err(&err)?,
+                tstop: parse_value(toks[2]).map_err(&err)?,
+            });
+        } else if lower.starts_with(".ac") {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() < 5 || !toks[1].eq_ignore_ascii_case("dec") {
+                return Err(err(".ac needs: dec n fstart fstop".into()));
+            }
+            out.ac = Some(AcCard {
+                points_per_decade: parse_value(toks[2]).map_err(&err)? as usize,
+                f_start: parse_value(toks[3]).map_err(&err)?,
+                f_stop: parse_value(toks[4]).map_err(&err)?,
+            });
+        } else if lower.starts_with(".print") {
+            for tok in line.split_whitespace().skip(1) {
+                // Accept both `v(node)` and bare `node`.
+                let name = tok
+                    .trim_start_matches("V(")
+                    .trim_start_matches("v(")
+                    .trim_end_matches(')');
+                out.prints.push(name.to_ascii_lowercase());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses and runs a deck: DC operating point always, plus the `.tran`
+/// and `.ac` analyses it requests.
+///
+/// # Errors
+///
+/// Propagates parse and analysis failures.
+///
+/// # Examples
+///
+/// ```
+/// use spice::deck::run_deck;
+///
+/// # fn main() -> Result<(), spice::SpiceError> {
+/// let run = run_deck(r"
+/// * RC step response
+/// V1 in 0 PULSE(0 1 0 1p 1p 1 1)
+/// R1 in out 1k
+/// C1 out 0 1n
+/// .tran 2n 3u
+/// .print v(out)
+/// ")?;
+/// let out = run.trace("out").expect("printed node");
+/// let last = *out.values.last().expect("samples");
+/// assert!((last - 0.95).abs() < 0.05); // ~3 time constants
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_deck(deck: &str) -> Result<DeckRun, SpiceError> {
+    let circuit = parse_deck(deck)?;
+    let mut analyses = parse_analyses(deck)?;
+    if analyses.prints.is_empty() {
+        analyses.prints = (1..circuit.num_nodes())
+            .map(|i| circuit.node_name(NodeId(i)).to_string())
+            .collect();
+    }
+    let op = dcop(&circuit)?;
+
+    let print_nodes: Vec<(String, NodeId)> = analyses
+        .prints
+        .iter()
+        .filter_map(|name| circuit.find_node(name).map(|id| (name.clone(), id)))
+        .collect();
+
+    let mut tran = Vec::new();
+    if let Some(card) = analyses.tran {
+        let mut sim = TransientSimulator::new(circuit.clone(), TranOptions::default())?;
+        let mut times = vec![0.0];
+        let mut values: Vec<Vec<f64>> =
+            print_nodes.iter().map(|&(_, id)| vec![sim.voltage(id)]).collect();
+        let steps = (card.tstop / card.tstep).round() as usize;
+        for _ in 0..steps {
+            sim.step(card.tstep)?;
+            times.push(sim.time());
+            for (col, &(_, id)) in values.iter_mut().zip(&print_nodes) {
+                col.push(sim.voltage(id));
+            }
+        }
+        tran = print_nodes
+            .iter()
+            .zip(values)
+            .map(|(&(ref name, _), vals)| TranTrace {
+                node: name.clone(),
+                times: times.clone(),
+                values: vals,
+            })
+            .collect();
+    }
+
+    let ac = match analyses.ac {
+        Some(card) => Some(ac_analysis(
+            &circuit,
+            &[],
+            &log_sweep(card.f_start, card.f_stop, card.points_per_decade),
+        )?),
+        None => None,
+    };
+
+    Ok(DeckRun {
+        circuit,
+        analyses,
+        op,
+        tran,
+        ac,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_cards() {
+        let a = parse_analyses(
+            ".tran 1n 10u\n.ac dec 10 1k 1meg\n.print v(out) in\n",
+        )
+        .unwrap();
+        let t = a.tran.unwrap();
+        assert!((t.tstep - 1e-9).abs() < 1e-21);
+        assert!((t.tstop - 10e-6).abs() < 1e-12);
+        let ac = a.ac.unwrap();
+        assert_eq!(ac.points_per_decade, 10);
+        assert_eq!(ac.f_stop, 1e6);
+        assert_eq!(a.prints, vec!["out", "in"]);
+    }
+
+    #[test]
+    fn malformed_cards_error_with_line() {
+        let e = parse_analyses("\n.tran 1n\n").unwrap_err();
+        match e {
+            SpiceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_analyses(".ac lin 5 1 10\n").is_err());
+    }
+
+    #[test]
+    fn deck_with_ac_runs_sweep() {
+        let run = run_deck(
+            "V1 in 0 DC 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n.ac dec 5 1k 100meg\n.print v(out)\n",
+        )
+        .unwrap();
+        let sweep = run.ac.expect("ac ran");
+        let out = run.circuit.find_node("out").unwrap();
+        let g = sweep.gain_db(out, Circuit::gnd());
+        assert!(g[0].abs() < 0.1);
+        assert!(*g.last().unwrap() < -30.0);
+        assert!(run.tran.is_empty());
+    }
+
+    #[test]
+    fn print_defaults_to_all_nodes() {
+        let run = run_deck("V1 a 0 DC 1\nR1 a b 1k\nR2 b 0 1k\n.tran 1u 5u\n").unwrap();
+        assert_eq!(run.tran.len(), 2);
+        assert!(run.trace("b").is_some());
+        let b = run.trace("b").unwrap();
+        assert!((b.values.last().unwrap() - 0.5).abs() < 1e-6);
+    }
+}

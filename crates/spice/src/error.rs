@@ -1,0 +1,97 @@
+//! Error types for the circuit simulator.
+
+use std::fmt;
+
+/// Any failure raised by circuit construction or analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// The DC operating point iteration failed to converge.
+    DcopDiverged {
+        /// Iterations attempted across all homotopy stages.
+        iterations: usize,
+        /// Final voltage-update norm.
+        delta: f64,
+    },
+    /// A matrix factorisation failed (floating node or degenerate circuit).
+    Singular {
+        /// Analysis in which it occurred ("dcop", "tran", "ac").
+        analysis: &'static str,
+    },
+    /// Newton failed during a transient step.
+    TranDiverged {
+        /// Time of the failing step in seconds.
+        t: f64,
+    },
+    /// A netlist line could not be parsed.
+    Parse {
+        /// 1-based line number in the deck.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A referenced model name was never defined.
+    UnknownModel {
+        /// The missing model name.
+        name: String,
+    },
+    /// An element or node lookup by name failed.
+    UnknownName {
+        /// The name that could not be resolved.
+        name: String,
+    },
+    /// An element was built with an invalid parameter.
+    InvalidParameter {
+        /// Element name.
+        element: String,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::DcopDiverged { iterations, delta } => write!(
+                f,
+                "dc operating point failed to converge after {iterations} iterations (last delta {delta:.3e})"
+            ),
+            SpiceError::Singular { analysis } => {
+                write!(f, "singular MNA matrix during {analysis} (floating node?)")
+            }
+            SpiceError::TranDiverged { t } => {
+                write!(f, "transient newton diverged at t = {t:.4e} s")
+            }
+            SpiceError::Parse { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
+            SpiceError::UnknownModel { name } => write!(f, "unknown model '{name}'"),
+            SpiceError::UnknownName { name } => write!(f, "unknown element or node '{name}'"),
+            SpiceError::InvalidParameter { element, message } => {
+                write!(f, "invalid parameter on '{element}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SpiceError::DcopDiverged {
+            iterations: 300,
+            delta: 0.5,
+        };
+        assert!(e.to_string().contains("300"));
+        let e = SpiceError::Parse {
+            line: 4,
+            message: "bad value".into(),
+        };
+        assert!(e.to_string().contains("line 4"));
+        let e = SpiceError::Singular { analysis: "ac" };
+        assert!(e.to_string().contains("ac"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # spice — a transistor-level circuit simulator
+//!
+//! The Rust stand-in for the Eldo/Spice layer of the paper's methodology:
+//! modified nodal analysis with
+//!
+//! * DC operating point ([`dcop()`]) — damped Newton-Raphson with gmin and
+//!   source stepping homotopies,
+//! * small-signal AC sweeps ([`ac::ac_analysis`]) on the linearised circuit,
+//! * Backward-Euler transient ([`tran::TransientSimulator`]) with
+//!   per-step Newton and external (co-simulation) source slots,
+//! * Level-1 MOSFETs with body effect and Meyer capacitances
+//!   ([`mosfet::MosParams`]), resistors, capacitors, controlled sources and
+//!   smooth switches,
+//! * a SPICE-deck parser ([`netlist::parse_deck`]) with executable `.tran`,
+//!   `.ac` and `.print` cards ([`deck::run_deck`]), and
+//! * the paper's CMOS Integrate & Dump cell ([`library::integrate_dump`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use spice::circuit::{Circuit, SourceWave};
+//! use spice::dcop::dcop;
+//!
+//! # fn main() -> Result<(), spice::SpiceError> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.vsource("V1", vin, Circuit::gnd(), SourceWave::Dc(1.8));
+//! ckt.resistor("R1", vin, out, 1e3);
+//! ckt.resistor("R2", out, Circuit::gnd(), 2e3);
+//! let op = dcop(&ckt)?;
+//! assert!((op.voltage(out) - 1.2).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ac;
+pub mod circuit;
+pub mod deck;
+pub mod dcop;
+pub mod error;
+pub mod library;
+pub mod linalg;
+pub mod mna;
+pub mod mosfet;
+pub mod netlist;
+pub mod tran;
+
+pub use ac::{ac_analysis, log_sweep, AcSweep};
+pub use circuit::{Circuit, Element, NodeId, SourceWave};
+pub use dcop::{dcop, dcop_with, DcSolution, NewtonOptions};
+pub use error::SpiceError;
+pub use mosfet::{MosParams, MosType};
+pub use deck::run_deck;
+pub use tran::{Method as TranMethod, TranOptions, TransientSimulator};

@@ -1,0 +1,373 @@
+//! The paper's Figure 3: fully differential current-mode CMOS
+//! Integrate & Dump cell.
+//!
+//! Structure (31 transistors):
+//!
+//! * **two auto-biasing networks** — resistor-referenced stacked-diode legs
+//!   generating the NMOS tail reference and the PMOS current-source
+//!   reference (4 devices),
+//! * **transconductance amplifier** — per side, a low-Vt source-follower
+//!   input device whose current is sensed by a diode and *mirrored with
+//!   ratio ≈ 2 into the output stage* (no output cascode, preserving the
+//!   1.6 V swing the paper quotes), with auxiliary standing-current sinks
+//!   (10 devices),
+//! * **CMFB network** — source-follower sensors on the two high-impedance
+//!   output nodes, a matched reference shifter and a five-transistor error
+//!   amplifier steering the PMOS loads (11 devices),
+//! * **integration switches** — two transmission gates connecting the OTA
+//!   outputs to the 1 pF integration capacitor plus one reset transmission
+//!   gate across it (6 devices).
+//!
+//! Control semantics, as in the paper: `Controlp` high / `Controlm` low
+//! integrates (and naturally *holds* whenever the rectified UWB input is
+//! quiet); `Controlp` low / `Controlm` high dumps the accumulated charge.
+
+use crate::circuit::{Circuit, NodeId, SourceWave};
+use crate::mosfet::MosParams;
+
+/// Geometry and value parameters of the I&D cell.
+///
+/// Defaults are tuned so the AC response approximates the paper's Figure 4:
+/// ~21 dB DC gain, first pole below 1 MHz, integrator behaviour through
+/// 10 MHz–1 GHz, second pole in the GHz range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegrateDumpParams {
+    /// Supply voltage, V.
+    pub vdd: f64,
+    /// Integration capacitor across the differential outputs, F.
+    pub c_int: f64,
+    /// Bias-leg resistors, Ω.
+    pub r_bias: f64,
+    /// Input source-follower W, m (the paper's aspect-ratio-20 devices).
+    pub w_sf: f64,
+    /// Diode current-sensor W, m.
+    pub w_diode: f64,
+    /// Output mirror W, m (ratio ≈ 2 × diode for bandwidth).
+    pub w_mirror: f64,
+    /// PMOS load W, m.
+    pub w_load: f64,
+    /// Shared channel length of the core devices, m.
+    pub l_core: f64,
+    /// Switch transistor W, m.
+    pub w_switch: f64,
+    /// CMFB loop compensation capacitor, F.
+    pub c_cmfb: f64,
+    /// Output common-mode target as a fraction of `vdd`.
+    pub vcm_frac: f64,
+}
+
+impl Default for IntegrateDumpParams {
+    fn default() -> Self {
+        // Calibrated against the paper's Figure 4: DC gain ≈ 24 dB
+        // (paper: 21 dB), first pole ≈ 0.887 MHz (paper: 0.886 MHz),
+        // −20 dB/dec through 10 MHz–1 GHz, second pole in the GHz range.
+        IntegrateDumpParams {
+            vdd: 1.8,
+            c_int: 1e-12,
+            r_bias: 150e3,
+            w_sf: 2e-6,
+            w_diode: 1.4e-6,
+            w_mirror: 2.8e-6,
+            w_load: 24e-6,
+            l_core: 0.61e-6,
+            w_switch: 8e-6,
+            c_cmfb: 2e-12,
+            vcm_frac: 0.5,
+        }
+    }
+}
+
+/// Interface nodes of an instantiated I&D cell (Figure 3's port list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrateDumpPorts {
+    /// Positive analog input.
+    pub inp: NodeId,
+    /// Negative analog input.
+    pub inm: NodeId,
+    /// Integration control (high = integrate).
+    pub controlp: NodeId,
+    /// Dump control (high = dump).
+    pub controlm: NodeId,
+    /// Positive integrated output (capacitor plate).
+    pub out_intp: NodeId,
+    /// Negative integrated output (capacitor plate).
+    pub out_intm: NodeId,
+    /// Supply node.
+    pub vdd: NodeId,
+}
+
+/// Instantiates the I&D cell into `ckt`; node names are prefixed with
+/// `prefix` so several instances can coexist.
+///
+/// The caller is responsible for driving `vdd`, both inputs and both
+/// control rails (see [`integrate_dump_testbench`] for a self-contained
+/// bench).
+pub fn integrate_dump(
+    ckt: &mut Circuit,
+    prefix: &str,
+    params: &IntegrateDumpParams,
+) -> IntegrateDumpPorts {
+    let p = params;
+    let gnd = Circuit::gnd();
+    let n = |ckt: &mut Circuit, s: &str| ckt.node(&format!("{prefix}{s}"));
+
+    // Models (idempotent to register repeatedly: lookups are by name and
+    // the first match wins, so register only if absent).
+    for (name, model) in [
+        ("id_nch", MosParams::nmos_018()),
+        ("id_pch", MosParams::pmos_018()),
+        ("id_nlv", MosParams::nmos_lv_018()),
+        ("id_plv", MosParams::pmos_lv_018()),
+    ] {
+        if ckt.find_model(name).is_none() {
+            ckt.add_model(name, model);
+        }
+    }
+
+    let vdd = n(ckt, "vdd");
+    let inp = n(ckt, "inp");
+    let inm = n(ckt, "inm");
+    let ctlp = n(ckt, "controlp");
+    let ctlm = n(ckt, "controlm");
+    let outp = n(ckt, "out_intp");
+    let outm = n(ckt, "out_intm");
+
+    let m = |ckt: &mut Circuit, name: &str, d, g, s, b, model: &str, w: f64, l: f64| {
+        ckt.mosfet(&format!("{prefix}{name}"), d, g, s, b, model, w, l)
+            .expect("models registered above");
+    };
+
+    // ---- Bias network 1: NMOS reference (stacked diodes from a resistor).
+    let nb1 = n(ckt, "nb1");
+    let nb2 = n(ckt, "nb2"); // = Vbias1 (tail/sink gate)
+    ckt.resistor(&format!("{prefix}RB1"), vdd, nb1, p.r_bias);
+    m(ckt, "MB1", nb1, nb1, nb2, gnd, "id_nch", 10e-6, 1e-6);
+    m(ckt, "MB2", nb2, nb2, gnd, gnd, "id_nch", 10e-6, 1e-6);
+
+    // ---- Bias network 2: PMOS reference. pb2 = Vbias2 (PMOS source gate).
+    let pb1 = n(ckt, "pb1");
+    let pb2 = n(ckt, "pb2");
+    ckt.resistor(&format!("{prefix}RB2"), pb1, gnd, p.r_bias);
+    m(ckt, "MB3", pb1, pb1, pb2, vdd, "id_pch", 20e-6, 1e-6);
+    m(ckt, "MB4", pb2, pb2, vdd, vdd, "id_pch", 20e-6, 1e-6);
+
+    // ---- Transconductance amplifier, side A (input inp → output ota_m).
+    let vcmfb = n(ckt, "vcmfb");
+    let sfa = n(ckt, "sfa");
+    let ota_m = n(ckt, "ota_m");
+    m(ckt, "M1", vdd, inp, sfa, gnd, "id_nlv", p.w_sf, p.l_core);
+    m(ckt, "M2", sfa, sfa, gnd, gnd, "id_nlv", p.w_diode, p.l_core);
+    m(ckt, "M9", sfa, nb2, gnd, gnd, "id_nch", 4e-6, 2e-6);
+    m(ckt, "M3", ota_m, sfa, gnd, gnd, "id_nlv", p.w_mirror, p.l_core);
+    m(ckt, "M4", ota_m, vcmfb, vdd, vdd, "id_pch", p.w_load, 1e-6);
+
+    // ---- Side B (input inm → output ota_p).
+    let sfb = n(ckt, "sfb");
+    let ota_p = n(ckt, "ota_p");
+    m(ckt, "M5", vdd, inm, sfb, gnd, "id_nlv", p.w_sf, p.l_core);
+    m(ckt, "M6", sfb, sfb, gnd, gnd, "id_nlv", p.w_diode, p.l_core);
+    m(ckt, "M10", sfb, nb2, gnd, gnd, "id_nch", 4e-6, 2e-6);
+    m(ckt, "M7", ota_p, sfb, gnd, gnd, "id_nlv", p.w_mirror, p.l_core);
+    m(ckt, "M8", ota_p, vcmfb, vdd, vdd, "id_pch", p.w_load, 1e-6);
+
+    // ---- CMFB: PMOS source-follower sensors on the floating OTA outputs.
+    let sen_p = n(ckt, "sen_p");
+    let sen_m = n(ckt, "sen_m");
+    let vcm = n(ckt, "vcm");
+    m(ckt, "MS1C", sen_p, pb2, vdd, vdd, "id_pch", 8e-6, 1e-6);
+    m(ckt, "MS1", gnd, ota_p, sen_p, vdd, "id_plv", 8e-6, 1e-6);
+    m(ckt, "MS2C", sen_m, pb2, vdd, vdd, "id_pch", 8e-6, 1e-6);
+    m(ckt, "MS2", gnd, ota_m, sen_m, vdd, "id_plv", 8e-6, 1e-6);
+    ckt.resistor(&format!("{prefix}RCM1"), sen_p, vcm, 100e3);
+    ckt.resistor(&format!("{prefix}RCM2"), sen_m, vcm, 100e3);
+
+    // Matched reference shifter from a resistive divider.
+    let vref0 = n(ckt, "vref0");
+    let sen_r = n(ckt, "sen_r");
+    let r_top = p.r_bias * (1.0 - p.vcm_frac) / p.vcm_frac;
+    ckt.resistor(&format!("{prefix}RR1"), vdd, vref0, r_top.max(1.0));
+    ckt.resistor(&format!("{prefix}RR2"), vref0, gnd, p.r_bias);
+    m(ckt, "MS3C", sen_r, pb2, vdd, vdd, "id_pch", 8e-6, 1e-6);
+    m(ckt, "MS3", gnd, vref0, sen_r, vdd, "id_plv", 8e-6, 1e-6);
+
+    // Five-transistor error amplifier: out = vcmfb drives the PMOS loads.
+    let tail = n(ckt, "cm_tail");
+    let cma = n(ckt, "cma");
+    m(ckt, "MC1", cma, vcm, tail, gnd, "id_nch", 8e-6, 1e-6);
+    m(ckt, "MC2", vcmfb, sen_r, tail, gnd, "id_nch", 8e-6, 1e-6);
+    m(ckt, "MC3", tail, nb2, gnd, gnd, "id_nch", 8e-6, 1e-6);
+    m(ckt, "MC4", cma, cma, vdd, vdd, "id_pch", 8e-6, 1e-6);
+    m(ckt, "MC5", vcmfb, cma, vdd, vdd, "id_pch", 8e-6, 1e-6);
+    ckt.capacitor(&format!("{prefix}CCMFB"), vcmfb, gnd, p.c_cmfb);
+
+    // ---- Integration switches: two pass TGs + one reset TG.
+    m(ckt, "MT1", ota_p, ctlp, outp, gnd, "id_nch", p.w_switch, 0.18e-6);
+    m(ckt, "MT2", ota_p, ctlm, outp, vdd, "id_pch", 2.0 * p.w_switch, 0.18e-6);
+    m(ckt, "MT3", ota_m, ctlp, outm, gnd, "id_nch", p.w_switch, 0.18e-6);
+    m(ckt, "MT4", ota_m, ctlm, outm, vdd, "id_pch", 2.0 * p.w_switch, 0.18e-6);
+    m(ckt, "MT5", outp, ctlm, outm, gnd, "id_nch", p.w_switch, 0.18e-6);
+    m(ckt, "MT6", outp, ctlp, outm, vdd, "id_pch", 2.0 * p.w_switch, 0.18e-6);
+
+    // ---- Integration capacitor.
+    ckt.capacitor(&format!("{prefix}CINT"), outp, outm, p.c_int);
+
+    IntegrateDumpPorts {
+        inp,
+        inm,
+        controlp: ctlp,
+        controlm: ctlm,
+        out_intp: outp,
+        out_intm: outm,
+        vdd,
+    }
+}
+
+/// A self-contained I&D bench: supply, externally-driven differential
+/// inputs and control rails.
+#[derive(Debug, Clone)]
+pub struct IntegrateDumpTestbench {
+    /// The complete circuit.
+    pub circuit: Circuit,
+    /// Cell ports.
+    pub ports: IntegrateDumpPorts,
+    /// External slot driving `inp`, V.
+    pub slot_inp: usize,
+    /// External slot driving `inm`, V.
+    pub slot_inm: usize,
+    /// External slot driving `controlp` (0 / vdd).
+    pub slot_controlp: usize,
+    /// External slot driving `controlm` (0 / vdd).
+    pub slot_controlm: usize,
+    /// Common-mode voltage the inputs should ride on, V.
+    pub input_cm: f64,
+}
+
+/// Builds [`IntegrateDumpTestbench`] with AC-capable differential inputs
+/// (`+0.5` on `inp`, `−0.5` on `inm`, so `Voutd/Vind` is read directly).
+pub fn integrate_dump_testbench(params: &IntegrateDumpParams) -> IntegrateDumpTestbench {
+    let mut ckt = Circuit::new();
+    let ports = integrate_dump(&mut ckt, "id_", params);
+    ckt.vsource(
+        "VDD",
+        ports.vdd,
+        Circuit::gnd(),
+        SourceWave::Dc(params.vdd),
+    );
+    // Differential inputs: external large-signal drive + AC stimulus.
+    let inp_i = ckt.node("drv_inp");
+    let inm_i = ckt.node("drv_inm");
+    let slot_inp = ckt.external_vsource("VINP", inp_i, Circuit::gnd());
+    let slot_inm = ckt.external_vsource("VINM", inm_i, Circuit::gnd());
+    // AC halves in series with the external drives.
+    ckt.vsource_ac("VACP", ports.inp, inp_i, SourceWave::Dc(0.0), 0.5);
+    ckt.vsource_ac("VACM", ports.inm, inm_i, SourceWave::Dc(0.0), -0.5);
+    let slot_controlp = ckt.external_vsource("VCTLP", ports.controlp, Circuit::gnd());
+    let slot_controlm = ckt.external_vsource("VCTLM", ports.controlm, Circuit::gnd());
+    IntegrateDumpTestbench {
+        circuit: ckt,
+        ports,
+        slot_inp,
+        slot_inm,
+        slot_controlp,
+        slot_controlm,
+        input_cm: 1.05,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ac::{ac_analysis, log_sweep};
+    use crate::dcop::dcop_with;
+    use crate::tran::{TranOptions, TransientSimulator};
+
+    fn bench() -> IntegrateDumpTestbench {
+        integrate_dump_testbench(&IntegrateDumpParams::default())
+    }
+
+    /// External vector: inputs at CM, integrating.
+    fn ext_integrate(tb: &IntegrateDumpTestbench) -> Vec<f64> {
+        let mut v = vec![0.0; tb.circuit.num_externals];
+        v[tb.slot_inp] = tb.input_cm;
+        v[tb.slot_inm] = tb.input_cm;
+        v[tb.slot_controlp] = 1.8;
+        v[tb.slot_controlm] = 0.0;
+        v
+    }
+
+    #[test]
+    fn has_31_transistors() {
+        let tb = bench();
+        assert_eq!(tb.circuit.transistor_count(), 31);
+    }
+
+    #[test]
+    fn dc_operating_point_is_sane() {
+        let tb = bench();
+        let ext = ext_integrate(&tb);
+        let op = dcop_with(&tb.circuit, &ext).expect("op converges");
+        let vop = op.voltage(tb.ports.out_intp);
+        let vom = op.voltage(tb.ports.out_intm);
+        // Outputs sit inside the rails and nearly balanced.
+        assert!(vop > 0.2 && vop < 1.6, "out_intp = {vop}");
+        assert!((vop - vom).abs() < 0.05, "balance: {vop} vs {vom}");
+    }
+
+    #[test]
+    fn ac_response_is_an_integrator() {
+        let tb = bench();
+        let ext = ext_integrate(&tb);
+        let freqs = log_sweep(10e3, 100e9, 4);
+        let sweep = ac_analysis(&tb.circuit, &ext, &freqs).expect("ac");
+        let g = sweep.gain_db(tb.ports.out_intp, tb.ports.out_intm);
+        // DC gain in the right class (paper: 21 dB).
+        assert!(g[0] > 10.0 && g[0] < 40.0, "dc gain = {} dB", g[0]);
+        // −20 dB/dec through the integration band (100 MHz vs 10 MHz).
+        let f10m = freqs.iter().position(|&f| f >= 10e6).unwrap();
+        let f100m = freqs.iter().position(|&f| f >= 100e6).unwrap();
+        let slope = g[f100m] - g[f10m];
+        assert!(
+            (slope + 20.0).abs() < 6.0,
+            "integration-band slope/decade = {slope}"
+        );
+        // High-frequency rolloff steeper than a single pole (second pole).
+        let tail = *g.last().unwrap();
+        assert!(tail < g[f100m] - 30.0, "second pole rolls off: {tail}");
+    }
+
+    #[test]
+    fn transient_integrates_and_dumps() {
+        let tb = bench();
+        let ext = ext_integrate(&tb);
+        let mut sim =
+            TransientSimulator::with_externals(tb.circuit.clone(), TranOptions::default(), ext)
+                .expect("op");
+        // Differential step of 60 mV: integrate for 20 ns.
+        sim.set_external(tb.slot_inp, tb.input_cm + 0.03);
+        sim.set_external(tb.slot_inm, tb.input_cm - 0.03);
+        for _ in 0..400 {
+            sim.step(50e-12).unwrap();
+        }
+        let v_int = sim.voltage_diff(tb.ports.out_intp, tb.ports.out_intm);
+        assert!(v_int > 0.05, "ramped up: {v_int}");
+        // Hold: zero differential input, still integrating.
+        sim.set_external(tb.slot_inp, tb.input_cm);
+        sim.set_external(tb.slot_inm, tb.input_cm);
+        for _ in 0..100 {
+            sim.step(50e-12).unwrap();
+        }
+        let v_hold = sim.voltage_diff(tb.ports.out_intp, tb.ports.out_intm);
+        assert!(
+            (v_hold - v_int).abs() < 0.25 * v_int.abs().max(0.05),
+            "held: {v_hold} vs {v_int}"
+        );
+        // Dump.
+        sim.set_external(tb.slot_controlp, 0.0);
+        sim.set_external(tb.slot_controlm, 1.8);
+        for _ in 0..200 {
+            sim.step(50e-12).unwrap();
+        }
+        let v_dump = sim.voltage_diff(tb.ports.out_intp, tb.ports.out_intm);
+        assert!(v_dump.abs() < 0.02, "dumped: {v_dump}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Ready-made circuit cells.
+//!
+//! The centrepiece is [`integrate_dump`]: the paper's Figure 3 CMOS
+//! Integrate & Dump cell (fully differential current-mode Gm-C integrator,
+//! 31 transistors, UMC 0.18 µm-class devices). Smaller reference cells used
+//! by tests and examples live here too.
+
+mod integrate_dump;
+
+pub use integrate_dump::{
+    integrate_dump, integrate_dump_testbench, IntegrateDumpParams, IntegrateDumpPorts,
+    IntegrateDumpTestbench,
+};
+
+use crate::circuit::{Circuit, NodeId, SourceWave};
+use crate::mosfet::MosParams;
+
+/// Builds a CMOS inverter driving a load capacitor; returns
+/// `(circuit, in, out)`.
+///
+/// # Examples
+///
+/// ```
+/// use spice::library::cmos_inverter;
+/// use spice::dcop::dcop;
+///
+/// # fn main() -> Result<(), spice::SpiceError> {
+/// let (ckt, _vin, vout) = cmos_inverter(0.0);
+/// let op = dcop(&ckt)?;
+/// assert!(op.voltage(vout) > 1.7); // input low → output high
+/// # Ok(())
+/// # }
+/// ```
+pub fn cmos_inverter(vin: f64) -> (Circuit, NodeId, NodeId) {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let vi = c.node("in");
+    let vo = c.node("out");
+    c.add_model("nch", MosParams::nmos_018());
+    c.add_model("pch", MosParams::pmos_018());
+    c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
+    c.vsource("VIN", vi, Circuit::gnd(), SourceWave::Dc(vin));
+    c.mosfet("MN", vo, vi, Circuit::gnd(), Circuit::gnd(), "nch", 2e-6, 0.18e-6)
+        .expect("model registered");
+    c.mosfet("MP", vo, vi, vdd, vdd, "pch", 6e-6, 0.18e-6)
+        .expect("model registered");
+    c.capacitor("CL", vo, Circuit::gnd(), 10e-15);
+    (c, vi, vo)
+}
+
+/// Builds a first-order RC low-pass driven by an AC-capable source;
+/// returns `(circuit, in, out)`. Corner frequency = `1/(2πRC)`.
+pub fn rc_lowpass(r: f64, c_farads: f64) -> (Circuit, NodeId, NodeId) {
+    let mut c = Circuit::new();
+    let a = c.node("in");
+    let b = c.node("out");
+    c.vsource_ac("V1", a, Circuit::gnd(), SourceWave::Dc(0.0), 1.0);
+    c.resistor("R1", a, b, r);
+    c.capacitor("C1", b, Circuit::gnd(), c_farads);
+    (c, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ac::{ac_analysis, log_sweep};
+    use crate::dcop::dcop;
+
+    #[test]
+    fn inverter_logic_levels() {
+        let (low_in, _, out) = cmos_inverter(0.0);
+        assert!(dcop(&low_in).unwrap().voltage(out) > 1.7);
+        let (high_in, _, out) = cmos_inverter(1.8);
+        assert!(dcop(&high_in).unwrap().voltage(out) < 0.1);
+    }
+
+    #[test]
+    fn rc_lowpass_ac_shape() {
+        let (ckt, _, out) = rc_lowpass(1e3, 1e-9);
+        let sweep = ac_analysis(&ckt, &[], &log_sweep(1e3, 1e8, 5)).unwrap();
+        let g = sweep.gain_db(out, Circuit::gnd());
+        assert!(g[0].abs() < 0.1);
+        assert!(*g.last().unwrap() < -40.0);
+    }
+}

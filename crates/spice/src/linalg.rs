@@ -1,0 +1,250 @@
+//! Dense LU solves for MNA systems, real and complex.
+//!
+//! MNA matrices here are dense `Vec`-backed row-major squares. The circuits
+//! in this repository are tens of nodes, where dense partial-pivot LU is
+//! simpler than and competitive with sparse machinery.
+
+use num_complex::Complex64;
+
+/// Dense row-major real matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero square matrix of order `n`.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Order of the matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `v` at `(r, c)` (the MNA "stamp" operation).
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] += v;
+    }
+
+    /// Reads entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        for v in &mut self.data {
+            *v = 0.0;
+        }
+    }
+
+    /// Solves `self · x = b`, overwriting `b` with `x`. Destroys `self`.
+    ///
+    /// Returns `false` if the matrix is numerically singular.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> bool {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        for col in 0..n {
+            let mut piv = col;
+            let mut mag = self.data[col * n + col].abs();
+            for r in (col + 1)..n {
+                let m = self.data[r * n + col].abs();
+                if m > mag {
+                    mag = m;
+                    piv = r;
+                }
+            }
+            if mag < 1e-300 {
+                return false;
+            }
+            if piv != col {
+                for c in 0..n {
+                    self.data.swap(col * n + c, piv * n + c);
+                }
+                b.swap(col, piv);
+            }
+            let pivot = self.data[col * n + col];
+            for r in (col + 1)..n {
+                let f = self.data[r * n + col] / pivot;
+                if f == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    let v = self.data[col * n + c];
+                    self.data[r * n + c] -= f * v;
+                }
+                b[r] -= f * b[col];
+            }
+        }
+        for col in (0..n).rev() {
+            let mut acc = b[col];
+            for c in (col + 1)..n {
+                acc -= self.data[col * n + c] * b[c];
+            }
+            b[col] = acc / self.data[col * n + col];
+        }
+        true
+    }
+}
+
+/// Dense row-major complex matrix (for AC analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    n: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Zero square complex matrix of order `n`.
+    pub fn zeros(n: usize) -> Self {
+        CMatrix {
+            n,
+            data: vec![Complex64::new(0.0, 0.0); n * n],
+        }
+    }
+
+    /// Order of the matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `v` at `(r, c)`.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: Complex64) {
+        self.data[r * self.n + c] += v;
+    }
+
+    /// Adds a real value at `(r, c)`.
+    #[inline]
+    pub fn add_re(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] += Complex64::new(v, 0.0);
+    }
+
+    /// Adds a purely imaginary value at `(r, c)`.
+    #[inline]
+    pub fn add_im(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] += Complex64::new(0.0, v);
+    }
+
+    /// Solves `self · x = b`, overwriting `b`. Destroys `self`.
+    ///
+    /// Returns `false` if the matrix is numerically singular.
+    pub fn solve_in_place(&mut self, b: &mut [Complex64]) -> bool {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        for col in 0..n {
+            let mut piv = col;
+            let mut mag = self.data[col * n + col].norm_sqr();
+            for r in (col + 1)..n {
+                let m = self.data[r * n + col].norm_sqr();
+                if m > mag {
+                    mag = m;
+                    piv = r;
+                }
+            }
+            if mag < 1e-300 {
+                return false;
+            }
+            if piv != col {
+                for c in 0..n {
+                    self.data.swap(col * n + c, piv * n + c);
+                }
+                b.swap(col, piv);
+            }
+            let pivot = self.data[col * n + col];
+            for r in (col + 1)..n {
+                let f = self.data[r * n + col] / pivot;
+                if f == Complex64::new(0.0, 0.0) {
+                    continue;
+                }
+                for c in col..n {
+                    let v = self.data[col * n + c];
+                    self.data[r * n + c] -= f * v;
+                }
+                b[r] -= f * b[col];
+            }
+        }
+        for col in (0..n).rev() {
+            let mut acc = b[col];
+            for c in (col + 1)..n {
+                acc -= self.data[col * n + c] * b[c];
+            }
+            b[col] = acc / self.data[col * n + col];
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_solve_2x2() {
+        let mut m = Matrix::zeros(2);
+        m.add(0, 0, 3.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 2.0);
+        let mut b = vec![9.0, 8.0];
+        assert!(m.solve_in_place(&mut b));
+        assert!((b[0] - 2.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn real_singular_detected() {
+        let mut m = Matrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 1.0);
+        let mut b = vec![1.0, 1.0];
+        assert!(!m.solve_in_place(&mut b));
+    }
+
+    #[test]
+    fn stamps_accumulate() {
+        let mut m = Matrix::zeros(1);
+        m.add(0, 0, 1.0);
+        m.add(0, 0, 2.0);
+        assert_eq!(m.get(0, 0), 3.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn complex_solve_rc_divider() {
+        // v / (R + 1/jwC) * (1/jwC) at w where |Zc| = R → |H| = 1/sqrt(2).
+        let r = 1e3;
+        let c = 1e-9;
+        let w = 1.0 / (r * c);
+        let mut m = CMatrix::zeros(1);
+        // Node equation: (1/R) (v - 1) + jwC v = 0 → v (1/R + jwC) = 1/R.
+        m.add_re(0, 0, 1.0 / r);
+        m.add_im(0, 0, w * c);
+        let mut b = vec![Complex64::new(1.0 / r, 0.0)];
+        assert!(m.solve_in_place(&mut b));
+        let mag = b[0].norm();
+        assert!((mag - 1.0 / 2f64.sqrt()).abs() < 1e-9, "mag = {mag}");
+        let phase = b[0].arg().to_degrees();
+        assert!((phase + 45.0).abs() < 1e-6, "phase = {phase}");
+    }
+
+    #[test]
+    fn complex_singular_detected() {
+        let mut m = CMatrix::zeros(2);
+        m.add_re(0, 0, 1.0);
+        m.add_re(1, 0, 1.0);
+        let mut b = vec![Complex64::new(1.0, 0.0); 2];
+        assert!(!m.solve_in_place(&mut b));
+    }
+}

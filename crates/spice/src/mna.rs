@@ -1,0 +1,520 @@
+//! Modified nodal analysis: unknown layout and stamp assembly.
+//!
+//! Unknowns are node voltages (every node except ground) followed by branch
+//! currents (one per voltage source and VCVS). Nonlinear devices are stamped
+//! as linearised companions around the current Newton candidate; reactive
+//! devices as Backward-Euler companions around the previous time point.
+
+use crate::circuit::{Circuit, Element, NodeId};
+use crate::linalg::Matrix;
+use crate::mosfet::eval_mosfet;
+use std::collections::HashMap;
+
+/// Finite-difference step for device linearisation, volts.
+const FD_STEP: f64 = 1e-6;
+
+/// Unknown-vector layout for a circuit.
+#[derive(Debug, Clone)]
+pub struct MnaLayout {
+    n_nodes: usize,
+    branch_index: HashMap<usize, usize>,
+    size: usize,
+}
+
+impl MnaLayout {
+    /// Computes the layout for `circuit`.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n_nodes = circuit.num_nodes();
+        let mut branch_index = HashMap::new();
+        let mut next = n_nodes - 1;
+        for (idx, (_, e)) in circuit.elements().iter().enumerate() {
+            if matches!(
+                e,
+                Element::Vsource { .. } | Element::Vcvs { .. } | Element::Inductor { .. }
+            ) {
+                branch_index.insert(idx, next);
+                next += 1;
+            }
+        }
+        MnaLayout {
+            n_nodes,
+            branch_index,
+            size: next,
+        }
+    }
+
+    /// Total number of unknowns.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Unknown index of a node's voltage; `None` for ground.
+    pub fn node_unknown(&self, node: NodeId) -> Option<usize> {
+        if node == NodeId::GROUND {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Unknown index of an element's branch current, if it has one.
+    pub fn branch_unknown(&self, element_idx: usize) -> Option<usize> {
+        self.branch_index.get(&element_idx).copied()
+    }
+
+    /// Voltage of `node` in solution vector `x` (0 for ground).
+    pub fn voltage(&self, x: &[f64], node: NodeId) -> f64 {
+        match self.node_unknown(node) {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    }
+
+    /// Number of circuit nodes including ground.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+}
+
+/// What kind of large-signal assembly to perform.
+#[derive(Debug, Clone, Copy)]
+pub enum AssembleMode<'a> {
+    /// DC: capacitors open.
+    Dc,
+    /// Transient Backward-Euler step of width `h` from previous solution.
+    Transient {
+        /// Previous converged solution.
+        x_prev: &'a [f64],
+        /// Step width, s.
+        h: f64,
+        /// Trapezoidal companion data: previous capacitor currents, one
+        /// slot per *linear* capacitor in element order. Empty selects
+        /// Backward Euler for everything (device capacitances always use
+        /// BE — their Meyer values change between steps, which breaks the
+        /// trapezoidal charge bookkeeping).
+        cap_currents: &'a [f64],
+    },
+}
+
+/// Parameters shared by every assembly call.
+#[derive(Debug, Clone, Copy)]
+pub struct AssembleParams<'a> {
+    /// Simulation time for waveform evaluation, s.
+    pub t: f64,
+    /// External (co-simulation) source values.
+    pub externals: &'a [f64],
+    /// Minimum conductance added from device nodes to ground.
+    pub gmin: f64,
+    /// Scale factor on independent sources (source stepping), normally 1.
+    pub source_scale: f64,
+}
+
+/// Smooth switch conductance: log-space blend between on and off.
+pub(crate) fn switch_conductance(vc: f64, ron: f64, roff: f64, vt: f64, vs: f64) -> f64 {
+    let s = 1.0 / (1.0 + (-(vc - vt) / vs).exp());
+    let ln_g = s * (1.0 / ron).ln() + (1.0 - s) * (1.0 / roff).ln();
+    ln_g.exp()
+}
+
+fn d_switch_conductance(vc: f64, ron: f64, roff: f64, vt: f64, vs: f64) -> f64 {
+    let h = 1e-6;
+    (switch_conductance(vc + h, ron, roff, vt, vs) - switch_conductance(vc - h, ron, roff, vt, vs))
+        / (2.0 * h)
+}
+
+/// Thermal voltage at room temperature, V.
+pub(crate) const VT: f64 = 0.02585;
+
+/// Diode current and conductance with exponential limiting: beyond the
+/// critical voltage the exponential continues linearly (keeps Newton
+/// iterates finite — the classic pnjlim-style safeguard).
+pub(crate) fn diode_iv(is: f64, nf: f64, v: f64) -> (f64, f64) {
+    let nvt = nf * VT;
+    let v_crit = 40.0 * nvt;
+    if v <= v_crit {
+        let e = (v / nvt).exp();
+        (is * (e - 1.0), is * e / nvt)
+    } else {
+        let e = (v_crit / nvt).exp();
+        let i_crit = is * (e - 1.0);
+        let g_crit = is * e / nvt;
+        (i_crit + g_crit * (v - v_crit), g_crit)
+    }
+}
+
+/// Stamps a conductance `g` between nodes `p` and `n`.
+fn stamp_conductance(layout: &MnaLayout, mat: &mut Matrix, p: NodeId, n: NodeId, g: f64) {
+    let up = layout.node_unknown(p);
+    let un = layout.node_unknown(n);
+    if let Some(i) = up {
+        mat.add(i, i, g);
+    }
+    if let Some(j) = un {
+        mat.add(j, j, g);
+    }
+    if let (Some(i), Some(j)) = (up, un) {
+        mat.add(i, j, -g);
+        mat.add(j, i, -g);
+    }
+}
+
+/// Stamps a linearised current `I(p→n) ≈ i0 + Σ gk (v[dep_k] − v0[dep_k])`.
+///
+/// `deps` pairs each dependency node with ∂I/∂V of that node.
+fn stamp_linearized_current(
+    layout: &MnaLayout,
+    mat: &mut Matrix,
+    rhs: &mut [f64],
+    p: NodeId,
+    n: NodeId,
+    deps: &[(NodeId, f64)],
+    i0: f64,
+    v0: impl Fn(NodeId) -> f64,
+) {
+    let up = layout.node_unknown(p);
+    let un = layout.node_unknown(n);
+    let mut ieq = -i0;
+    for &(dep, g) in deps {
+        ieq += g * v0(dep);
+        if let Some(col) = layout.node_unknown(dep) {
+            if let Some(i) = up {
+                mat.add(i, col, g);
+            }
+            if let Some(j) = un {
+                mat.add(j, col, -g);
+            }
+        }
+    }
+    if let Some(i) = up {
+        rhs[i] += ieq;
+    }
+    if let Some(j) = un {
+        rhs[j] -= ieq;
+    }
+}
+
+/// Stamps a BE companion for a capacitor `c` between `p` and `n`.
+fn stamp_capacitor_be(
+    layout: &MnaLayout,
+    mat: &mut Matrix,
+    rhs: &mut [f64],
+    p: NodeId,
+    n: NodeId,
+    c: f64,
+    v_prev_across: f64,
+    h: f64,
+) {
+    let geq = c / h;
+    stamp_conductance(layout, mat, p, n, geq);
+    let ieq = geq * v_prev_across;
+    if let Some(i) = layout.node_unknown(p) {
+        rhs[i] += ieq;
+    }
+    if let Some(j) = layout.node_unknown(n) {
+        rhs[j] -= ieq;
+    }
+}
+
+/// Assembles the linearised MNA system `mat · x_new = rhs` around the
+/// Newton candidate `x`.
+///
+/// # Panics
+///
+/// Panics if `mat`/`rhs` dimensions disagree with `layout`.
+#[allow(clippy::too_many_lines)]
+pub fn assemble(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    x: &[f64],
+    mode: AssembleMode<'_>,
+    params: &AssembleParams<'_>,
+    mat: &mut Matrix,
+    rhs: &mut [f64],
+) {
+    assert_eq!(mat.order(), layout.size());
+    assert_eq!(rhs.len(), layout.size());
+    mat.clear();
+    for v in rhs.iter_mut() {
+        *v = 0.0;
+    }
+    let v_at = |node: NodeId| layout.voltage(x, node);
+
+    let mut cap_index = 0usize;
+    for (idx, (_name, e)) in circuit.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { p, n, r } => {
+                stamp_conductance(layout, mat, *p, *n, 1.0 / r);
+            }
+            Element::Capacitor { p, n, c, ic: _ } => {
+                if let AssembleMode::Transient { x_prev, h, cap_currents } = mode {
+                    let vp = layout.voltage(x_prev, *p) - layout.voltage(x_prev, *n);
+                    match cap_currents.get(cap_index) {
+                        Some(&i_prev) => {
+                            // Trapezoidal companion:
+                            // i = (2C/h)(v − v_prev) − i_prev.
+                            let geq = 2.0 * c / h;
+                            stamp_conductance(layout, mat, *p, *n, geq);
+                            let ieq = geq * vp + i_prev;
+                            if let Some(i) = layout.node_unknown(*p) {
+                                rhs[i] += ieq;
+                            }
+                            if let Some(j) = layout.node_unknown(*n) {
+                                rhs[j] -= ieq;
+                            }
+                        }
+                        None => {
+                            stamp_capacitor_be(layout, mat, rhs, *p, *n, *c, vp, h);
+                        }
+                    }
+                }
+                // DC: open circuit.
+                cap_index += 1;
+            }
+            Element::Vsource { p, n, wave, .. } => {
+                let ib = layout.branch_unknown(idx).expect("vsource branch");
+                let v = wave.value_at(params.t, params.externals) * params.source_scale;
+                if let Some(i) = layout.node_unknown(*p) {
+                    mat.add(i, ib, 1.0);
+                    mat.add(ib, i, 1.0);
+                }
+                if let Some(j) = layout.node_unknown(*n) {
+                    mat.add(j, ib, -1.0);
+                    mat.add(ib, j, -1.0);
+                }
+                rhs[ib] += v;
+            }
+            Element::Isource { p, n, wave, .. } => {
+                let cur = wave.value_at(params.t, params.externals) * params.source_scale;
+                if let Some(i) = layout.node_unknown(*p) {
+                    rhs[i] -= cur;
+                }
+                if let Some(j) = layout.node_unknown(*n) {
+                    rhs[j] += cur;
+                }
+            }
+            Element::Vcvs { p, n, cp, cn, gain } => {
+                let ib = layout.branch_unknown(idx).expect("vcvs branch");
+                if let Some(i) = layout.node_unknown(*p) {
+                    mat.add(i, ib, 1.0);
+                    mat.add(ib, i, 1.0);
+                }
+                if let Some(j) = layout.node_unknown(*n) {
+                    mat.add(j, ib, -1.0);
+                    mat.add(ib, j, -1.0);
+                }
+                if let Some(k) = layout.node_unknown(*cp) {
+                    mat.add(ib, k, -gain);
+                }
+                if let Some(k) = layout.node_unknown(*cn) {
+                    mat.add(ib, k, *gain);
+                }
+            }
+            Element::Vccs { p, n, cp, cn, gm } => {
+                for (node, sign) in [(*p, 1.0), (*n, -1.0)] {
+                    if let Some(row) = layout.node_unknown(node) {
+                        if let Some(k) = layout.node_unknown(*cp) {
+                            mat.add(row, k, sign * gm);
+                        }
+                        if let Some(k) = layout.node_unknown(*cn) {
+                            mat.add(row, k, -sign * gm);
+                        }
+                    }
+                }
+            }
+            Element::Switch {
+                p,
+                n,
+                cp,
+                cn,
+                ron,
+                roff,
+                vt,
+                vs,
+            } => {
+                let vc = v_at(*cp) - v_at(*cn);
+                let vd = v_at(*p) - v_at(*n);
+                let g = switch_conductance(vc, *ron, *roff, *vt, *vs);
+                let dg = d_switch_conductance(vc, *ron, *roff, *vt, *vs);
+                let i0 = g * vd;
+                let deps = [
+                    (*p, g),
+                    (*n, -g),
+                    (*cp, dg * vd),
+                    (*cn, -dg * vd),
+                ];
+                stamp_linearized_current(layout, mat, rhs, *p, *n, &deps, i0, v_at);
+            }
+            Element::Diode { p, n, is, nf } => {
+                let v = v_at(*p) - v_at(*n);
+                let (i0, g) = diode_iv(*is, *nf, v);
+                let deps = [(*p, g), (*n, -g)];
+                stamp_linearized_current(layout, mat, rhs, *p, *n, &deps, i0, v_at);
+                stamp_conductance(layout, mat, *p, *n, params.gmin);
+            }
+            Element::Inductor { p, n, l } => {
+                let ib = layout.branch_unknown(idx).expect("inductor branch");
+                if let Some(i) = layout.node_unknown(*p) {
+                    mat.add(i, ib, 1.0);
+                    mat.add(ib, i, 1.0);
+                }
+                if let Some(j) = layout.node_unknown(*n) {
+                    mat.add(j, ib, -1.0);
+                    mat.add(ib, j, -1.0);
+                }
+                match mode {
+                    AssembleMode::Dc => {
+                        // Short circuit: v_p − v_n = 0 (row already stamped).
+                    }
+                    AssembleMode::Transient { x_prev, h, .. } => {
+                        // BE companion: v = (L/h)(i − i_prev).
+                        let i_prev = x_prev[ib];
+                        mat.add(ib, ib, -l / h);
+                        rhs[ib] -= l / h * i_prev;
+                    }
+                }
+            }
+            Element::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                model,
+                w,
+                l,
+            } => {
+                let pm = &circuit.models[*model].1;
+                let (vg, vd, vs_, vb) = (v_at(*g), v_at(*d), v_at(*s), v_at(*b));
+                let (ev, _sw) = eval_mosfet(pm, *w, *l, vg, vd, vs_, vb);
+                // Finite-difference partials on physical terminal voltages:
+                // immune to the polarity/swap sign pitfalls of analytic
+                // transformations.
+                let ids = |vg: f64, vd: f64, vs: f64, vb: f64| {
+                    eval_mosfet(pm, *w, *l, vg, vd, vs, vb).0.ids
+                };
+                let ggd = (ids(vg, vd + FD_STEP, vs_, vb) - ids(vg, vd - FD_STEP, vs_, vb))
+                    / (2.0 * FD_STEP);
+                let ggg = (ids(vg + FD_STEP, vd, vs_, vb) - ids(vg - FD_STEP, vd, vs_, vb))
+                    / (2.0 * FD_STEP);
+                let ggs = (ids(vg, vd, vs_ + FD_STEP, vb) - ids(vg, vd, vs_ - FD_STEP, vb))
+                    / (2.0 * FD_STEP);
+                let ggb = (ids(vg, vd, vs_, vb + FD_STEP) - ids(vg, vd, vs_, vb - FD_STEP))
+                    / (2.0 * FD_STEP);
+                let deps = [(*g, ggg), (*d, ggd), (*s, ggs), (*b, ggb)];
+                stamp_linearized_current(layout, mat, rhs, *d, *s, &deps, ev.ids, v_at);
+                // Conductance floor keeps nodes from floating.
+                stamp_conductance(layout, mat, *d, *b, params.gmin);
+                stamp_conductance(layout, mat, *s, *b, params.gmin);
+                stamp_conductance(layout, mat, *d, *s, params.gmin);
+
+                if let AssembleMode::Transient { x_prev, h, .. } = mode {
+                    // Meyer caps evaluated at the previous time point (held
+                    // constant over the step, SPICE2-style) as BE companions.
+                    let vgp = layout.voltage(x_prev, *g);
+                    let vdp = layout.voltage(x_prev, *d);
+                    let vsp = layout.voltage(x_prev, *s);
+                    let vbp = layout.voltage(x_prev, *b);
+                    let (evp, _) = eval_mosfet(pm, *w, *l, vgp, vdp, vsp, vbp);
+                    stamp_capacitor_be(layout, mat, rhs, *g, *s, evp.cgs, vgp - vsp, h);
+                    stamp_capacitor_be(layout, mat, rhs, *g, *d, evp.cgd, vgp - vdp, h);
+                    stamp_capacitor_be(layout, mat, rhs, *g, *b, evp.cgb, vgp - vbp, h);
+                    // Junction capacitances (fixed area approximation).
+                    let cj = pm.cj * w * 0.5e-6;
+                    stamp_capacitor_be(layout, mat, rhs, *d, *b, cj, vdp - vbp, h);
+                    stamp_capacitor_be(layout, mat, rhs, *s, *b, cj, vsp - vbp, h);
+                }
+            }
+        }
+    }
+    // Global gmin from every node to ground: guarantees a DC path.
+    for node in 1..layout.n_nodes() {
+        if let Some(i) = layout.node_unknown(NodeId(node)) {
+            mat.add(i, i, params.gmin);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::SourceWave;
+
+    #[test]
+    fn layout_counts_branches() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, NodeId::GROUND, SourceWave::Dc(1.0));
+        c.resistor("R1", a, b, 1e3);
+        c.vcvs("E1", b, NodeId::GROUND, a, NodeId::GROUND, 2.0);
+        let layout = MnaLayout::new(&c);
+        // 2 node voltages + 2 branch currents.
+        assert_eq!(layout.size(), 4);
+        assert_eq!(layout.node_unknown(NodeId::GROUND), None);
+        assert_eq!(layout.node_unknown(a), Some(0));
+        assert_eq!(layout.branch_unknown(0), Some(2));
+        assert_eq!(layout.branch_unknown(2), Some(3));
+        assert_eq!(layout.branch_unknown(1), None);
+    }
+
+    #[test]
+    fn resistive_divider_solves_exactly() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, NodeId::GROUND, SourceWave::Dc(2.0));
+        c.resistor("R1", a, b, 1e3);
+        c.resistor("R2", b, NodeId::GROUND, 1e3);
+        let layout = MnaLayout::new(&c);
+        let mut mat = Matrix::zeros(layout.size());
+        let mut rhs = vec![0.0; layout.size()];
+        let x = vec![0.0; layout.size()];
+        let params = AssembleParams {
+            t: 0.0,
+            externals: &[],
+            gmin: 0.0,
+            source_scale: 1.0,
+        };
+        assemble(&c, &layout, &x, AssembleMode::Dc, &params, &mut mat, &mut rhs);
+        let mut sol = rhs.clone();
+        assert!(mat.solve_in_place(&mut sol));
+        assert!((layout.voltage(&sol, a) - 2.0).abs() < 1e-12);
+        assert!((layout.voltage(&sol, b) - 1.0).abs() < 1e-12);
+        // Branch current: 2 V across 2 kΩ = 1 mA flowing out of the source's
+        // positive terminal into the circuit → branch current is −1 mA with
+        // the p→n-through-source convention.
+        let ib = sol[layout.branch_unknown(0).unwrap()];
+        assert!((ib + 1e-3).abs() < 1e-12, "ib = {ib}");
+    }
+
+    #[test]
+    fn switch_conductance_transitions_smoothly() {
+        let g_off = switch_conductance(0.0, 100.0, 1e9, 0.9, 0.1);
+        let g_on = switch_conductance(1.8, 100.0, 1e9, 0.9, 0.1);
+        assert!((g_on - 1.0 / 100.0).abs() / g_on < 1e-2);
+        assert!(g_off < 2e-9);
+        let g_mid = switch_conductance(0.9, 100.0, 1e9, 0.9, 0.1);
+        assert!(g_off < g_mid && g_mid < g_on);
+    }
+
+    #[test]
+    fn isource_direction_matches_spice_convention() {
+        // I1 from node a to ground pulls a negative.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.isource("I1", a, NodeId::GROUND, SourceWave::Dc(1e-3));
+        c.resistor("R1", a, NodeId::GROUND, 1e3);
+        let layout = MnaLayout::new(&c);
+        let mut mat = Matrix::zeros(layout.size());
+        let mut rhs = vec![0.0; layout.size()];
+        let params = AssembleParams {
+            t: 0.0,
+            externals: &[],
+            gmin: 0.0,
+            source_scale: 1.0,
+        };
+        assemble(&c, &layout, &[0.0], AssembleMode::Dc, &params, &mut mat, &mut rhs);
+        let mut sol = rhs.clone();
+        assert!(mat.solve_in_place(&mut sol));
+        assert!((layout.voltage(&sol, a) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,350 @@
+//! Level-1 (Shichman-Hodges) MOSFET model with body effect,
+//! channel-length modulation and Meyer gate capacitances.
+//!
+//! The paper's circuit uses a UMC 0.18 µm mixed-mode process with both
+//! normal- and low-threshold ("LV") devices; [`MosParams::nmos_018`] et al.
+//! provide parameter decks of that class.
+
+/// Channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosType {
+    /// N-channel.
+    Nmos,
+    /// P-channel.
+    Pmos,
+}
+
+/// Level-1 model parameters (SI units).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosParams {
+    /// Polarity.
+    pub ty: MosType,
+    /// Zero-bias threshold voltage (positive for NMOS, negative for PMOS), V.
+    pub vt0: f64,
+    /// Transconductance parameter KP = µ0·Cox, A/V².
+    pub kp: f64,
+    /// Body-effect coefficient γ, √V.
+    pub gamma: f64,
+    /// Surface potential 2φF, V.
+    pub phi: f64,
+    /// Channel-length modulation λ at the 1 µm reference length, 1/V.
+    /// The effective value scales as `λ · (1 µm / L)`, capturing the
+    /// shorter-channel output-conductance degradation that level 2/3
+    /// models include and that the paper's gain/pole trade-off rests on.
+    pub lambda: f64,
+    /// Gate-oxide capacitance per area, F/m².
+    pub cox: f64,
+    /// Gate-source/drain overlap capacitance per width, F/m.
+    pub cgso: f64,
+    /// Gate-bulk overlap capacitance per length, F/m.
+    pub cgbo: f64,
+    /// Zero-bias junction capacitance per area (source/drain), F/m².
+    pub cj: f64,
+}
+
+impl MosParams {
+    /// Standard-Vt NMOS of the 0.18 µm 1.8 V class.
+    pub fn nmos_018() -> Self {
+        MosParams {
+            ty: MosType::Nmos,
+            vt0: 0.45,
+            kp: 300e-6,
+            gamma: 0.45,
+            phi: 0.85,
+            lambda: 0.10,
+            cox: 8.4e-3, // tox ≈ 4.1 nm
+            cgso: 3.5e-10,
+            cgbo: 4.0e-10,
+            cj: 1.0e-3,
+        }
+    }
+
+    /// Standard-Vt PMOS of the 0.18 µm 1.8 V class.
+    pub fn pmos_018() -> Self {
+        MosParams {
+            ty: MosType::Pmos,
+            vt0: -0.45,
+            kp: 80e-6,
+            gamma: 0.40,
+            phi: 0.85,
+            lambda: 0.12,
+            cox: 8.4e-3,
+            cgso: 3.5e-10,
+            cgbo: 4.0e-10,
+            cj: 1.1e-3,
+        }
+    }
+
+    /// Low-Vt NMOS (the paper's "LV" devices: larger overdrive, used in the
+    /// transconductor core).
+    pub fn nmos_lv_018() -> Self {
+        MosParams {
+            vt0: 0.25,
+            ..Self::nmos_018()
+        }
+    }
+
+    /// Low-Vt PMOS.
+    pub fn pmos_lv_018() -> Self {
+        MosParams {
+            vt0: -0.25,
+            ..Self::pmos_018()
+        }
+    }
+
+    /// Threshold voltage including body effect, for the *canonical*
+    /// (NMOS-convention) bias `vbs ≤ 0`.
+    pub fn vth(&self, vbs: f64) -> f64 {
+        let phi = self.phi.max(0.1);
+        let arg = (phi - vbs).max(1e-3);
+        let vt0_mag = self.vt0.abs();
+        vt0_mag + self.gamma * (arg.sqrt() - phi.sqrt())
+    }
+}
+
+/// Small-signal and large-signal evaluation of one device at a bias point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MosEval {
+    /// Drain current (positive into the drain for NMOS convention), A.
+    pub ids: f64,
+    /// ∂Ids/∂Vgs, S.
+    pub gm: f64,
+    /// ∂Ids/∂Vds, S.
+    pub gds: f64,
+    /// ∂Ids/∂Vbs, S.
+    pub gmbs: f64,
+    /// Gate-source capacitance (Meyer + overlap), F.
+    pub cgs: f64,
+    /// Gate-drain capacitance, F.
+    pub cgd: f64,
+    /// Gate-bulk capacitance, F.
+    pub cgb: f64,
+    /// Operating region for diagnostics.
+    pub region: MosRegion,
+}
+
+/// Operating region of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MosRegion {
+    /// `vgs` below threshold.
+    #[default]
+    Cutoff,
+    /// Linear / triode.
+    Triode,
+    /// Saturation.
+    Saturation,
+}
+
+/// Evaluates the level-1 equations in *canonical* NMOS convention:
+/// the caller is responsible for polarity mapping and source/drain
+/// swapping (see [`eval_mosfet`]).
+fn eval_canonical(p: &MosParams, w: f64, l: f64, vgs: f64, vds: f64, vbs: f64) -> MosEval {
+    debug_assert!(vds >= 0.0);
+    let vth = p.vth(vbs.min(0.0));
+    let beta = p.kp * w / l;
+    let p = &MosParams {
+        lambda: p.lambda * (1e-6 / l),
+        ..p.clone()
+    };
+    let vgst = vgs - vth;
+
+    // d(vth)/d(vbs): body transconductance factor.
+    let phi = p.phi.max(0.1);
+    let arg = (phi - vbs.min(0.0)).max(1e-3);
+    let dvth_dvbs = if vbs < 0.0 {
+        -p.gamma / (2.0 * arg.sqrt())
+    } else {
+        0.0
+    };
+
+    let (ids, gm, gds, region) = if vgst <= 0.0 {
+        (0.0, 0.0, 0.0, MosRegion::Cutoff)
+    } else if vds < vgst {
+        // Triode.
+        let ids = beta * (vgst * vds - 0.5 * vds * vds) * (1.0 + p.lambda * vds);
+        let gm = beta * vds * (1.0 + p.lambda * vds);
+        let gds = beta * ((vgst - vds) * (1.0 + p.lambda * vds)
+            + (vgst * vds - 0.5 * vds * vds) * p.lambda);
+        (ids, gm, gds, MosRegion::Triode)
+    } else {
+        // Saturation.
+        let ids = 0.5 * beta * vgst * vgst * (1.0 + p.lambda * vds);
+        let gm = beta * vgst * (1.0 + p.lambda * vds);
+        let gds = 0.5 * beta * vgst * vgst * p.lambda;
+        (ids, gm, gds, MosRegion::Saturation)
+    };
+    let gmbs = -gm * dvth_dvbs; // ∂Ids/∂Vbs = gm · (−∂Vth/∂Vbs)
+
+    // Meyer gate capacitances.
+    let cox_total = p.cox * w * l;
+    let cov = p.cgso * w;
+    let (cgs, cgd, cgb) = match region {
+        MosRegion::Cutoff => (cov, cov, cox_total + p.cgbo * l),
+        MosRegion::Triode => (0.5 * cox_total + cov, 0.5 * cox_total + cov, p.cgbo * l),
+        MosRegion::Saturation => {
+            ((2.0 / 3.0) * cox_total + cov, cov, p.cgbo * l)
+        }
+    };
+
+    MosEval {
+        ids,
+        gm,
+        gds,
+        gmbs,
+        cgs,
+        cgd,
+        cgb,
+        region,
+    }
+}
+
+/// Full device evaluation at terminal voltages `(vg, vd, vs, vb)` relative
+/// to ground, handling polarity and source/drain swap.
+///
+/// Returned quantities follow the *device* convention: `ids` flows from
+/// drain to source for NMOS (reversed sign for PMOS handled internally so
+/// the MNA stamp can treat `ids` as the current leaving the drain node).
+///
+/// The second return slot reports whether drain/source were swapped
+/// internally (needed to assign Meyer caps to the right physical terminals).
+pub fn eval_mosfet(
+    p: &MosParams,
+    w: f64,
+    l: f64,
+    vg: f64,
+    vd: f64,
+    vs: f64,
+    vb: f64,
+) -> (MosEval, bool) {
+    // Map PMOS onto the canonical NMOS equations by mirroring all voltages.
+    let sgn = match p.ty {
+        MosType::Nmos => 1.0,
+        MosType::Pmos => -1.0,
+    };
+    let (vg, vd, vs, vb) = (sgn * vg, sgn * vd, sgn * vs, sgn * vb);
+    // Canonical form requires vds >= 0; swap terminals if needed.
+    let swapped = vd < vs;
+    let (d, s) = if swapped { (vs, vd) } else { (vd, vs) };
+    let vgs = vg - s;
+    let vds = d - s;
+    let vbs = vb - s;
+    let mut ev = eval_canonical(p, w, l, vgs, vds, vbs);
+    // Current direction: canonical ids flows d→s; if swapped, the physical
+    // drain is the canonical source.
+    if swapped {
+        ev.ids = -ev.ids;
+        std::mem::swap(&mut ev.cgs, &mut ev.cgd);
+    }
+    // For PMOS the mirrored current reverses once more in physical terms,
+    // but because we also mirrored the voltages, `ids` as computed already
+    // represents current magnitude in the canonical frame; the stamp uses
+    // sign() to restore polarity.
+    ev.ids *= sgn;
+    (ev, swapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_with_body_effect_increases() {
+        let p = MosParams::nmos_018();
+        let v0 = p.vth(0.0);
+        let v1 = p.vth(-1.0);
+        assert!((v0 - 0.45).abs() < 1e-12);
+        assert!(v1 > v0, "reverse body bias raises vth");
+    }
+
+    #[test]
+    fn cutoff_region_has_no_current() {
+        let p = MosParams::nmos_018();
+        let (ev, _) = eval_mosfet(&p, 10e-6, 1e-6, 0.2, 1.0, 0.0, 0.0);
+        assert_eq!(ev.region, MosRegion::Cutoff);
+        assert_eq!(ev.ids, 0.0);
+        assert_eq!(ev.gm, 0.0);
+    }
+
+    #[test]
+    fn saturation_current_matches_hand_calculation() {
+        let p = MosParams::nmos_018();
+        let (w, l) = (10e-6, 1e-6);
+        let (vgs, vds) = (1.0, 1.5);
+        let (ev, swapped) = eval_mosfet(&p, w, l, vgs, vds, 0.0, 0.0);
+        assert!(!swapped);
+        assert_eq!(ev.region, MosRegion::Saturation);
+        let beta = p.kp * w / l;
+        let vgst: f64 = vgs - 0.45;
+        let expect = 0.5 * beta * vgst * vgst * (1.0 + p.lambda * vds);
+        assert!((ev.ids - expect).abs() / expect < 1e-12);
+        assert!((ev.gm - beta * vgst * (1.0 + p.lambda * vds)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triode_region_and_continuity_at_vdsat() {
+        let p = MosParams::nmos_018();
+        let (w, l) = (10e-6, 1e-6);
+        let vgst = 0.55; // vgs = 1.0
+        let below = eval_mosfet(&p, w, l, 1.0, vgst - 1e-9, 0.0, 0.0).0;
+        let above = eval_mosfet(&p, w, l, 1.0, vgst + 1e-9, 0.0, 0.0).0;
+        assert_eq!(below.region, MosRegion::Triode);
+        assert_eq!(above.region, MosRegion::Saturation);
+        assert!((below.ids - above.ids).abs() < 1e-9, "Ids continuous at vdsat");
+    }
+
+    #[test]
+    fn source_drain_swap_reverses_current() {
+        let p = MosParams::nmos_018();
+        // Symmetric device: bias reversed → current reversed.
+        let (fwd, sw_f) = eval_mosfet(&p, 10e-6, 1e-6, 1.2, 0.6, 0.0, 0.0);
+        let (rev, sw_r) = eval_mosfet(&p, 10e-6, 1e-6, 1.2 + 0.6, 0.0 + 0.6, 0.6 + 0.6, 0.6);
+        assert!(!sw_f);
+        assert!(sw_r);
+        // Same |vgs| w.r.t. the conducting source, opposite direction.
+        assert!(rev.ids < 0.0);
+        assert!((fwd.ids + rev.ids).abs() / fwd.ids < 1e-9);
+    }
+
+    #[test]
+    fn pmos_conducts_with_negative_vgs() {
+        let p = MosParams::pmos_018();
+        // Source at 1.8 V, gate at 0.8 V → |vgs| = 1.0 > |vt0|.
+        let (ev, _) = eval_mosfet(&p, 10e-6, 1e-6, 0.8, 0.2, 1.8, 1.8);
+        assert_eq!(ev.region, MosRegion::Saturation);
+        // PMOS: current flows source→drain; in stamp convention ids < 0.
+        assert!(ev.ids < 0.0);
+        assert!(ev.gm > 0.0);
+    }
+
+    #[test]
+    fn lv_devices_have_lower_threshold() {
+        let n = MosParams::nmos_018();
+        let nlv = MosParams::nmos_lv_018();
+        assert!(nlv.vt0 < n.vt0);
+        let (hi, _) = eval_mosfet(&nlv, 10e-6, 1e-6, 0.4, 1.0, 0.0, 0.0);
+        let (lo, _) = eval_mosfet(&n, 10e-6, 1e-6, 0.4, 1.0, 0.0, 0.0);
+        assert!(hi.ids > 0.0);
+        assert_eq!(lo.ids, 0.0, "standard-Vt still off at vgs=0.4");
+    }
+
+    #[test]
+    fn meyer_caps_partition_by_region() {
+        let p = MosParams::nmos_018();
+        let (w, l) = (10e-6, 1e-6);
+        let cox_total = p.cox * w * l;
+        let sat = eval_mosfet(&p, w, l, 1.0, 1.5, 0.0, 0.0).0;
+        assert!((sat.cgs - (2.0 / 3.0) * cox_total - p.cgso * w).abs() < 1e-18);
+        assert!((sat.cgd - p.cgso * w).abs() < 1e-18);
+        let off = eval_mosfet(&p, w, l, 0.0, 1.5, 0.0, 0.0).0;
+        assert!(off.cgb > sat.cgb, "gate-bulk cap dominates in cutoff");
+    }
+
+    #[test]
+    fn gmbs_is_zero_without_body_bias_and_positive_with() {
+        let p = MosParams::nmos_018();
+        let at0 = eval_mosfet(&p, 10e-6, 1e-6, 1.0, 1.5, 0.0, 0.0).0;
+        assert_eq!(at0.gmbs, 0.0);
+        let biased = eval_mosfet(&p, 10e-6, 1e-6, 1.0, 1.5, 0.0, -0.5).0;
+        assert!(biased.gmbs > 0.0);
+    }
+}

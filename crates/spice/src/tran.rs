@@ -1,0 +1,517 @@
+//! Transient analysis.
+//!
+//! Backward-Euler time stepping with a full Newton solve per step, mirroring
+//! the paper's simulation setup (fixed 0.05 ns step, Newton-Raphson, and the
+//! ability to drive sources from an enclosing system simulation — the
+//! VHDL-AMS/Eldo co-simulation seam).
+
+use crate::circuit::{Circuit, Element, NodeId};
+use crate::dcop::{dcop_with, newton_solve, NewtonOptions, GMIN_FINAL};
+use crate::error::SpiceError;
+use crate::mna::{AssembleMode, MnaLayout};
+
+/// Time-discretisation method for linear capacitors (device capacitances
+/// always use Backward Euler; see [`AssembleMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// First-order, L-stable; damps numerical ringing. The default,
+    /// matching the paper's fixed-step runs.
+    #[default]
+    BackwardEuler,
+    /// Second-order trapezoidal companion for the linear capacitors —
+    /// more accurate on smooth waveforms at the same step.
+    Trapezoidal,
+}
+
+/// Controls for transient runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranOptions {
+    /// Newton controls per step.
+    pub newton: NewtonOptions,
+    /// gmin during stepping.
+    pub gmin: f64,
+    /// Capacitor discretisation method.
+    pub method: Method,
+}
+
+impl Default for TranOptions {
+    fn default() -> Self {
+        TranOptions {
+            newton: NewtonOptions {
+                max_iter: 60,
+                ..Default::default()
+            },
+            gmin: GMIN_FINAL,
+            method: Method::BackwardEuler,
+        }
+    }
+}
+
+/// A stepping transient simulator.
+///
+/// Construction computes the DC operating point (with initial external
+/// values); [`step`](Self::step) then advances time. External sources can be
+/// updated between steps — this is how the mixed-signal scheduler drives a
+/// transistor-level block inside a system testbench.
+///
+/// # Examples
+///
+/// ```
+/// use spice::circuit::{Circuit, SourceWave};
+/// use spice::tran::TransientSimulator;
+///
+/// # fn main() -> Result<(), spice::SpiceError> {
+/// // RC low-pass step response.
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// let b = ckt.node("b");
+/// ckt.vsource("V1", a, Circuit::gnd(), SourceWave::Pulse {
+///     v1: 0.0, v2: 1.0, delay: 0.0, rise: 1e-12, fall: 1e-12,
+///     width: 1.0, period: 0.0,
+/// });
+/// ckt.resistor("R1", a, b, 1e3);
+/// ckt.capacitor("C1", b, Circuit::gnd(), 1e-9);
+/// let mut sim = TransientSimulator::new(ckt, Default::default())?;
+/// // One time constant: 1 µs in 1 ns steps.
+/// for _ in 0..1000 { sim.step(1e-9)?; }
+/// let v = sim.voltage(b);
+/// assert!((v - 0.632).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TransientSimulator {
+    circuit: Circuit,
+    layout: MnaLayout,
+    x: Vec<f64>,
+    externals: Vec<f64>,
+    t: f64,
+    opts: TranOptions,
+    /// (p, n, C) of every linear capacitor, in element order.
+    caps: Vec<(NodeId, NodeId, f64)>,
+    /// Trapezoidal state: capacitor currents at the last accepted point
+    /// (empty in Backward-Euler mode).
+    cap_currents: Vec<f64>,
+    /// False until one BE step has established consistent capacitor
+    /// currents — trapezoidal integration starts from the second step
+    /// (the standard restart-after-DC/breakpoint rule).
+    trap_ready: bool,
+    /// Cumulative Newton iterations (CPU-cost proxy for Table 1).
+    pub newton_iterations: usize,
+    /// Steps taken.
+    pub steps: u64,
+}
+
+impl TransientSimulator {
+    /// Builds the simulator and solves the initial operating point with all
+    /// external slots at 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC convergence failures.
+    pub fn new(circuit: Circuit, opts: TranOptions) -> Result<Self, SpiceError> {
+        let externals = vec![0.0; circuit.num_externals];
+        Self::with_externals(circuit, opts, externals)
+    }
+
+    /// Builds the simulator with explicit initial external values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC convergence failures.
+    pub fn with_externals(
+        circuit: Circuit,
+        opts: TranOptions,
+        externals: Vec<f64>,
+    ) -> Result<Self, SpiceError> {
+        let op = dcop_with(&circuit, &externals)?;
+        let iterations = op.iterations;
+        let layout = MnaLayout::new(&circuit);
+        let caps: Vec<(NodeId, NodeId, f64)> = circuit
+            .elements()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Element::Capacitor { p, n, c, .. } => Some((*p, *n, *c)),
+                _ => None,
+            })
+            .collect();
+        let cap_currents = match opts.method {
+            Method::BackwardEuler => Vec::new(),
+            // DC start: no current flows in any capacitor.
+            Method::Trapezoidal => vec![0.0; caps.len()],
+        };
+        let mut sim = TransientSimulator {
+            circuit,
+            layout,
+            x: op.x,
+            externals,
+            t: 0.0,
+            opts,
+            caps,
+            cap_currents,
+            trap_ready: false,
+            newton_iterations: iterations,
+            steps: 0,
+        };
+        sim.apply_initial_conditions();
+        Ok(sim)
+    }
+
+    /// Applies capacitor `.ic` values by overwriting node voltages
+    /// (a simplified UIC: only caps with one grounded terminal).
+    fn apply_initial_conditions(&mut self) {
+        let mut forced = Vec::new();
+        for (_, e) in self.circuit.elements() {
+            if let Element::Capacitor { p, n, ic: Some(v), .. } = e {
+                if *n == NodeId::GROUND {
+                    if let Some(i) = self.layout.node_unknown(*p) {
+                        forced.push((i, *v));
+                    }
+                }
+            }
+        }
+        for (i, v) in forced {
+            self.x[i] = v;
+        }
+    }
+
+    /// Current simulated time, s.
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Voltage of `node` at the current time.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.layout.voltage(&self.x, node)
+    }
+
+    /// Differential voltage `v(p) − v(n)`.
+    pub fn voltage_diff(&self, p: NodeId, n: NodeId) -> f64 {
+        self.voltage(p) - self.voltage(n)
+    }
+
+    /// Sets an external (co-simulation) source value; takes effect on the
+    /// next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was never allocated on the circuit.
+    pub fn set_external(&mut self, slot: usize, value: f64) {
+        self.externals[slot] = value;
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Advances one Backward-Euler step of width `h`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::TranDiverged`] when the per-step Newton fails even
+    /// after a retry with halved sub-steps.
+    pub fn step(&mut self, h: f64) -> Result<(), SpiceError> {
+        self.substep(h, 0)
+    }
+
+    fn substep(&mut self, h: f64, depth: usize) -> Result<(), SpiceError> {
+        let x_prev = self.x.clone();
+        let t_new = self.t + h;
+        let mut iters = 0usize;
+        // The first step after DC runs Backward Euler even in trapezoidal
+        // mode: the stored capacitor currents are not yet consistent with
+        // the (possibly discontinuous) sources.
+        let trap_now = self.trap_ready && !self.cap_currents.is_empty();
+        let empty: [f64; 0] = [];
+        let companion: &[f64] = if trap_now { &self.cap_currents } else { &empty };
+        let result = newton_solve(
+            &self.circuit,
+            &self.layout,
+            &self.x,
+            AssembleMode::Transient {
+                x_prev: &x_prev,
+                h,
+                cap_currents: companion,
+            },
+            t_new,
+            &self.externals,
+            self.opts.gmin,
+            1.0,
+            &self.opts.newton,
+            &mut iters,
+        );
+        self.newton_iterations += iters;
+        match result {
+            Ok(x) => {
+                // Trapezoidal bookkeeping: update each capacitor's current
+                // from the accepted step before moving on.
+                if !self.cap_currents.is_empty() {
+                    for (k, &(p, n, c)) in self.caps.iter().enumerate() {
+                        let v_new = self.layout.voltage(&x, p) - self.layout.voltage(&x, n);
+                        let v_old =
+                            self.layout.voltage(&x_prev, p) - self.layout.voltage(&x_prev, n);
+                        self.cap_currents[k] = if trap_now {
+                            2.0 * c / h * (v_new - v_old) - self.cap_currents[k]
+                        } else {
+                            c / h * (v_new - v_old)
+                        };
+                    }
+                    self.trap_ready = true;
+                }
+                self.x = x;
+                self.t = t_new;
+                self.steps += 1;
+                Ok(())
+            }
+            Err(_) if depth < 4 => {
+                // Halve the step: two sub-steps at h/2 (local timestep
+                // control around sharp source edges).
+                self.substep(h / 2.0, depth + 1)?;
+                self.substep(h / 2.0, depth + 1)
+            }
+            Err(SpiceError::Singular { .. }) => Err(SpiceError::Singular { analysis: "tran" }),
+            Err(_) => Err(SpiceError::TranDiverged { t: t_new }),
+        }
+    }
+
+    /// Runs until `t_stop` in fixed steps of `h`, invoking `observe`
+    /// after each step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step failure.
+    pub fn run_until(
+        &mut self,
+        t_stop: f64,
+        h: f64,
+        mut observe: impl FnMut(&TransientSimulator),
+    ) -> Result<(), SpiceError> {
+        while self.t < t_stop - 0.5 * h {
+            self.step(h)?;
+            observe(self);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::SourceWave;
+    use crate::mosfet::MosParams;
+
+    fn rc_circuit(tau_r: f64, tau_c: f64) -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(
+            "V1",
+            a,
+            Circuit::gnd(),
+            SourceWave::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 0.0,
+                rise: 1e-12,
+                fall: 1e-12,
+                width: 1.0,
+                period: 0.0,
+            },
+        );
+        c.resistor("R1", a, b, tau_r);
+        c.capacitor("C1", b, Circuit::gnd(), tau_c);
+        (c, b)
+    }
+
+    #[test]
+    fn rc_step_response_tracks_exponential() {
+        let (c, b) = rc_circuit(1e3, 1e-9);
+        let mut sim = TransientSimulator::new(c, TranOptions::default()).unwrap();
+        sim.run_until(3e-6, 2e-9, |_| {}).unwrap();
+        let v = sim.voltage(b);
+        assert!((v - (1.0 - (-3.0f64).exp())).abs() < 5e-3, "v = {v}");
+    }
+
+    #[test]
+    fn capacitor_initial_condition_applies() {
+        // Cap pre-charged to 1 V discharging through R into a 0 V source.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), SourceWave::Dc(0.0));
+        c.resistor("R1", a, b, 1e3);
+        c.capacitor_ic("C1", b, Circuit::gnd(), 1e-9, 1.0);
+        let mut sim = TransientSimulator::new(c, TranOptions::default()).unwrap();
+        assert!((sim.voltage(b) - 1.0).abs() < 1e-9, "IC applied");
+        sim.run_until(1e-6, 2e-9, |_| {}).unwrap();
+        let v = sim.voltage(b);
+        assert!((v - (-1.0f64).exp()).abs() < 5e-3, "one tau decay, v = {v}");
+    }
+
+    #[test]
+    fn external_source_drives_circuit() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let slot = c.external_vsource("VX", a, Circuit::gnd());
+        c.resistor("R1", a, b, 1e3);
+        c.resistor("R2", b, Circuit::gnd(), 1e3);
+        let mut sim = TransientSimulator::new(c, TranOptions::default()).unwrap();
+        assert_eq!(sim.voltage(b), 0.0);
+        sim.set_external(slot, 2.0);
+        sim.step(1e-9).unwrap();
+        assert!((sim.voltage(b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cmos_inverter_switches_in_transient() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vi = c.node("in");
+        let vo = c.node("out");
+        c.add_model("nch", MosParams::nmos_018());
+        c.add_model("pch", MosParams::pmos_018());
+        c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
+        c.vsource(
+            "VIN",
+            vi,
+            Circuit::gnd(),
+            SourceWave::Pulse {
+                v1: 0.0,
+                v2: 1.8,
+                delay: 1e-9,
+                rise: 100e-12,
+                fall: 100e-12,
+                width: 5e-9,
+                period: 0.0,
+            },
+        );
+        c.mosfet("MN", vo, vi, Circuit::gnd(), Circuit::gnd(), "nch", 2e-6, 0.18e-6)
+            .unwrap();
+        c.mosfet("MP", vo, vi, vdd, vdd, "pch", 6e-6, 0.18e-6).unwrap();
+        c.capacitor("CL", vo, Circuit::gnd(), 10e-15);
+        let mut sim = TransientSimulator::new(c, TranOptions::default()).unwrap();
+        assert!(sim.voltage(vo) > 1.7, "initial high");
+        sim.run_until(4e-9, 50e-12, |_| {}).unwrap();
+        assert!(sim.voltage(vo) < 0.1, "switched low, v = {}", sim.voltage(vo));
+        sim.run_until(10e-9, 50e-12, |_| {}).unwrap();
+        assert!(sim.voltage(vo) > 1.7, "returned high, v = {}", sim.voltage(vo));
+    }
+
+    #[test]
+    fn trapezoidal_beats_backward_euler_on_coarse_steps() {
+        // RC step response, deliberately coarse h = tau/5.
+        let run = |method: Method| {
+            let (c, b) = rc_circuit(1e3, 1e-9);
+            let mut sim = TransientSimulator::new(
+                c,
+                TranOptions {
+                    method,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            sim.run_until(1e-6, 0.2e-6, |_| {}).unwrap();
+            sim.voltage(b)
+        };
+        let exact = 1.0 - (-1.0f64).exp();
+        let be = run(Method::BackwardEuler);
+        let tr = run(Method::Trapezoidal);
+        assert!(
+            (tr - exact).abs() < (be - exact).abs(),
+            "trap {tr} should beat BE {be} (exact {exact})"
+        );
+        assert!((tr - exact).abs() < 0.01, "trap error {}", (tr - exact).abs());
+    }
+
+    #[test]
+    fn trapezoidal_matches_be_at_fine_steps() {
+        let run = |method: Method| {
+            let (c, b) = rc_circuit(1e3, 1e-9);
+            let mut sim = TransientSimulator::new(
+                c,
+                TranOptions {
+                    method,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            sim.run_until(2e-6, 1e-9, |_| {}).unwrap();
+            sim.voltage(b)
+        };
+        let be = run(Method::BackwardEuler);
+        let tr = run(Method::Trapezoidal);
+        assert!((be - tr).abs() < 2e-3, "be {be} vs trap {tr}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (c, _) = rc_circuit(1e3, 1e-9);
+        let mut sim = TransientSimulator::new(c, TranOptions::default()).unwrap();
+        let initial = sim.newton_iterations;
+        sim.run_until(10e-9, 1e-9, |_| {}).unwrap();
+        assert_eq!(sim.steps, 10);
+        assert!(sim.newton_iterations > initial);
+    }
+
+    #[test]
+    fn pwl_source_follows_its_segments() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource(
+            "V1",
+            a,
+            Circuit::gnd(),
+            SourceWave::Pwl(vec![(0.0, 0.0), (10e-9, 1.0), (20e-9, -0.5)]),
+        );
+        c.resistor("R1", a, Circuit::gnd(), 1e3);
+        let mut sim = TransientSimulator::new(c, TranOptions::default()).unwrap();
+        sim.run_until(5e-9, 1e-9, |_| {}).unwrap();
+        assert!((sim.voltage(a) - 0.5).abs() < 1e-9, "mid-ramp");
+        sim.run_until(30e-9, 1e-9, |_| {}).unwrap();
+        assert!((sim.voltage(a) + 0.5).abs() < 1e-9, "held after last point");
+    }
+
+    #[test]
+    fn sin_source_drives_rc_with_expected_attenuation() {
+        // 1 MHz sine through an RC with fc = 159 kHz: |H| ≈ 0.157.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(
+            "V1",
+            a,
+            Circuit::gnd(),
+            SourceWave::Sin {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: 1e6,
+                delay: 0.0,
+                theta: 0.0,
+            },
+        );
+        c.resistor("R1", a, b, 1e3);
+        c.capacitor("C1", b, Circuit::gnd(), 1e-9);
+        let mut sim = TransientSimulator::new(c, TranOptions::default()).unwrap();
+        let mut peak = 0.0f64;
+        sim.run_until(10e-6, 5e-9, |s| {
+            if s.time() > 5e-6 {
+                peak = peak.max(s.voltage(b).abs());
+            }
+        })
+        .unwrap();
+        let expect = 1.0 / (1.0f64 + (2.0 * std::f64::consts::PI * 1e6 * 1e3 * 1e-9).powi(2)).sqrt();
+        assert!((peak - expect).abs() < 0.02, "peak {peak} vs {expect}");
+    }
+
+    #[test]
+    fn time_advances_exactly() {
+        let (c, _) = rc_circuit(1e3, 1e-9);
+        let mut sim = TransientSimulator::new(c, TranOptions::default()).unwrap();
+        for _ in 0..7 {
+            sim.step(0.5e-9).unwrap();
+        }
+        assert!((sim.time() - 3.5e-9).abs() < 1e-18);
+    }
+}

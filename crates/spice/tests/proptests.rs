@@ -1,0 +1,136 @@
+//! Property-based tests on the circuit simulator's invariants.
+
+use proptest::prelude::*;
+use spice::circuit::{Circuit, SourceWave};
+use spice::dcop::dcop;
+use spice::mosfet::{eval_mosfet, MosParams};
+use spice::netlist::parse_value;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// In a resistor ladder from V to ground, node voltages are monotone
+    /// non-increasing and bounded by the rails.
+    #[test]
+    fn ladder_voltages_monotone(
+        v_src in 0.1f64..10.0,
+        rs in prop::collection::vec(10.0f64..1e6, 2..8),
+    ) {
+        let mut c = Circuit::new();
+        let top = c.node("n0");
+        c.vsource("V1", top, Circuit::gnd(), SourceWave::Dc(v_src));
+        let mut prev = top;
+        for (i, &r) in rs.iter().enumerate() {
+            let n = c.node(&format!("n{}", i + 1));
+            c.resistor(&format!("R{i}"), prev, n, r);
+            prev = n;
+        }
+        c.resistor("RL", prev, Circuit::gnd(), 1e3);
+        let op = dcop(&c).expect("ladders converge");
+        let mut last = v_src + 1e-9;
+        for i in 0..=rs.len() {
+            let v = op.voltage(c.find_node(&format!("n{i}")).expect("node"));
+            prop_assert!(v <= last + 1e-9, "monotone at n{}: {} > {}", i, v, last);
+            prop_assert!(v >= -1e-9);
+            last = v;
+        }
+    }
+
+    /// Two-resistor divider matches the analytic ratio.
+    #[test]
+    fn divider_matches_formula(v in 0.01f64..100.0, r1 in 1.0f64..1e6, r2 in 1.0f64..1e6) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), SourceWave::Dc(v));
+        c.resistor("R1", a, b, r1);
+        c.resistor("R2", b, Circuit::gnd(), r2);
+        let op = dcop(&c).expect("converges");
+        let expect = v * r2 / (r1 + r2);
+        prop_assert!((op.voltage(b) - expect).abs() < 1e-6 * v.abs() + 1e-9);
+    }
+
+    /// Engineering-notation parser inverts formatting for plain numbers.
+    #[test]
+    fn parse_value_roundtrip(mant in 0.001f64..999.0, exp in -12i32..9) {
+        let v = mant * 10f64.powi(exp);
+        let s = format!("{v:e}");
+        let parsed = parse_value(&s).expect("parses");
+        prop_assert!((parsed - v).abs() <= 1e-12 * v.abs());
+    }
+
+    /// Suffix parsing scales correctly against the plain form.
+    #[test]
+    fn parse_value_suffix_consistency(mant in 0.1f64..100.0) {
+        for (suffix, scale) in [("k", 1e3), ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12), ("meg", 1e6)] {
+            let with_suffix = parse_value(&format!("{mant}{suffix}")).expect("parses");
+            prop_assert!((with_suffix - mant * scale).abs() <= 1e-9 * with_suffix.abs());
+        }
+    }
+
+    /// Level-1 drain current is continuous across the triode/saturation
+    /// boundary and monotone in vgs in saturation.
+    #[test]
+    fn mosfet_continuity_and_monotonicity(
+        w in 1e-6f64..50e-6,
+        l in 0.18e-6f64..2e-6,
+        vgs in 0.5f64..1.8,
+    ) {
+        let p = MosParams::nmos_018();
+        let vdsat = vgs - p.vt0;
+        let below = eval_mosfet(&p, w, l, vgs, vdsat - 1e-9, 0.0, 0.0).0.ids;
+        let above = eval_mosfet(&p, w, l, vgs, vdsat + 1e-9, 0.0, 0.0).0.ids;
+        prop_assert!((below - above).abs() < 1e-6 * above.abs().max(1e-12));
+
+        let i1 = eval_mosfet(&p, w, l, vgs, 1.5, 0.0, 0.0).0.ids;
+        let i2 = eval_mosfet(&p, w, l, vgs + 0.05, 1.5, 0.0, 0.0).0.ids;
+        prop_assert!(i2 > i1, "gm positive");
+    }
+
+    /// Source/drain swap antisymmetry: reversing the channel reverses the
+    /// current exactly.
+    #[test]
+    fn mosfet_swap_antisymmetry(
+        vg in 0.6f64..1.8,
+        vd in 0.0f64..1.2,
+        vs in 0.0f64..1.2,
+    ) {
+        let p = MosParams::nmos_018();
+        let fwd = eval_mosfet(&p, 10e-6, 1e-6, vg, vd, vs, 0.0).0.ids;
+        let rev = eval_mosfet(&p, 10e-6, 1e-6, vg, vs, vd, 0.0).0.ids;
+        prop_assert!((fwd + rev).abs() < 1e-9 * fwd.abs().max(1e-15),
+            "fwd {} rev {}", fwd, rev);
+    }
+
+    /// KCL at the output node of a divider: source branch current equals
+    /// the load current.
+    #[test]
+    fn branch_current_satisfies_kcl(v in 0.1f64..10.0, r in 100.0f64..1e5) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::gnd(), SourceWave::Dc(v));
+        c.resistor("R1", a, Circuit::gnd(), r);
+        let op = dcop(&c).expect("converges");
+        // Branch current (p→n through source) must be −v/r, up to the
+        // gmin (1e-12 S) path that the assembler adds to ground.
+        let layout = op.layout();
+        let ib = op.x[layout.size() - 1];
+        let tol = 1e-9 * (v / r).abs() + 1.1e-12 * v.abs() + 1e-14;
+        prop_assert!((ib + v / r).abs() < tol, "ib {} vs {}", ib, -v / r);
+    }
+
+    /// PULSE waveforms stay within [min(v1,v2), max(v1,v2)].
+    #[test]
+    fn pulse_bounded(
+        v1 in -5.0f64..5.0,
+        v2 in -5.0f64..5.0,
+        t in 0.0f64..100e-9,
+    ) {
+        let w = SourceWave::Pulse {
+            v1, v2,
+            delay: 5e-9, rise: 1e-9, fall: 1e-9, width: 10e-9, period: 30e-9,
+        };
+        let val = w.value_at(t, &[]);
+        prop_assert!(val >= v1.min(v2) - 1e-12 && val <= v1.max(v2) + 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! Bit-error-rate references for 2-PPM energy detection.
+//!
+//! Plays the role of the paper's Matlab golden model: the Phase I
+//! VHDL-AMS description produced "BER curves which perfectly overlapped the
+//! Matlab ones". Here the reference is (a) the Gaussian approximation of
+//! the energy-detector error probability and (b) a pure-DSP Monte-Carlo
+//! path independent of the simulation kernels.
+
+use crate::modulation::{demodulate_energy, modulate, Packet, PpmConfig};
+use crate::noise::Awgn;
+use rand::Rng;
+
+/// Standard normal right-tail probability `Q(x)` via `erfc`.
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26-style rational
+/// approximation, |error| < 1.5e-7 — ample for BER curves).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let poly = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        poly
+    } else {
+        2.0 - poly
+    }
+}
+
+/// Gaussian-approximation BER of 2-PPM energy detection.
+///
+/// With integration window `T` and receiver bandwidth `W`, the detector in
+/// each slot collects `D ≈ 2TW` noise degrees of freedom; the slot-energy
+/// difference is approximately Gaussian with mean `Eb` and variance
+/// `D·N0² + 2·N0·Eb`, giving
+///
+/// ```text
+/// BER = Q( (Eb/N0) / sqrt(D + 2·Eb/N0) )
+/// ```
+pub fn ppm2_energy_detection_ber(ebn0_linear: f64, dof: f64) -> f64 {
+    q_function(ebn0_linear / (dof + 2.0 * ebn0_linear).sqrt())
+}
+
+/// Same, from dB.
+pub fn ppm2_energy_detection_ber_db(ebn0_db: f64, dof: f64) -> f64 {
+    ppm2_energy_detection_ber(10f64.powf(ebn0_db / 10.0), dof)
+}
+
+/// Coherent antipodal reference `Q(sqrt(2·Eb/N0))` (the lower bound no
+/// energy detector reaches; useful context in plots).
+pub fn antipodal_ber_db(ebn0_db: f64) -> f64 {
+    q_function((2.0 * 10f64.powf(ebn0_db / 10.0)).sqrt())
+}
+
+/// Result of a Monte-Carlo BER estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerEstimate {
+    /// Bit errors observed.
+    pub errors: u64,
+    /// Bits simulated.
+    pub bits: u64,
+}
+
+impl BerEstimate {
+    /// Point estimate (0 when no bits were run).
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.bits as f64
+        }
+    }
+
+    /// 95 % Wilson confidence interval half-width.
+    pub fn ci95(&self) -> f64 {
+        if self.bits == 0 {
+            return 1.0;
+        }
+        let p = self.ber();
+        1.96 * (p * (1.0 - p) / self.bits as f64).sqrt()
+    }
+}
+
+/// Pure-DSP Monte-Carlo BER of the genie-timed energy detector — the
+/// independent golden path used to validate the Phase I kernel results.
+pub fn monte_carlo_ber(
+    cfg: &PpmConfig,
+    ebn0_db: f64,
+    num_bits: usize,
+    rng: &mut impl Rng,
+) -> BerEstimate {
+    let awgn = Awgn::from_ebn0_db(cfg.pulse_energy, ebn0_db);
+    let block = 64usize;
+    let mut errors = 0u64;
+    let mut sent = 0u64;
+    while (sent as usize) < num_bits {
+        let n = block.min(num_bits - sent as usize);
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let pkt = Packet::new(0, bits.clone());
+        let mut rx = modulate(&pkt, cfg);
+        awgn.add_to(&mut rx, rng);
+        let decided = demodulate_energy(&rx, cfg, 0.0, n);
+        errors += decided
+            .iter()
+            .zip(&bits)
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+        sent += n as u64;
+    }
+    BerEstimate {
+        errors,
+        bits: sent,
+    }
+}
+
+/// Effective noise degrees of freedom of the genie detector under `cfg`:
+/// `D = 2·T·W` with `T = Ts/2` and `W` the pulse bandwidth... but for a
+/// *sampled* detector summing `N = T·fs` squared samples of white noise the
+/// exact count is `D = N = T·fs`.
+pub fn detector_dof(cfg: &PpmConfig) -> f64 {
+    cfg.slot() * cfg.sample_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn q_function_known_values() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-7);
+        assert!((q_function(1.0) - 0.158655).abs() < 1e-5);
+        assert!((q_function(3.0) - 1.349898e-3).abs() < 1e-7);
+        assert!((q_function(-1.0) - 0.841345).abs() < 1e-5);
+    }
+
+    #[test]
+    fn theory_curve_is_monotone_decreasing() {
+        let dof = 640.0;
+        let mut prev = 1.0;
+        for db in 0..=20 {
+            let ber = ppm2_energy_detection_ber_db(db as f64, dof);
+            assert!(ber < prev);
+            prev = ber;
+        }
+        // Sane magnitudes for the paper's 0–14 dB sweep.
+        assert!(ppm2_energy_detection_ber_db(0.0, dof) > 0.3);
+        assert!(ppm2_energy_detection_ber_db(20.0, dof) < 1e-3);
+    }
+
+    #[test]
+    fn more_dof_is_worse() {
+        // Noise-only DOF penalty of energy detection.
+        let lo = ppm2_energy_detection_ber_db(12.0, 100.0);
+        let hi = ppm2_energy_detection_ber_db(12.0, 2000.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn antipodal_beats_energy_detection() {
+        for db in [4.0, 8.0, 12.0] {
+            assert!(antipodal_ber_db(db) < ppm2_energy_detection_ber_db(db, 300.0));
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_theory_shape() {
+        // Reduced slot for tractable DOF, then MC vs theory at two points.
+        let cfg = PpmConfig {
+            symbol_period: 8e-9,
+            intra_slot_offset: 1e-9,
+            ..Default::default()
+        };
+        let dof = detector_dof(&cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for ebn0_db in [10.0, 14.0] {
+            let est = monte_carlo_ber(&cfg, ebn0_db, 4000, &mut rng);
+            let theory = ppm2_energy_detection_ber_db(ebn0_db, dof);
+            let tol = 3.0 * est.ci95() + 0.5 * theory;
+            assert!(
+                (est.ber() - theory).abs() < tol.max(0.01),
+                "Eb/N0 {ebn0_db} dB: mc {} vs theory {theory}",
+                est.ber()
+            );
+        }
+    }
+
+    #[test]
+    fn ber_estimate_statistics() {
+        let e = BerEstimate { errors: 10, bits: 1000 };
+        assert!((e.ber() - 0.01).abs() < 1e-12);
+        assert!(e.ci95() > 0.0 && e.ci95() < 0.01);
+        let z = BerEstimate { errors: 0, bits: 0 };
+        assert_eq!(z.ber(), 0.0);
+        assert_eq!(z.ci95(), 1.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Circuit design-constraint extraction from channel ensembles.
+//!
+//! The paper derives its integrator requirements this way: "Some of the
+//! integrator design constraints such as slew rate and bandwidth, have
+//! been extrapolated from the analysis of 100 UWB TG4a CM1 waveform
+//! realizations". This module regenerates that analysis: draw an ensemble
+//! of channel realisations, push a unit pulse through each, square it
+//! (the integrator sees the squarer output), and collect the waveform
+//! statistics that become circuit specifications.
+
+use crate::channel::{realize, ChannelRealization, Tg4aModel};
+use crate::pulse::PulseShape;
+use crate::waveform::Waveform;
+use rand::Rng;
+
+/// Per-realisation waveform measurements at the integrator input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealizationMetrics {
+    /// Maximum |d/dt| of the squared received waveform, V/s (per unit
+    /// received pulse amplitude — scale by the real drive level).
+    pub slew_rate: f64,
+    /// Peak amplitude of the squared waveform, V.
+    pub peak: f64,
+    /// Width of the window capturing 90 % of the received energy, s.
+    pub energy_window_90: f64,
+    /// RMS delay spread of the channel realisation, s.
+    pub rms_delay_spread: f64,
+}
+
+/// The collected ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintEnsemble {
+    /// One entry per realisation.
+    pub metrics: Vec<RealizationMetrics>,
+}
+
+/// Integrator requirements distilled from an ensemble at a percentile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntegratorRequirements {
+    /// Required output slew capability, V/s (input slew × unity K assumed).
+    pub slew_rate: f64,
+    /// Required bandwidth, Hz (from the squared waveform's fastest edge:
+    /// `BW ≈ slew / (2π · peak)`).
+    pub bandwidth: f64,
+    /// Input dynamic range between the weakest and strongest ensemble
+    /// peaks, dB.
+    pub dynamic_range_db: f64,
+    /// Integration window capturing 90 % of the energy, s.
+    pub integration_window: f64,
+}
+
+/// RMS delay spread of a realisation's power delay profile.
+pub fn rms_delay_spread(ch: &ChannelRealization) -> f64 {
+    let e: f64 = ch.multipath_energy();
+    if e <= 0.0 {
+        return 0.0;
+    }
+    let mean: f64 = ch.taps.iter().map(|&(d, a)| d * a * a).sum::<f64>() / e;
+    (ch.taps
+        .iter()
+        .map(|&(d, a)| (d - mean).powi(2) * a * a)
+        .sum::<f64>()
+        / e)
+        .sqrt()
+}
+
+/// Smallest window (anywhere in the waveform) containing `frac` of the
+/// total energy, s.
+pub fn energy_capture_window(w: &Waveform, frac: f64) -> f64 {
+    let total = w.energy();
+    if total <= 0.0 || w.is_empty() {
+        return 0.0;
+    }
+    let target = frac.clamp(0.0, 1.0) * total;
+    // Two-pointer sweep over the cumulative energy.
+    let e: Vec<f64> = w.samples().iter().map(|x| x * x / w.sample_rate()).collect();
+    let mut best = w.len();
+    let mut acc = 0.0;
+    let mut lo = 0usize;
+    for hi in 0..e.len() {
+        acc += e[hi];
+        while acc - e[lo] >= target && lo < hi {
+            acc -= e[lo];
+            lo += 1;
+        }
+        if acc >= target {
+            best = best.min(hi - lo + 1);
+        }
+    }
+    best as f64 / w.sample_rate()
+}
+
+/// Maximum absolute slope of a waveform, V/s.
+pub fn max_slew(w: &Waveform) -> f64 {
+    let dt = w.dt();
+    w.samples()
+        .windows(2)
+        .map(|p| (p[1] - p[0]).abs() / dt)
+        .fold(0.0, f64::max)
+}
+
+/// Measures one realisation: unit-energy pulse through the channel
+/// (multipath only — the amplitude scale is the caller's link budget),
+/// then squared, then measured.
+pub fn measure_realization(
+    ch: &ChannelRealization,
+    pulse: &PulseShape,
+    fs: f64,
+) -> RealizationMetrics {
+    let tx = pulse.sampled(fs);
+    // Multipath shape only: strip the bulk path loss so metrics are per
+    // unit received amplitude.
+    let shaped = ChannelRealization {
+        taps: ch.taps.clone(),
+        propagation_delay: 0.0,
+        path_gain: 1.0,
+    }
+    .apply(&tx);
+    let mut squared = shaped.clone();
+    for s in squared.samples_mut() {
+        *s = *s * *s;
+    }
+    RealizationMetrics {
+        slew_rate: max_slew(&squared),
+        peak: squared.peak(),
+        energy_window_90: energy_capture_window(&shaped, 0.9),
+        rms_delay_spread: rms_delay_spread(ch),
+    }
+}
+
+/// Draws `n` realisations of `model` at `distance` and measures each —
+/// the paper's "100 CM1 waveform realizations" step is
+/// `extract_constraints(Tg4aModel::Cm1, d, 100, …)`.
+pub fn extract_constraints(
+    model: Tg4aModel,
+    distance: f64,
+    n: usize,
+    pulse: &PulseShape,
+    fs: f64,
+    rng: &mut impl Rng,
+) -> ConstraintEnsemble {
+    let metrics = (0..n)
+        .map(|_| {
+            let ch = realize(model, distance, rng);
+            measure_realization(&ch, pulse, fs)
+        })
+        .collect();
+    ConstraintEnsemble { metrics }
+}
+
+/// Percentile (0–100) of a sample by linear interpolation.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "need samples");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pos = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+}
+
+impl ConstraintEnsemble {
+    /// Number of realisations.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Distils circuit requirements covering `coverage` percent of the
+    /// ensemble (the paper-style specification step).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ensemble.
+    pub fn requirements(&self, coverage: f64) -> IntegratorRequirements {
+        let slews: Vec<f64> = self.metrics.iter().map(|m| m.slew_rate).collect();
+        let peaks: Vec<f64> = self.metrics.iter().map(|m| m.peak).collect();
+        let windows: Vec<f64> = self.metrics.iter().map(|m| m.energy_window_90).collect();
+        let slew = percentile(&slews, coverage);
+        let peak_hi = percentile(&peaks, coverage);
+        let peak_lo = percentile(&peaks, 100.0 - coverage).max(1e-30);
+        IntegratorRequirements {
+            slew_rate: slew,
+            bandwidth: slew / (2.0 * std::f64::consts::PI * peak_hi.max(1e-30)),
+            dynamic_range_db: 10.0 * (peak_hi / peak_lo).log10(),
+            integration_window: percentile(&windows, coverage),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ensemble(n: usize) -> ConstraintEnsemble {
+        let mut rng = ChaCha8Rng::seed_from_u64(100);
+        extract_constraints(
+            Tg4aModel::Cm1,
+            5.0,
+            n,
+            &PulseShape::default(),
+            20e9,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 25.0), 2.0);
+    }
+
+    #[test]
+    fn energy_window_of_rect_is_its_width() {
+        // 10 equal samples: 90% of energy needs 9 samples.
+        let w = Waveform::new(1e9, vec![1.0; 10]);
+        let win = energy_capture_window(&w, 0.9);
+        assert!((win - 9e-9).abs() < 1.01e-9, "win {win}");
+        // A single impulse: one sample suffices.
+        let mut imp = Waveform::zeros(1e9, 10);
+        imp.samples_mut()[4] = 1.0;
+        assert!((energy_capture_window(&imp, 0.9) - 1e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_slew_of_ramp() {
+        let w = Waveform::new(1e9, vec![0.0, 1.0, 1.5, 1.5]);
+        assert!((max_slew(&w) - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn hundred_cm1_realizations_give_ghz_class_requirements() {
+        // The paper's exact step: 100 CM1 realisations → slew/bandwidth.
+        let ens = ensemble(100);
+        assert_eq!(ens.len(), 100);
+        let req = ens.requirements(95.0);
+        // Sub-nanosecond squared pulses ⇒ GHz-class bandwidth requirement.
+        assert!(
+            req.bandwidth > 0.3e9 && req.bandwidth < 60e9,
+            "bandwidth {:.3e}",
+            req.bandwidth
+        );
+        assert!(req.slew_rate > 0.0);
+        // Fading across realisations spans a meaningful dynamic range.
+        assert!(req.dynamic_range_db > 1.0, "DR {}", req.dynamic_range_db);
+        // CM1 multipath needs tens of nanoseconds to capture 90 % energy.
+        assert!(
+            req.integration_window > 5e-9 && req.integration_window < 200e-9,
+            "window {:.3e}",
+            req.integration_window
+        );
+    }
+
+    #[test]
+    fn rms_delay_spread_of_single_tap_is_zero() {
+        let ch = ChannelRealization {
+            taps: vec![(3e-9, 1.0)],
+            propagation_delay: 0.0,
+            path_gain: 1.0,
+        };
+        assert!(rms_delay_spread(&ch) < 1e-15);
+    }
+
+    #[test]
+    fn requirements_tighten_with_coverage() {
+        let ens = ensemble(60);
+        let r90 = ens.requirements(90.0);
+        let r50 = ens.requirements(50.0);
+        assert!(r90.slew_rate >= r50.slew_rate);
+        assert!(r90.integration_window >= r50.integration_window);
+    }
+}

@@ -1,0 +1,103 @@
+//! Additive white Gaussian noise with Eb/N0 calibration.
+//!
+//! For a sampled waveform at rate `fs`, white noise of two-sided PSD `N0/2`
+//! has per-sample variance `σ² = (N0/2)·fs`. Eb/N0 sweeps therefore fix
+//! `N0 = Eb / (Eb/N0)` from the known per-bit energy and derive σ.
+
+use crate::waveform::Waveform;
+use rand::Rng;
+
+/// AWGN parameterised by noise spectral density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Awgn {
+    /// One-sided noise power spectral density `N0`, V²s.
+    pub n0: f64,
+}
+
+impl Awgn {
+    /// Noise source with one-sided PSD `n0`.
+    pub fn new(n0: f64) -> Self {
+        Awgn { n0 }
+    }
+
+    /// Noise calibrated so a signal of per-bit energy `eb` sees the given
+    /// `Eb/N0` (linear ratio, not dB).
+    pub fn from_ebn0(eb: f64, ebn0_linear: f64) -> Self {
+        Awgn {
+            n0: eb / ebn0_linear,
+        }
+    }
+
+    /// Noise calibrated from an `Eb/N0` given in dB.
+    pub fn from_ebn0_db(eb: f64, ebn0_db: f64) -> Self {
+        Self::from_ebn0(eb, 10f64.powf(ebn0_db / 10.0))
+    }
+
+    /// Per-sample standard deviation at sample rate `fs`.
+    pub fn sigma(&self, fs: f64) -> f64 {
+        (0.5 * self.n0 * fs).sqrt()
+    }
+
+    /// Adds noise to `w` in place.
+    pub fn add_to(&self, w: &mut Waveform, rng: &mut impl Rng) {
+        let sigma = self.sigma(w.sample_rate());
+        for s in w.samples_mut() {
+            *s += sigma * standard_normal(rng);
+        }
+    }
+}
+
+/// One standard normal draw (Box-Muller).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sigma_scales_with_rate_and_n0() {
+        let a = Awgn::new(4e-18);
+        assert!((a.sigma(20e9) - (0.5f64 * 4e-18 * 20e9).sqrt()).abs() < 1e-18);
+        let b = Awgn::from_ebn0_db(1e-15, 10.0);
+        assert!((b.n0 - 1e-16).abs() < 1e-28);
+    }
+
+    #[test]
+    fn measured_variance_matches_sigma() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let awgn = Awgn::new(1e-18);
+        let mut w = Waveform::zeros(20e9, 100_000);
+        awgn.add_to(&mut w, &mut rng);
+        let var: f64 =
+            w.samples().iter().map(|x| x * x).sum::<f64>() / w.len() as f64;
+        let expect = 0.5 * 1e-18 * 20e9;
+        assert!((var - expect).abs() / expect < 0.02, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn noise_mean_is_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let awgn = Awgn::new(1e-18);
+        let mut w = Waveform::zeros(20e9, 100_000);
+        awgn.add_to(&mut w, &mut rng);
+        let mean: f64 = w.samples().iter().sum::<f64>() / w.len() as f64;
+        assert!(mean.abs() < 3.0 * awgn.sigma(20e9) / (w.len() as f64).sqrt() * 2.0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+}

@@ -1,0 +1,140 @@
+//! UWB pulse shapes.
+//!
+//! Sub-nanosecond baseband pulses sent directly to the wideband antenna
+//! (impulse radio, no carrier). Gaussian-derivative families are the
+//! standard choices; the second derivative ("doublet") has no DC content
+//! and a bandwidth matching the FCC 3.1–10.6 GHz band for τ ≈ 60–100 ps.
+
+use crate::waveform::Waveform;
+
+/// A parameterised UWB pulse shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PulseShape {
+    /// First Gaussian derivative (monocycle).
+    GaussianMonocycle {
+        /// Shape time constant τ, s.
+        tau: f64,
+    },
+    /// Second Gaussian derivative (doublet) — the default for this system.
+    GaussianDoublet {
+        /// Shape time constant τ, s.
+        tau: f64,
+    },
+    /// Fifth Gaussian derivative, FCC-mask friendly.
+    GaussianFifth {
+        /// Shape time constant τ, s.
+        tau: f64,
+    },
+}
+
+impl Default for PulseShape {
+    fn default() -> Self {
+        PulseShape::GaussianDoublet { tau: 80e-12 }
+    }
+}
+
+impl PulseShape {
+    /// Shape time constant τ.
+    pub fn tau(&self) -> f64 {
+        match *self {
+            PulseShape::GaussianMonocycle { tau }
+            | PulseShape::GaussianDoublet { tau }
+            | PulseShape::GaussianFifth { tau } => tau,
+        }
+    }
+
+    /// Evaluates the (unnormalised) pulse centred at `t = 0`.
+    pub fn eval(&self, t: f64) -> f64 {
+        let tau = self.tau();
+        let u = t / tau;
+        let g = (-0.5 * u * u).exp();
+        match self {
+            PulseShape::GaussianMonocycle { .. } => -u * g,
+            PulseShape::GaussianDoublet { .. } => (u * u - 1.0) * g,
+            PulseShape::GaussianFifth { .. } => {
+                -(u.powi(5) - 10.0 * u.powi(3) + 15.0 * u) * g
+            }
+        }
+    }
+
+    /// Practical pulse duration: the support `[-4τ, 4τ]` window, s.
+    pub fn duration(&self) -> f64 {
+        8.0 * self.tau()
+    }
+
+    /// Samples the pulse over its support at rate `fs`, normalised to
+    /// **unit energy** (so the modulator sets `Eb` by simple scaling).
+    pub fn sampled(&self, fs: f64) -> Waveform {
+        let half = self.duration() / 2.0;
+        let mut w = Waveform::from_fn(fs, self.duration(), |t| self.eval(t - half));
+        let e = w.energy();
+        if e > 0.0 {
+            w.scale(1.0 / e.sqrt());
+        }
+        w
+    }
+
+    /// Rough −10 dB bandwidth estimate, Hz (peak emission frequency scale
+    /// `≈ 1/(2πτ)` times a derivative-order factor).
+    pub fn bandwidth(&self) -> f64 {
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * self.tau());
+        match self {
+            PulseShape::GaussianMonocycle { .. } => 2.0 * f0,
+            PulseShape::GaussianDoublet { .. } => 2.5 * f0,
+            PulseShape::GaussianFifth { .. } => 3.5 * f0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_pulse_has_unit_energy() {
+        for shape in [
+            PulseShape::GaussianMonocycle { tau: 80e-12 },
+            PulseShape::GaussianDoublet { tau: 80e-12 },
+            PulseShape::GaussianFifth { tau: 60e-12 },
+        ] {
+            let w = shape.sampled(20e9);
+            assert!(
+                (w.energy() - 1.0).abs() < 1e-12,
+                "energy {} for {shape:?}",
+                w.energy()
+            );
+        }
+    }
+
+    #[test]
+    fn doublet_is_symmetric_and_dc_free() {
+        let s = PulseShape::GaussianDoublet { tau: 100e-12 };
+        assert!((s.eval(0.3e-9) - s.eval(-0.3e-9)).abs() < 1e-15, "even");
+        // Integral ≈ 0 (no DC): sum samples.
+        let w = s.sampled(50e9);
+        let sum: f64 = w.samples().iter().sum();
+        assert!(sum.abs() < 1e-3 * w.peak() * w.len() as f64);
+    }
+
+    #[test]
+    fn monocycle_is_odd() {
+        let s = PulseShape::GaussianMonocycle { tau: 100e-12 };
+        assert!((s.eval(0.2e-9) + s.eval(-0.2e-9)).abs() < 1e-15);
+        assert_eq!(s.eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn duration_and_bandwidth_scale_with_tau() {
+        let fast = PulseShape::GaussianDoublet { tau: 50e-12 };
+        let slow = PulseShape::GaussianDoublet { tau: 200e-12 };
+        assert!(fast.duration() < slow.duration());
+        assert!(fast.bandwidth() > slow.bandwidth());
+        // τ = 80 ps doublet: multi-GHz bandwidth, i.e. genuinely UWB.
+        assert!(PulseShape::default().bandwidth() > 3e9);
+    }
+
+    #[test]
+    fn default_duration_is_subnanosecond() {
+        assert!(PulseShape::default().duration() < 1e-9);
+    }
+}

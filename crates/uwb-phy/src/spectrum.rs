@@ -1,0 +1,251 @@
+//! Spectral analysis and the FCC UWB emission mask.
+//!
+//! The paper's opening premise: "the Federal Communications Commission
+//! released the spectrum between 3.1 and 10.6 GHz for unlicensed use in
+//! 2002". This module estimates a waveform's power spectral density and
+//! checks pulse shapes against the FCC indoor UWB mask, so transmit pulse
+//! choices can be justified quantitatively.
+
+use crate::pulse::PulseShape;
+use crate::waveform::Waveform;
+
+/// Power spectral density estimate on a frequency grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Psd {
+    /// Frequencies, Hz.
+    pub freqs: Vec<f64>,
+    /// Relative power density, dB (0 dB = the spectral peak).
+    pub db: Vec<f64>,
+}
+
+impl Psd {
+    /// Frequency of the spectral peak.
+    pub fn peak_frequency(&self) -> f64 {
+        self.freqs
+            .iter()
+            .zip(&self.db)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(&f, _)| f)
+            .unwrap_or(0.0)
+    }
+
+    /// Lowest and highest frequencies within `drop_db` of the peak —
+    /// the `−drop_db` occupied band.
+    pub fn occupied_band(&self, drop_db: f64) -> (f64, f64) {
+        let lo = self
+            .freqs
+            .iter()
+            .zip(&self.db)
+            .find(|(_, &d)| d >= -drop_db)
+            .map(|(&f, _)| f)
+            .unwrap_or(0.0);
+        let hi = self
+            .freqs
+            .iter()
+            .zip(&self.db)
+            .rev()
+            .find(|(_, &d)| d >= -drop_db)
+            .map(|(&f, _)| f)
+            .unwrap_or(0.0);
+        (lo, hi)
+    }
+}
+
+/// Direct DFT power estimate of `w` at each frequency in `freqs`
+/// (Goertzel-style single-bin evaluation; fine for the few hundred grid
+/// points spectral masks need), normalised so the peak is 0 dB.
+///
+/// # Panics
+///
+/// Panics if `freqs` is empty or `w` is empty.
+pub fn estimate_psd(w: &Waveform, freqs: &[f64]) -> Psd {
+    assert!(!freqs.is_empty(), "need frequencies");
+    assert!(!w.is_empty(), "need samples");
+    let dt = w.dt();
+    let mut power: Vec<f64> = freqs
+        .iter()
+        .map(|&f| {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            let (mut re, mut im) = (0.0f64, 0.0f64);
+            for (i, &x) in w.samples().iter().enumerate() {
+                let phi = omega * (i as f64) * dt;
+                re += x * phi.cos();
+                im -= x * phi.sin();
+            }
+            (re * re + im * im) * dt * dt
+        })
+        .collect();
+    let peak = power.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+    for p in &mut power {
+        *p = 10.0 * (*p / peak).max(1e-30).log10();
+    }
+    Psd {
+        freqs: freqs.to_vec(),
+        db: power,
+    }
+}
+
+/// One segment of an emission mask: limit (dBr relative to the in-band
+/// allowance) over `[f_lo, f_hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskSegment {
+    /// Segment start, Hz.
+    pub f_lo: f64,
+    /// Segment end, Hz.
+    pub f_hi: f64,
+    /// Allowed level relative to the in-band limit, dB.
+    pub limit_dbr: f64,
+}
+
+/// The FCC indoor UWB mask, expressed relative to the −41.3 dBm/MHz
+/// in-band allowance (Part 15.517): 0 dBr in 3.1–10.6 GHz, −10 dBr in
+/// 1.99–3.1 GHz, −34 dBr below 0.96 GHz, −10 dBr above 10.6 GHz, with the
+/// GPS notch at −34 dBr in 0.96–1.61 GHz.
+pub fn fcc_indoor_mask() -> Vec<MaskSegment> {
+    vec![
+        MaskSegment { f_lo: 0.0, f_hi: 0.96e9, limit_dbr: -34.0 },
+        MaskSegment { f_lo: 0.96e9, f_hi: 1.61e9, limit_dbr: -34.0 },
+        MaskSegment { f_lo: 1.61e9, f_hi: 1.99e9, limit_dbr: -23.3 },
+        MaskSegment { f_lo: 1.99e9, f_hi: 3.1e9, limit_dbr: -10.0 },
+        MaskSegment { f_lo: 3.1e9, f_hi: 10.6e9, limit_dbr: 0.0 },
+        MaskSegment { f_lo: 10.6e9, f_hi: f64::INFINITY, limit_dbr: -10.0 },
+    ]
+}
+
+/// Result of a mask check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskReport {
+    /// Worst margin, dB (positive = compliant everywhere by that much).
+    pub worst_margin_db: f64,
+    /// Frequency of the worst margin, Hz.
+    pub worst_frequency: f64,
+    /// `true` when the spectrum (peak-normalised to the in-band limit)
+    /// stays below the mask everywhere.
+    pub compliant: bool,
+}
+
+/// Checks a peak-normalised PSD against a mask. The PSD's 0 dB point is
+/// assumed to sit at the in-band allowance (i.e. transmit power is scaled
+/// so the strongest emission exactly meets the in-band limit).
+pub fn check_mask(psd: &Psd, mask: &[MaskSegment]) -> MaskReport {
+    let mut worst = f64::INFINITY;
+    let mut worst_f = 0.0;
+    for (&f, &d) in psd.freqs.iter().zip(&psd.db) {
+        let limit = mask
+            .iter()
+            .find(|seg| f >= seg.f_lo && f < seg.f_hi)
+            .map(|seg| seg.limit_dbr)
+            .unwrap_or(0.0);
+        let margin = limit - d;
+        if margin < worst {
+            worst = margin;
+            worst_f = f;
+        }
+    }
+    MaskReport {
+        worst_margin_db: worst,
+        worst_frequency: worst_f,
+        compliant: worst >= 0.0,
+    }
+}
+
+/// Convenience: PSD of a pulse shape on a uniform grid to `f_max`.
+pub fn pulse_psd(shape: &PulseShape, fs: f64, f_max: f64, points: usize) -> Psd {
+    let w = shape.sampled(fs);
+    let freqs: Vec<f64> = (1..=points)
+        .map(|i| f_max * i as f64 / points as f64)
+        .collect();
+    estimate_psd(&w, &freqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sine_psd_peaks_at_its_frequency() {
+        let f0 = 2e9;
+        let w = Waveform::from_fn(20e9, 50e-9, |t| {
+            (2.0 * std::f64::consts::PI * f0 * t).sin()
+        });
+        let freqs: Vec<f64> = (1..100).map(|i| i as f64 * 50e6).collect();
+        let psd = estimate_psd(&w, &freqs);
+        assert!((psd.peak_frequency() - f0).abs() <= 50e6);
+    }
+
+    #[test]
+    fn doublet_peak_is_in_the_uwb_band_class() {
+        let psd = pulse_psd(&PulseShape::GaussianDoublet { tau: 80e-12 }, 40e9, 12e9, 240);
+        let fp = psd.peak_frequency();
+        assert!(fp > 1.5e9 && fp < 6e9, "peak at {fp:.3e}");
+        let (lo, hi) = psd.occupied_band(10.0);
+        assert!(hi - lo > 2e9, "multi-GHz −10 dB bandwidth: {:.3e}", hi - lo);
+    }
+
+    #[test]
+    fn fifth_derivative_beats_doublet_on_the_gps_notch() {
+        // Higher derivatives push energy up and away from the GPS band —
+        // the standard argument for the 5th-derivative pulse.
+        let grid: Vec<f64> = (1..=240).map(|i| i as f64 * 50e6).collect();
+        let d2 = estimate_psd(
+            &PulseShape::GaussianDoublet { tau: 51e-12 }.sampled(40e9),
+            &grid,
+        );
+        let d5 = estimate_psd(
+            &PulseShape::GaussianFifth { tau: 51e-12 }.sampled(40e9),
+            &grid,
+        );
+        let gps = 1.5e9;
+        let at = |psd: &Psd| {
+            psd.freqs
+                .iter()
+                .zip(&psd.db)
+                .min_by(|a, b| {
+                    (a.0 - gps).abs().partial_cmp(&(b.0 - gps).abs()).expect("finite")
+                })
+                .map(|(_, &d)| d)
+                .expect("non-empty")
+        };
+        assert!(
+            at(&d5) < at(&d2) - 10.0,
+            "5th derivative at GPS {:.1} dB vs doublet {:.1} dB",
+            at(&d5),
+            at(&d2)
+        );
+    }
+
+    #[test]
+    fn mask_segments_cover_the_axis() {
+        let mask = fcc_indoor_mask();
+        for f in [0.5e9, 1.2e9, 1.8e9, 2.5e9, 5e9, 12e9] {
+            assert!(
+                mask.iter().any(|s| f >= s.f_lo && f < s.f_hi),
+                "uncovered {f:.2e}"
+            );
+        }
+        // In-band allowance is the reference level.
+        let inband = mask.iter().find(|s| s.f_lo == 3.1e9).expect("in-band seg");
+        assert_eq!(inband.limit_dbr, 0.0);
+    }
+
+    #[test]
+    fn narrow_tone_inside_the_band_is_compliant() {
+        let w = Waveform::from_fn(20e9, 100e-9, |t| {
+            (2.0 * std::f64::consts::PI * 6e9 * t).sin()
+        });
+        let freqs: Vec<f64> = (1..=240).map(|i| i as f64 * 50e6).collect();
+        let report = check_mask(&estimate_psd(&w, &freqs), &fcc_indoor_mask());
+        assert!(report.compliant, "margin {}", report.worst_margin_db);
+    }
+
+    #[test]
+    fn low_frequency_tone_violates() {
+        let w = Waveform::from_fn(20e9, 200e-9, |t| {
+            (2.0 * std::f64::consts::PI * 0.5e9 * t).sin()
+        });
+        let freqs: Vec<f64> = (1..=240).map(|i| i as f64 * 50e6).collect();
+        let report = check_mask(&estimate_psd(&w, &freqs), &fcc_indoor_mask());
+        assert!(!report.compliant);
+        assert!(report.worst_frequency < 1.0e9);
+    }
+}

@@ -1,0 +1,219 @@
+//! Sampled waveforms.
+//!
+//! A [`Waveform`] is a uniformly sampled real signal with an explicit sample
+//! rate — the common currency between the transmitter, channel, noise and
+//! receiver blocks.
+
+/// A uniformly sampled real-valued signal.
+///
+/// # Examples
+///
+/// ```
+/// use uwb_phy::waveform::Waveform;
+///
+/// let mut w = Waveform::zeros(20e9, 100); // 5 ns at 20 GS/s
+/// w.samples_mut()[10] = 1.0;
+/// assert_eq!(w.duration(), 100.0 / 20e9);
+/// assert!((w.energy() - 1.0 / 20e9).abs() < 1e-18);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    fs: f64,
+    samples: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from samples at rate `fs` (Hz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs` is not positive and finite.
+    pub fn new(fs: f64, samples: Vec<f64>) -> Self {
+        assert!(fs.is_finite() && fs > 0.0, "sample rate must be positive");
+        Waveform { fs, samples }
+    }
+
+    /// An all-zero waveform of `len` samples.
+    pub fn zeros(fs: f64, len: usize) -> Self {
+        Waveform::new(fs, vec![0.0; len])
+    }
+
+    /// Builds a waveform by evaluating `f(t)` at each sample instant over
+    /// `[0, duration)`.
+    pub fn from_fn(fs: f64, duration: f64, f: impl Fn(f64) -> f64) -> Self {
+        let n = (duration * fs).round() as usize;
+        Waveform::new(fs, (0..n).map(|i| f(i as f64 / fs)).collect())
+    }
+
+    /// Sample rate, Hz.
+    pub fn sample_rate(&self) -> f64 {
+        self.fs
+    }
+
+    /// Sample period, s.
+    pub fn dt(&self) -> f64 {
+        1.0 / self.fs
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total duration, s.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / self.fs
+    }
+
+    /// Immutable sample access.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mutable sample access.
+    pub fn samples_mut(&mut self) -> &mut [f64] {
+        &mut self.samples
+    }
+
+    /// Consumes the waveform, returning its samples.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
+    }
+
+    /// Signal value at time `t` (zero outside the span, no interpolation).
+    pub fn at(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        let i = (t * self.fs).round() as usize;
+        self.samples.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Signal energy `∫ x²(t) dt` (discrete approximation).
+    pub fn energy(&self) -> f64 {
+        self.samples.iter().map(|x| x * x).sum::<f64>() / self.fs
+    }
+
+    /// Peak absolute amplitude.
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Scales all samples in place.
+    pub fn scale(&mut self, k: f64) {
+        for s in &mut self.samples {
+            *s *= k;
+        }
+    }
+
+    /// Adds `other` into `self` starting at `offset` seconds
+    /// (sample rates must match; clipped to `self`'s span).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sample rates differ.
+    pub fn add_at(&mut self, other: &Waveform, offset: f64) {
+        assert!(
+            (self.fs - other.fs).abs() < 1e-6 * self.fs,
+            "sample-rate mismatch"
+        );
+        let start = (offset * self.fs).round() as i64;
+        for (i, &v) in other.samples.iter().enumerate() {
+            let idx = start + i as i64;
+            if idx >= 0 {
+                if let Some(slot) = self.samples.get_mut(idx as usize) {
+                    *slot += v;
+                }
+            }
+        }
+    }
+
+    /// Full linear convolution with a (typically short) impulse response
+    /// given as (delay-in-samples, amplitude) taps — the sparse form a
+    /// multipath channel produces. Output length = input length + max tap.
+    pub fn convolve_taps(&self, taps: &[(usize, f64)]) -> Waveform {
+        let max_delay = taps.iter().map(|&(d, _)| d).max().unwrap_or(0);
+        let mut out = vec![0.0; self.samples.len() + max_delay];
+        for &(d, a) in taps {
+            if a == 0.0 {
+                continue;
+            }
+            for (i, &x) in self.samples.iter().enumerate() {
+                out[i + d] += a * x;
+            }
+        }
+        Waveform::new(self.fs, out)
+    }
+
+    /// Extends (or truncates) to exactly `len` samples, zero-padding.
+    pub fn resize(&mut self, len: usize) {
+        self.samples.resize(len, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_samples_correctly() {
+        let w = Waveform::from_fn(1e9, 10e-9, |t| t * 1e9);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.samples()[3], 3.0);
+    }
+
+    #[test]
+    fn energy_of_unit_rect() {
+        // 1 V for 5 ns → E = 5e-9 V²s.
+        let w = Waveform::new(1e9, vec![1.0; 5]);
+        assert!((w.energy() - 5e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn add_at_respects_offset_and_clipping() {
+        let mut base = Waveform::zeros(1e9, 10);
+        let pulse = Waveform::new(1e9, vec![1.0, 2.0]);
+        base.add_at(&pulse, 3e-9);
+        assert_eq!(base.samples()[3], 1.0);
+        assert_eq!(base.samples()[4], 2.0);
+        // Beyond the end: silently clipped.
+        base.add_at(&pulse, 9.5e-9);
+        assert_eq!(base.len(), 10);
+    }
+
+    #[test]
+    fn convolve_taps_superposes_echoes() {
+        let w = Waveform::new(1e9, vec![1.0, 0.0, 0.0]);
+        let y = w.convolve_taps(&[(0, 1.0), (2, 0.5)]);
+        assert_eq!(y.samples(), &[1.0, 0.0, 0.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn at_is_zero_outside_span() {
+        let w = Waveform::new(1e9, vec![1.0, 2.0]);
+        assert_eq!(w.at(-1e-9), 0.0);
+        assert_eq!(w.at(1e-9), 2.0);
+        assert_eq!(w.at(10e-9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample-rate mismatch")]
+    fn mismatched_rates_panic() {
+        let mut a = Waveform::zeros(1e9, 4);
+        let b = Waveform::zeros(2e9, 4);
+        a.add_at(&b, 0.0);
+    }
+
+    #[test]
+    fn peak_and_scale() {
+        let mut w = Waveform::new(1e9, vec![0.5, -2.0, 1.0]);
+        assert_eq!(w.peak(), 2.0);
+        w.scale(0.5);
+        assert_eq!(w.peak(), 1.0);
+    }
+}

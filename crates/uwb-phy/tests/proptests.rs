@@ -1,0 +1,122 @@
+//! Property-based tests on the physical-layer invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use uwb_phy::ber::{erfc, q_function};
+use uwb_phy::channel::{realize, Tg4aModel};
+use uwb_phy::modulation::{demodulate_energy, modulate, Packet, PpmConfig};
+use uwb_phy::pulse::PulseShape;
+use uwb_phy::ranging::RangingStats;
+use uwb_phy::waveform::Waveform;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Modulated packet energy is exactly (symbols × pulse energy).
+    #[test]
+    fn packet_energy_scales(
+        bits in prop::collection::vec(any::<bool>(), 1..24),
+        preamble in 0usize..8,
+        eb_exp in -16.0f64..-12.0,
+    ) {
+        let eb = 10f64.powf(eb_exp);
+        let cfg = PpmConfig { pulse_energy: eb, ..Default::default() };
+        let pkt = Packet::new(preamble, bits.clone());
+        let tx = modulate(&pkt, &cfg);
+        let expect = (preamble + bits.len()) as f64 * eb;
+        prop_assert!((tx.energy() - expect).abs() < 1e-6 * expect);
+    }
+
+    /// Noiseless genie demodulation is error-free for any payload.
+    #[test]
+    fn noiseless_roundtrip(bits in prop::collection::vec(any::<bool>(), 1..32)) {
+        let cfg = PpmConfig::default();
+        let pkt = Packet::new(2, bits.clone());
+        let tx = modulate(&pkt, &cfg);
+        let t0 = 2.0 * cfg.symbol_period;
+        prop_assert_eq!(demodulate_energy(&tx, &cfg, t0, bits.len()), bits);
+    }
+
+    /// Unit-energy property of every pulse family at any τ.
+    #[test]
+    fn pulses_unit_energy(tau in 40e-12f64..400e-12) {
+        for shape in [
+            PulseShape::GaussianMonocycle { tau },
+            PulseShape::GaussianDoublet { tau },
+            PulseShape::GaussianFifth { tau },
+        ] {
+            let w = shape.sampled(40e9);
+            prop_assert!((w.energy() - 1.0).abs() < 1e-9, "{shape:?}: {}", w.energy());
+        }
+    }
+
+    /// Channel realisations keep unit multipath energy, sorted causal taps
+    /// and distance-consistent delay — for every model and distance.
+    #[test]
+    fn channel_invariants(
+        seed in any::<u64>(),
+        distance in 0.5f64..30.0,
+        model in prop::sample::select(vec![
+            Tg4aModel::Cm1, Tg4aModel::Cm2, Tg4aModel::Cm3, Tg4aModel::Cm4,
+        ]),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ch = realize(model, distance, &mut rng);
+        prop_assert!((ch.multipath_energy() - 1.0).abs() < 1e-9);
+        prop_assert!(ch.taps.windows(2).all(|w| w[0].0 <= w[1].0));
+        prop_assert!(ch.taps.iter().all(|&(d, _)| d >= 0.0));
+        prop_assert!(ch.path_gain > 0.0 && ch.path_gain < 1.0);
+        let c = uwb_phy::SPEED_OF_LIGHT;
+        prop_assert!((ch.propagation_delay - distance / c).abs() < 1e-15);
+    }
+
+    /// Applying a channel never increases signal energy beyond the path
+    /// gain bound (energy conservation of the normalised profile).
+    #[test]
+    fn channel_energy_bound(seed in any::<u64>(), distance in 1.0f64..20.0) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ch = realize(Tg4aModel::Cm1, distance, &mut rng);
+        let cfg = PpmConfig::default();
+        let tx = modulate(&Packet::new(0, vec![false; 4]), &cfg);
+        let rx = ch.apply(&tx);
+        // Multipath can overlap constructively sample-wise, but the profile
+        // is unit-energy, so received energy ≈ path_gain² × tx energy with
+        // a small overlap factor.
+        let bound = ch.path_gain * ch.path_gain * tx.energy() * 3.0;
+        prop_assert!(rx.energy() <= bound, "rx {} vs bound {}", rx.energy(), bound);
+    }
+
+    /// Q-function and erfc identities.
+    #[test]
+    fn q_function_identities(x in -5.0f64..5.0) {
+        prop_assert!((erfc(x) + erfc(-x) - 2.0).abs() < 1e-6);
+        let q = q_function(x);
+        prop_assert!((0.0..=1.0).contains(&q));
+        prop_assert!((q + q_function(-x) - 1.0).abs() < 1e-6);
+        // Monotone decreasing.
+        prop_assert!(q_function(x + 0.1) < q + 1e-12);
+    }
+
+    /// RangingStats mean/std match a direct computation.
+    #[test]
+    fn ranging_stats_match_manual(xs in prop::collection::vec(0.0f64..100.0, 2..20)) {
+        let s = RangingStats::from_estimates(&xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean - mean).abs() < 1e-9);
+        prop_assert!((s.std_dev - var.sqrt()).abs() < 1e-9);
+    }
+
+    /// Waveform superposition is linear: energy of a+a equals 4× energy
+    /// of a (coherent addition).
+    #[test]
+    fn waveform_superposition(samples in prop::collection::vec(-1.0f64..1.0, 4..64)) {
+        let a = Waveform::new(1e9, samples);
+        let mut sum = Waveform::zeros(1e9, a.len());
+        sum.add_at(&a, 0.0);
+        sum.add_at(&a, 0.0);
+        prop_assert!((sum.energy() - 4.0 * a.energy()).abs() < 1e-9 * (1.0 + a.energy()));
+    }
+}

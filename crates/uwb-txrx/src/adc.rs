@@ -1,0 +1,101 @@
+//! Analog-to-digital converter.
+//!
+//! Unipolar N-bit quantiser with saturation — the two non-ideal effects the
+//! paper keeps even in its "ideal" Phase II description ("quantization
+//! effects of the ADC … and saturation in the various stages").
+
+/// N-bit unipolar ADC over `[0, full_scale]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc {
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Full-scale input, V.
+    pub full_scale: f64,
+}
+
+impl Default for Adc {
+    fn default() -> Self {
+        Adc {
+            bits: 5,
+            full_scale: 0.02,
+        }
+    }
+}
+
+impl Adc {
+    /// Creates an ADC.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ bits ≤ 31` and `full_scale > 0`.
+    pub fn new(bits: u32, full_scale: f64) -> Self {
+        assert!((1..=31).contains(&bits), "bits out of range");
+        assert!(full_scale > 0.0, "full scale must be positive");
+        Adc { bits, full_scale }
+    }
+
+    /// Highest output code.
+    pub fn max_code(&self) -> i64 {
+        (1i64 << self.bits) - 1
+    }
+
+    /// LSB size, V.
+    pub fn lsb(&self) -> f64 {
+        self.full_scale / (self.max_code() as f64 + 1.0)
+    }
+
+    /// Converts a voltage to a code (saturating at the rails).
+    pub fn sample(&self, v: f64) -> i64 {
+        if v <= 0.0 {
+            return 0;
+        }
+        let code = (v / self.lsb()).floor() as i64;
+        code.min(self.max_code())
+    }
+
+    /// Mid-tread reconstruction of a code back to volts.
+    pub fn to_voltage(&self, code: i64) -> f64 {
+        (code as f64 + 0.5) * self.lsb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_cover_range() {
+        let adc = Adc::new(5, 0.02);
+        assert_eq!(adc.max_code(), 31);
+        assert_eq!(adc.sample(0.0), 0);
+        assert_eq!(adc.sample(-1.0), 0);
+        assert_eq!(adc.sample(0.02), 31, "full scale saturates");
+        assert_eq!(adc.sample(1.0), 31);
+    }
+
+    #[test]
+    fn quantisation_is_monotone() {
+        let adc = Adc::new(5, 0.02);
+        let mut prev = -1;
+        for i in 0..100 {
+            let v = i as f64 * 0.00025;
+            let c = adc.sample(v);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn lsb_and_reconstruction() {
+        let adc = Adc::new(4, 1.6);
+        assert!((adc.lsb() - 0.1).abs() < 1e-12);
+        let v = adc.to_voltage(adc.sample(0.34));
+        assert!((v - 0.35).abs() < 0.05 + 1e-12, "within 1/2 LSB: {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bits out of range")]
+    fn zero_bits_rejected() {
+        Adc::new(0, 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! The ranging counter.
+//!
+//! The "Counter" block of the architecture: measures round-trip time by
+//! counting cycles of a local clock, quantising the estimate to the clock
+//! period — one of the ranging error contributors.
+
+/// A free-running cycle counter at a fixed clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangingCounter {
+    /// Clock frequency, Hz.
+    pub f_clk: f64,
+}
+
+impl Default for RangingCounter {
+    fn default() -> Self {
+        RangingCounter { f_clk: 2e9 }
+    }
+}
+
+impl RangingCounter {
+    /// Counter clocked at `f_clk` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `f_clk > 0`.
+    pub fn new(f_clk: f64) -> Self {
+        assert!(f_clk > 0.0, "clock must be positive");
+        RangingCounter { f_clk }
+    }
+
+    /// Clock period, s.
+    pub fn period(&self) -> f64 {
+        1.0 / self.f_clk
+    }
+
+    /// Cycle count observed for an interval of `duration` seconds.
+    pub fn count(&self, duration: f64) -> u64 {
+        (duration.max(0.0) * self.f_clk).round() as u64
+    }
+
+    /// Time represented by `cycles` counts.
+    pub fn to_time(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.f_clk
+    }
+
+    /// Quantises an interval to the counter grid (measure then convert).
+    pub fn quantize(&self, duration: f64) -> f64 {
+        self.to_time(self.count(duration))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_rounds_to_nearest_cycle() {
+        let c = RangingCounter::new(1e9);
+        assert_eq!(c.count(10.4e-9), 10);
+        assert_eq!(c.count(10.6e-9), 11);
+        assert_eq!(c.count(-5.0), 0);
+    }
+
+    #[test]
+    fn quantisation_error_is_bounded() {
+        let c = RangingCounter::new(2e9);
+        for i in 0..100 {
+            let t = i as f64 * 0.137e-9;
+            let err = (c.quantize(t) - t).abs();
+            assert!(err <= 0.5 * c.period() + 1e-18);
+        }
+    }
+
+    #[test]
+    fn round_trip_time_representation() {
+        let c = RangingCounter::default();
+        let rtt = 66e-9;
+        assert!((c.quantize(rtt) - rtt).abs() < c.period());
+    }
+}

@@ -1,0 +1,80 @@
+//! Transmitter branch: pulse generator + 2-PPM modulator + packet format.
+//!
+//! System-level wrapper over the `uwb-phy` modulator: the paper's
+//! transmitter "contains a pulse generator and a modulator which formats
+//! transmitted data according to a packet structure made of a non-modulated
+//! preamble followed by the modulated data". Between the preamble and the
+//! payload a fixed start-of-frame delimiter
+//! ([`crate::receiver::SFD_PATTERN`]) marks the payload
+//! boundary — the timestamp anchor for Two-Way Ranging.
+
+use crate::receiver::SFD_PATTERN;
+use uwb_phy::modulation::{modulate, Packet, PpmConfig};
+use uwb_phy::waveform::Waveform;
+
+/// The transmitter block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transmitter {
+    /// Air-interface configuration shared with the receiver.
+    pub ppm: PpmConfig,
+    /// Preamble length prepended to every packet, symbols.
+    pub preamble_len: usize,
+}
+
+impl Transmitter {
+    /// Transmitter with the given PPM configuration and preamble length.
+    pub fn new(ppm: PpmConfig, preamble_len: usize) -> Self {
+        Transmitter { ppm, preamble_len }
+    }
+
+    /// Formats (preamble + SFD + payload) and modulates a packet into an
+    /// RF waveform starting at the waveform's t = 0.
+    pub fn transmit(&self, payload: &[bool]) -> Waveform {
+        let mut air_bits = SFD_PATTERN.to_vec();
+        air_bits.extend_from_slice(payload);
+        let pkt = Packet::new(self.preamble_len, air_bits);
+        modulate(&pkt, &self.ppm)
+    }
+
+    /// On-air duration of a packet carrying `n` payload bits.
+    pub fn packet_duration(&self, n: usize) -> f64 {
+        (self.preamble_len + SFD_PATTERN.len() + n) as f64 * self.ppm.symbol_period
+    }
+
+    /// Time of the first SFD symbol boundary relative to the packet start —
+    /// the transmit-side ranging timestamp.
+    pub fn sfd_offset(&self) -> f64 {
+        self.preamble_len as f64 * self.ppm.symbol_period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmit_duration_includes_sfd() {
+        let tx = Transmitter::new(PpmConfig::default(), 16);
+        let w = tx.transmit(&[true, false, true]);
+        assert!((w.duration() - tx.packet_duration(3)).abs() < 1e-12);
+        assert!((w.duration() - 27.0 * 64e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_counts_all_symbols() {
+        let ppm = PpmConfig {
+            pulse_energy: 1.0,
+            ..Default::default()
+        };
+        let tx = Transmitter::new(ppm, 4);
+        let w = tx.transmit(&[false; 4]);
+        // 4 preamble + 8 SFD + 4 payload pulses.
+        assert!((w.energy() - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sfd_offset_is_preamble_end() {
+        let tx = Transmitter::new(PpmConfig::default(), 10);
+        assert!((tx.sfd_offset() - 10.0 * 64e-9).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests on the transceiver blocks.
+
+use proptest::prelude::*;
+use uwb_txrx::adc::Adc;
+use uwb_txrx::counter::RangingCounter;
+use uwb_txrx::frontend::{Vga, VgaConfig};
+use uwb_txrx::integrator::{IdealIntegrator, IntegratorBlock};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ADC codes are monotone in the input and bounded by the code range.
+    #[test]
+    fn adc_monotone_and_bounded(
+        bits in 1u32..12,
+        fs in 0.001f64..10.0,
+        v1 in -1.0f64..20.0,
+        v2 in -1.0f64..20.0,
+    ) {
+        let adc = Adc::new(bits, fs);
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        let c_lo = adc.sample(lo);
+        let c_hi = adc.sample(hi);
+        prop_assert!(c_lo <= c_hi);
+        prop_assert!(c_lo >= 0 && c_hi <= adc.max_code());
+    }
+
+    /// Mid-tread reconstruction is within half an LSB inside the range.
+    #[test]
+    fn adc_reconstruction_error_bounded(bits in 2u32..10, v_frac in 0.0f64..0.999) {
+        let adc = Adc::new(bits, 1.0);
+        let v = v_frac;
+        let back = adc.to_voltage(adc.sample(v));
+        prop_assert!((back - v).abs() <= adc.lsb() * 0.5 + 1e-12);
+    }
+
+    /// The VGA gain matches its code exactly in dB, for any config.
+    #[test]
+    fn vga_gain_matches_code(
+        step in 0.5f64..6.0,
+        max_code in 1i32..40,
+        code in -5i32..50,
+    ) {
+        let cfg = VgaConfig {
+            min_gain_db: 0.0,
+            step_db: step,
+            max_code,
+            clip: 1e9, // effectively linear for this test
+        };
+        let mut vga = Vga::new(&cfg);
+        vga.set_code(code);
+        let clamped = code.clamp(0, max_code);
+        prop_assert_eq!(vga.code(), clamped);
+        let expect = 10f64.powf(step * clamped as f64 / 20.0);
+        let out = vga.process(0.001);
+        prop_assert!((out - 0.001 * expect).abs() < 1e-12 * expect.max(1.0));
+    }
+
+    /// Counter quantisation error is bounded by half a period.
+    #[test]
+    fn counter_quantisation_bound(f_exp in 7.0f64..10.0, t in 0.0f64..1e-3) {
+        let c = RangingCounter::new(10f64.powf(f_exp));
+        prop_assert!((c.quantize(t) - t).abs() <= 0.5 * c.period() + 1e-15);
+    }
+
+    /// The ideal integrator accumulates the exact Riemann area for
+    /// arbitrary piecewise-constant inputs.
+    #[test]
+    fn ideal_integrator_accumulates_area(
+        segments in prop::collection::vec((-0.2f64..0.2, 1usize..40), 1..8),
+    ) {
+        let k = 1e8;
+        let dt = 1e-10;
+        let mut intg = IdealIntegrator::new(k);
+        let mut area = 0.0;
+        for &(v, n) in &segments {
+            for _ in 0..n {
+                intg.step(dt, v).expect("step");
+                area += v * dt;
+            }
+        }
+        let expect = k * area;
+        prop_assert!(
+            (intg.output() - expect).abs() < 1e-6 * expect.abs().max(1e-9),
+            "got {}, expected {}", intg.output(), expect
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 6: BER vs Eb/N0 with the ideal and the transistor-level
+//! integrator (plus the closed-form 2-PPM energy-detection reference).
+//!
+//! ```sh
+//! cargo run --release --example ber_sweep [bits_per_point] [fidelities...]
+//! # e.g.
+//! cargo run --release --example ber_sweep 1000 ideal circuit
+//! ```
+//!
+//! Defaults to a fast sweep (400 bits/point) over the ideal and behavioural
+//! fidelities; add `circuit` for the (slower) transistor-in-the-loop curve.
+
+use uwb_ams_core::metrics::BerCampaign;
+use uwb_ams_core::report::Series;
+use uwb_txrx::integrator::{build_integrator, Fidelity};
+
+fn parse_fidelity(s: &str) -> Option<Fidelity> {
+    match s.to_ascii_lowercase().as_str() {
+        "ideal" => Some(Fidelity::Ideal),
+        "model" | "behavioral" | "vhdl-ams" => Some(Fidelity::Behavioral),
+        "circuit" | "eldo" | "spice" => Some(Fidelity::Circuit),
+        _ => None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bits: usize = args
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(400);
+    let fidelities: Vec<Fidelity> = {
+        let parsed: Vec<Fidelity> = args.iter().filter_map(|a| parse_fidelity(a)).collect();
+        if parsed.is_empty() {
+            vec![Fidelity::Ideal, Fidelity::Behavioral]
+        } else {
+            parsed
+        }
+    };
+
+    let campaign = BerCampaign {
+        bits_per_point: bits,
+        ..Default::default()
+    };
+    println!(
+        "BER sweep: Eb/N0 {:?} dB, {} bits/point\n",
+        campaign.ebn0_db, campaign.bits_per_point
+    );
+
+    let mut series = Vec::new();
+    for f in fidelities {
+        println!("running {f} ...");
+        let curve = campaign.run(&f.to_string(), || build_integrator(f))?;
+        for p in &curve.points {
+            println!(
+                "  Eb/N0 {:>5.1} dB : BER {:.3e}  ({} / {})",
+                p.ebn0_db,
+                p.ber(),
+                p.errors,
+                p.bits
+            );
+        }
+        series.push(curve.to_series());
+    }
+
+    // Closed-form reference, like the paper's Matlab check of Phase I.
+    let dof = 2.0 * campaign.receiver.demod_window * 3.5e9;
+    let theory = Series::new(
+        "theory",
+        campaign
+            .ebn0_db
+            .iter()
+            .map(|&db| (db, uwb_phy::ber::ppm2_energy_detection_ber_db(db, dof)))
+            .collect(),
+    );
+    series.push(theory);
+
+    let refs: Vec<&Series> = series.iter().collect();
+    std::fs::write("fig6_ber.csv", Series::merge_csv(&refs))?;
+    println!("\nWrote fig6_ber.csv");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Design-constraint extraction from 100 CM1 realisations — the paper's
+//! §4 specification step: "slew rate and bandwidth have been extrapolated
+//! from the analysis of 100 UWB TG4a CM1 waveform realizations".
+//!
+//! ```sh
+//! cargo run --release --example design_constraints [model] [distance_m]
+//! # e.g.
+//! cargo run --release --example design_constraints cm2 5.0
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use uwb_phy::channel::Tg4aModel;
+use uwb_phy::constraints::{extract_constraints, percentile};
+use uwb_phy::pulse::PulseShape;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = match args.first().map(|s| s.to_ascii_lowercase()).as_deref() {
+        Some("cm2") => Tg4aModel::Cm2,
+        Some("cm3") => Tg4aModel::Cm3,
+        Some("cm4") => Tg4aModel::Cm4,
+        _ => Tg4aModel::Cm1,
+    };
+    let distance: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(5.0);
+    let pulse = PulseShape::default();
+    let fs = 20e9;
+
+    println!("Extracting constraints from 100 {model:?} realisations @ {distance} m");
+    println!(
+        "pulse: {:?} (duration {:.0} ps, ~{:.1} GHz bandwidth)\n",
+        pulse,
+        pulse.duration() * 1e12,
+        pulse.bandwidth() / 1e9
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0x100);
+    let ens = extract_constraints(model, distance, 100, &pulse, fs, &mut rng);
+
+    let slews: Vec<f64> = ens.metrics.iter().map(|m| m.slew_rate).collect();
+    let windows: Vec<f64> = ens.metrics.iter().map(|m| m.energy_window_90).collect();
+    let spreads: Vec<f64> = ens.metrics.iter().map(|m| m.rms_delay_spread).collect();
+
+    println!("ensemble statistics (per unit received pulse amplitude):");
+    println!(
+        "  slew rate      : p50 {:.3e}  p95 {:.3e}  p99 {:.3e} V/s",
+        percentile(&slews, 50.0),
+        percentile(&slews, 95.0),
+        percentile(&slews, 99.0)
+    );
+    println!(
+        "  90% energy win : p50 {:6.1}  p95 {:6.1}  p99 {:6.1} ns",
+        percentile(&windows, 50.0) * 1e9,
+        percentile(&windows, 95.0) * 1e9,
+        percentile(&windows, 99.0) * 1e9
+    );
+    println!(
+        "  rms delay sprd : p50 {:6.1}  p95 {:6.1}  p99 {:6.1} ns",
+        percentile(&spreads, 50.0) * 1e9,
+        percentile(&spreads, 95.0) * 1e9,
+        percentile(&spreads, 99.0) * 1e9
+    );
+
+    let req = ens.requirements(95.0);
+    println!("\nintegrator requirements at 95 % ensemble coverage:");
+    println!("  slew rate          : {:.3e} V/s", req.slew_rate);
+    println!(
+        "  bandwidth          : {:.2} GHz  (paper's cell: integrator band to ~1 GHz, pole2 ≈ 5.9 GHz)",
+        req.bandwidth / 1e9
+    );
+    println!("  input dynamic range: {:.1} dB", req.dynamic_range_db);
+    println!(
+        "  integration window : {:.1} ns  (sets the slot length: Ts/2 must exceed it)",
+        req.integration_window * 1e9
+    );
+}

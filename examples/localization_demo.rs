@@ -1,0 +1,70 @@
+//! End-to-end WPAN localization — the application the paper's introduction
+//! motivates ("package tracking, search-and-rescue functions … high
+//! precision localization on the order of 1 meter").
+//!
+//! A tag at an unknown position runs Two-Way Ranging against four anchors
+//! through the *complete* stack (transmitter → CM1 channel → full receiver
+//! FSM on both legs → counter), then the anchor ranges are multilaterated
+//! into a position fix.
+//!
+//! ```sh
+//! cargo run --release --example localization_demo [x] [y]
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use uwb_phy::localization::{dilution_of_precision, multilaterate, Point, RangeObservation};
+use uwb_txrx::integrator::IdealIntegrator;
+use uwb_txrx::transceiver::{twr_iteration, TwrConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tag = Point::new(
+        args.first().and_then(|a| a.parse().ok()).unwrap_or(6.5),
+        args.get(1).and_then(|a| a.parse().ok()).unwrap_or(11.0),
+    );
+    let anchors = [
+        Point::new(0.0, 0.0),
+        Point::new(20.0, 0.0),
+        Point::new(20.0, 20.0),
+        Point::new(0.0, 20.0),
+    ];
+    println!("tag truth: ({:.2}, {:.2}) m", tag.x, tag.y);
+    println!("anchors  : {anchors:?}\n");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0x10CA);
+    let mut observations = Vec::new();
+    for (i, &anchor) in anchors.iter().enumerate() {
+        let distance = tag.distance(&anchor);
+        let cfg = TwrConfig {
+            distance,
+            ..Default::default()
+        };
+        let it = twr_iteration(&cfg, || Box::new(IdealIntegrator::default()), &mut rng)?;
+        println!(
+            "anchor {i}: true {distance:6.2} m, TWR estimate {:6.2} m (err {:+.2} m)",
+            it.distance_est,
+            it.distance_est - distance
+        );
+        observations.push(RangeObservation {
+            anchor,
+            range: it.distance_est,
+        });
+    }
+
+    let fix = multilaterate(&observations)?;
+    let err = fix.position.distance(&tag);
+    println!(
+        "\nposition fix: ({:.2}, {:.2}) m after {} Gauss-Newton iterations",
+        fix.position.x, fix.position.y, fix.iterations
+    );
+    println!("position error: {err:.2} m (rms range residual {:.2} m)", fix.rms_residual);
+    let dop = dilution_of_precision(&anchors, fix.position)?;
+    println!("geometry DOP : {dop:.2}");
+    println!(
+        "\n(the 802.15.4a goal the paper cites is 'on the order of 1 meter' —\n\
+         this fix {} it)",
+        if err < 1.0 { "meets" } else { "misses" }
+    );
+    Ok(())
+}

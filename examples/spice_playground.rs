@@ -1,0 +1,65 @@
+//! The transistor-level substrate standalone: deck parsing, operating
+//! points, AC sweeps and transient runs on small reference circuits.
+//!
+//! ```sh
+//! cargo run --release --example spice_playground
+//! ```
+
+use spice::ac::{ac_analysis, log_sweep};
+use spice::dcop::dcop;
+use spice::library::cmos_inverter;
+use spice::netlist::parse_deck;
+use spice::tran::{TranOptions, TransientSimulator};
+use spice::Circuit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A deck, parsed and solved.
+    let deck = r"
+* common-source amplifier
+.model nch nmos018
+VDD vdd 0 DC 1.8
+VIN in 0 DC 0.6 AC 1.0
+RL vdd out 20k
+CL out 0 1p
+M1 out in 0 0 nch W=10u L=1u
+";
+    let ckt = parse_deck(deck)?;
+    let out = ckt.find_node("out").expect("node exists");
+    let op = dcop(&ckt)?;
+    println!("common-source amp: V(out) = {:.3} V", op.voltage(out));
+
+    let sweep = ac_analysis(&ckt, &[], &log_sweep(1e4, 10e9, 4))?;
+    let gain = sweep.gain_db(out, Circuit::gnd());
+    println!(
+        "  AC gain: {:.1} dB at LF, {:.1} dB at 10 GHz",
+        gain[0],
+        gain.last().copied().unwrap_or(f64::NAN)
+    );
+
+    // 2. A CMOS inverter in transient (input held low → output stays high).
+    let (inv, _vin, vout) = cmos_inverter(0.0);
+    let mut sim = TransientSimulator::new(inv, TranOptions::default())?;
+    println!("\ninverter: initial V(out) = {:.3} V", sim.voltage(vout));
+    sim.run_until(2e-9, 50e-12, |_| {})?;
+    println!("inverter after 2 ns: V(out) = {:.3} V", sim.voltage(vout));
+
+    // 3. The paper's I&D cell at a glance.
+    let tb = spice::library::integrate_dump_testbench(&Default::default());
+    println!(
+        "\nintegrate & dump cell: {} transistors, {} circuit nodes",
+        tb.circuit.transistor_count(),
+        tb.circuit.num_nodes()
+    );
+    let mut ext = vec![0.0; tb.circuit.num_externals];
+    ext[tb.slot_inp] = tb.input_cm;
+    ext[tb.slot_inm] = tb.input_cm;
+    ext[tb.slot_controlp] = 1.8;
+    let op = spice::dcop::dcop_with(&tb.circuit, &ext)?;
+    println!(
+        "  operating point: out_intp = {:.3} V, out_intm = {:.3} V ({} Newton iterations)",
+        op.voltage(tb.ports.out_intp),
+        op.voltage(tb.ports.out_intm),
+        op.iterations
+    );
+    Ok(())
+}

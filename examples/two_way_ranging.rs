@@ -1,0 +1,69 @@
+//! Table 2: Two-Way Ranging at 9.9 m over the CM1 LOS channel.
+//!
+//! Runs N ranging iterations (the paper uses 10) with the selected
+//! integrator fidelities inside both receivers and prints the
+//! mean / standard deviation / offset table.
+//!
+//! ```sh
+//! cargo run --release --example two_way_ranging [iterations] [fidelities...]
+//! # the paper's full experiment:
+//! cargo run --release --example two_way_ranging 10 ideal circuit
+//! ```
+
+use uwb_ams_core::metrics::{twr_table, twr_table_row};
+use uwb_txrx::integrator::{build_integrator, Fidelity};
+use uwb_txrx::transceiver::TwrConfig;
+
+fn parse_fidelity(s: &str) -> Option<Fidelity> {
+    match s.to_ascii_lowercase().as_str() {
+        "ideal" => Some(Fidelity::Ideal),
+        "model" | "behavioral" => Some(Fidelity::Behavioral),
+        "circuit" | "eldo" | "spice" => Some(Fidelity::Circuit),
+        _ => None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iterations: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let fidelities: Vec<Fidelity> = {
+        let parsed: Vec<Fidelity> = args.iter().filter_map(|a| parse_fidelity(a)).collect();
+        if parsed.is_empty() {
+            vec![Fidelity::Ideal]
+        } else {
+            parsed
+        }
+    };
+
+    let cfg = TwrConfig::default();
+    println!(
+        "TWR @ {} m over {:?}, {} iterations, processing time {} us\n",
+        cfg.distance,
+        cfg.model,
+        iterations,
+        cfg.processing_time * 1e6
+    );
+
+    let mut rows = Vec::new();
+    for f in fidelities {
+        println!("ranging with the {f} integrator ...");
+        let (row, iters) = twr_table_row(
+            &cfg,
+            iterations,
+            &f.to_string(),
+            || build_integrator(f).expect("integrator builds"),
+            0x79A + f as u64,
+        )?;
+        for (i, it) in iters.iter().enumerate() {
+            println!("  iter {:>2}: {:.2} m", i + 1, it.distance_est);
+        }
+        rows.push(row);
+    }
+
+    println!("\n{}", twr_table(&rows, cfg.distance));
+    println!(
+        "(paper @ 9.9 m: IDEAL mean 10.10 m / spread 0.49 m; ELDO mean 11.16 m /\n\
+         spread 0.10 m — the circuit ranks with larger offset, smaller spread)"
+    );
+    Ok(())
+}

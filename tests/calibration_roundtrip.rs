@@ -1,0 +1,41 @@
+//! Phase IV round-trip: characterise the transistor-level I&D, fit the
+//! two-pole model, and verify the fitted model reproduces the circuit's
+//! transient behaviour — the paper's "characterise and model" step.
+
+use uwb_ams_core::calibrate::phase4_extract;
+use uwb_txrx::integrator::{BehavioralIntegrator, CircuitIntegrator, IntegratorBlock};
+
+#[test]
+fn fitted_model_tracks_the_circuit_in_band() {
+    let (_ac, fit) = phase4_extract(&Default::default()).expect("characterisation");
+
+    // Build the Phase IV integrator from the *fit* (not the hardcoded
+    // defaults) and compare a small-signal integrate cycle to the circuit.
+    let mut model = BehavioralIntegrator::new(fit.to_model());
+    let mut circuit = CircuitIntegrator::with_defaults().expect("operating point");
+
+    let dt = 50e-12;
+    let vin = 0.05; // inside the linear range
+    let mut vm = 0.0;
+    let mut vc = 0.0;
+    for _ in 0..600 {
+        vm = model.step(dt, vin).expect("model step");
+        vc = circuit.step(dt, vin).expect("circuit step");
+    }
+    let rel = (vm - vc).abs() / vc.abs().max(1e-12);
+    assert!(
+        rel < 0.15,
+        "calibrated model within 15 % of circuit: model {vm}, circuit {vc}"
+    );
+}
+
+#[test]
+fn fit_parameters_are_in_the_papers_class() {
+    let (_ac, fit) = phase4_extract(&Default::default()).expect("characterisation");
+    // Paper: 21 dB / 0.886 MHz / 5.895 GHz; our cell calibrates to the
+    // same class (see EXPERIMENTS.md for the measured values).
+    assert!(fit.gain_db > 15.0 && fit.gain_db < 30.0);
+    assert!(fit.f_pole1 > 1e5 && fit.f_pole1 < 1e7);
+    assert!(fit.f_pole2 > 1e9 && fit.f_pole2 < 1e11);
+    assert!(fit.rms_error_db < 2.0, "overlay quality {}", fit.rms_error_db);
+}

@@ -1,0 +1,47 @@
+//! The four-phase flow end to end on one scenario (Phase III — the
+//! transistor netlist in the loop — is exercised with a short payload to
+//! stay debug-build friendly; the benches run the full-length version).
+
+use uwb_ams_core::flow::{FlowScenario, Phase, TopDownFlow};
+
+fn scenario() -> FlowScenario {
+    FlowScenario {
+        payload: vec![true, false, true, false],
+        ..Default::default()
+    }
+}
+
+#[test]
+fn phases_one_two_four_agree_on_a_clean_packet() {
+    let flow = TopDownFlow::new(scenario());
+    for phase in [Phase::I, Phase::II, Phase::IV] {
+        let rep = flow.run_phase(phase).expect("phase runs");
+        assert_eq!(
+            rep.metric("bit_errors"),
+            Some(0.0),
+            "{phase} decodes cleanly"
+        );
+    }
+}
+
+#[test]
+#[ignore = "transistor-in-the-loop; slow in debug builds — run with --ignored or --release"]
+fn phase_three_circuit_in_the_loop_agrees() {
+    let flow = TopDownFlow::new(scenario());
+    let rep = flow.run_phase(Phase::III).expect("phase III runs");
+    assert_eq!(rep.metric("bit_errors"), Some(0.0));
+    // The anchor lands within the sync resolution of the truth.
+    assert!(rep.metric("anchor_error_ns").expect("anchored").abs() < 10.0);
+}
+
+#[test]
+fn phase_reports_carry_architecture_metrics() {
+    let flow = TopDownFlow::new(scenario());
+    let rep = flow.run_phase(Phase::II).expect("phase II");
+    assert!(rep.metric("vga_code").is_some());
+    assert!(rep.metric("anchor_error_ns").is_some());
+    assert!(rep.metric("newton_iterations").unwrap_or(0.0) > 0.0);
+    // Phase I has no architecture, so no VGA code.
+    let rep1 = flow.run_phase(Phase::I).expect("phase I");
+    assert!(rep1.metric("vga_code").is_none());
+}

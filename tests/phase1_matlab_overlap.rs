@@ -1,0 +1,39 @@
+//! Phase I validation: the behavioural energy-detection path must overlap
+//! the closed-form reference — the paper's "BER curves which perfectly
+//! overlapped the Matlab ones" check, with the closed form playing Matlab.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use uwb_phy::ber::{detector_dof, monte_carlo_ber, ppm2_energy_detection_ber_db};
+use uwb_phy::modulation::PpmConfig;
+
+#[test]
+fn monte_carlo_overlaps_closed_form_across_the_sweep() {
+    let cfg = PpmConfig {
+        symbol_period: 8e-9,
+        intra_slot_offset: 1e-9,
+        ..Default::default()
+    };
+    let dof = detector_dof(&cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFA);
+    for ebn0_db in [8.0, 12.0, 16.0] {
+        let est = monte_carlo_ber(&cfg, ebn0_db, 6000, &mut rng);
+        let theory = ppm2_energy_detection_ber_db(ebn0_db, dof);
+        // Overlap criterion: within a factor-2 envelope plus the Monte-Carlo
+        // confidence interval (plot-scale overlap).
+        let tol = theory + 3.0 * est.ci95();
+        assert!(
+            (est.ber() - theory).abs() <= tol,
+            "Eb/N0 {ebn0_db} dB: MC {} vs theory {theory}",
+            est.ber()
+        );
+    }
+}
+
+#[test]
+fn phase1_flow_report_is_error_free_at_high_snr() {
+    use uwb_ams_core::flow::{FlowScenario, Phase, TopDownFlow};
+    let flow = TopDownFlow::new(FlowScenario::default());
+    let report = flow.run_phase(Phase::I).expect("phase I runs");
+    assert_eq!(report.metric("bit_errors"), Some(0.0));
+}
