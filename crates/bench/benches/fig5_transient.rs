@@ -78,8 +78,8 @@ fn main() {
         "wall time for this 80 ns window: ideal {d_ideal:?}, model {d_model:?}, circuit {d_ckt:?}"
     );
 
-    std::fs::write("fig5_transient.csv", probes_to_csv(&[&ideal, &model, &circuit]))
-        .expect("write");
-    println!("\nwrote fig5_transient.csv");
+    let path =
+        uwb_ams_bench::write_result("fig5_transient.csv", &probes_to_csv(&[&ideal, &model, &circuit]));
+    println!("\nwrote {}", path.display());
     println!("bench wall time: {:?}", start.elapsed());
 }

@@ -59,6 +59,6 @@ fn main() {
     );
 
     let refs: Vec<&Series> = series.iter().collect();
-    std::fs::write("fig6_ber.csv", Series::merge_csv(&refs)).expect("write");
-    println!("wrote fig6_ber.csv");
+    let path = uwb_ams_bench::write_result("fig6_ber.csv", &Series::merge_csv(&refs));
+    println!("wrote {}", path.display());
 }

@@ -54,7 +54,6 @@ fn main() {
 
     let mc = Series::new("monte_carlo", mc_series);
     let th = Series::new("theory", th_series);
-    std::fs::write("fig_phase1_overlap.csv", Series::merge_csv(&[&mc, &th]))
-        .expect("write");
-    println!("wrote fig_phase1_overlap.csv");
+    let path = uwb_ams_bench::write_result("fig_phase1_overlap.csv", &Series::merge_csv(&[&mc, &th]));
+    println!("wrote {}", path.display());
 }

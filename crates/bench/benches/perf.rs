@@ -1,0 +1,140 @@
+//! Performance harness: the parallel campaign engine and the transient
+//! fast path, measured and written to `results/BENCH_perf.json`.
+//!
+//! Two experiments:
+//!
+//! 1. **Campaign scaling** — the Fig 6 BER campaign run serially and then
+//!    fanned over the worker pool ([`worker_threads`], overridable with
+//!    `UWB_AMS_THREADS`). The two runs must produce bit-identical BER
+//!    points; the speedup is recorded.
+//! 2. **Transient fast path** — a linear deck stepped with LU reuse off
+//!    and on. The reusing run must factorize exactly once after DC and
+//!    produce an identical final state.
+//!
+//! `UWB_AMS_BENCH=full` raises the campaign to fig6's full 2000
+//! bits/point.
+
+use spice::circuit::{Circuit, SourceWave};
+use spice::tran::{TranOptions, TransientSimulator};
+use spice::PerfCounters;
+use std::time::Instant;
+use uwb_ams_core::executor::worker_threads;
+use uwb_ams_core::metrics::BerCampaign;
+use uwb_ams_core::report::{PerfPhase, PerfReport};
+use uwb_txrx::integrator::{build_integrator, Fidelity};
+
+/// Serial-vs-parallel on the Fig 6 campaign; returns the two phases.
+fn campaign_scaling(full: bool) -> Vec<PerfPhase> {
+    let threads = worker_threads();
+    let campaign = BerCampaign {
+        bits_per_point: if full { 2000 } else { 600 },
+        ..Default::default()
+    };
+    let fidelity = Fidelity::Ideal;
+    println!(
+        "fig6 BER campaign: {} points x {} bits, {} worker(s)",
+        campaign.ebn0_db.len(),
+        campaign.bits_per_point,
+        threads
+    );
+
+    let t0 = Instant::now();
+    let serial = campaign
+        .run_with_threads("serial", 1, || build_integrator(fidelity))
+        .expect("serial campaign");
+    let serial_wall = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let parallel = campaign
+        .run_with_threads("serial", threads, || build_integrator(fidelity))
+        .expect("parallel campaign");
+    let parallel_wall = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        serial, parallel,
+        "parallel campaign must be bit-identical to serial"
+    );
+    let speedup = serial_wall / parallel_wall;
+    println!(
+        "  serial {serial_wall:.2} s, parallel {parallel_wall:.2} s -> speedup {speedup:.2}x (bit-identical)"
+    );
+    vec![
+        PerfPhase::timed("fig6_ber_serial", serial_wall).with("threads", 1.0),
+        PerfPhase::timed("fig6_ber_parallel", parallel_wall)
+            .with("threads", threads as f64)
+            .with("speedup", speedup),
+    ]
+}
+
+/// One transient run of an RC ladder; returns final state + counters.
+fn run_linear_tran(reuse: bool) -> (Vec<f64>, PerfCounters) {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    ckt.vsource(
+        "V1",
+        vin,
+        Circuit::gnd(),
+        SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1e-9,
+            rise: 1e-10,
+            fall: 1e-10,
+            width: 1e-6,
+            period: 0.0,
+        },
+    );
+    // A 10-section RC ladder: big enough that factorization dominates.
+    let mut prev = vin;
+    for k in 0..10 {
+        let n = ckt.node(&format!("n{k}"));
+        ckt.resistor(&format!("R{k}"), prev, n, 1e3);
+        ckt.capacitor(&format!("C{k}"), n, Circuit::gnd(), 1e-12);
+        prev = n;
+    }
+    let mut opts = TranOptions::default();
+    opts.newton.reuse_lu = reuse;
+    let mut sim = TransientSimulator::new(ckt, opts).expect("dcop");
+    let mut probe = Vec::new();
+    sim.run_until(2e-6, 1e-9, |s| {
+        if probe.len() < 2000 {
+            probe.push(s.voltage(prev));
+        }
+    })
+    .expect("tran");
+    (probe, *sim.counters())
+}
+
+/// LU-reuse off/on on the linear deck; returns the two phases.
+fn transient_fast_path() -> Vec<PerfPhase> {
+    let (trace_off, off) = run_linear_tran(false);
+    let (trace_on, on) = run_linear_tran(true);
+    assert_eq!(trace_off, trace_on, "fast path must not change waveforms");
+    assert_eq!(
+        on.lu_factorizations, 1,
+        "linear deck must factorize exactly once after DC: {on}"
+    );
+    let speedup = off.wall.as_secs_f64() / on.wall.as_secs_f64();
+    println!("transient fast path (10-node RC ladder, {} steps):", on.steps);
+    println!("  reuse off: {off}");
+    println!("  reuse on : {on}");
+    println!("  -> speedup {speedup:.2}x (identical waveforms)");
+    vec![
+        PerfPhase::from_counters("tran_lu_reuse_off", off),
+        PerfPhase::from_counters("tran_lu_reuse_on", on).with("speedup", speedup),
+    ]
+}
+
+fn main() {
+    let full = std::env::var("UWB_AMS_BENCH").as_deref() == Ok("full");
+    println!("=== Performance: parallel campaigns + transient fast path ===\n");
+    let mut report = PerfReport::new();
+    for phase in campaign_scaling(full) {
+        report.push(phase);
+    }
+    for phase in transient_fast_path() {
+        report.push(phase);
+    }
+    let path = uwb_ams_bench::write_result("BENCH_perf.json", &report.to_json());
+    println!("\nwrote {}", path.display());
+}

@@ -14,7 +14,7 @@ use spice::library::{integrate_dump_testbench, IntegrateDumpParams};
 use spice::SpiceError;
 
 /// Result of a two-pole magnitude fit.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwoPoleFit {
     /// Fitted DC gain, dB.
     pub gain_db: f64,
@@ -112,7 +112,7 @@ pub fn fit_two_pole(freqs: &[f64], mag_db: &[f64]) -> TwoPoleFit {
 }
 
 /// Measured AC response of a circuit-level I&D cell.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcCharacterization {
     /// Sweep frequencies, Hz.
     pub freqs: Vec<f64>,

@@ -25,7 +25,7 @@ use uwb_txrx::receiver::{Receiver, ReceiveError, ReceiverConfig, SFD_PATTERN};
 use uwb_txrx::transmitter::Transmitter;
 
 /// A methodology phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Phase {
     /// Behavioural single entity.
     I,
@@ -128,7 +128,7 @@ impl FlowScenario {
 }
 
 /// Outcome of running one phase.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseReport {
     /// Which phase ran.
     pub phase: Phase,

@@ -12,6 +12,8 @@
 //! * [`metrics`] — the system-level campaigns behind the paper's
 //!   evaluation: BER curves (Fig 6), TWR statistics (Table 2) and CPU-time
 //!   accounting (Table 1),
+//! * [`executor`] — the deterministic parallel sweep engine the campaigns
+//!   run on (per-point RNG streams; bit-identical at any thread count),
 //! * [`report`] — paper-shaped tables and series.
 //!
 //! ## Example: run the flow
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod executor;
 pub mod flow;
 pub mod plan;
 pub mod metrics;
@@ -37,8 +40,9 @@ pub mod report;
 pub mod substitute;
 
 pub use calibrate::{fit_two_pole, phase4_extract, TwoPoleFit};
+pub use executor::{run_indexed, stream_seed, try_run_indexed, worker_threads};
 pub use flow::{FlowScenario, Phase, PhaseReport, TopDownFlow};
 pub use metrics::{BerCampaign, BerCurve, CpuTimeCampaign, CpuTimeRow, TwrRow};
 pub use plan::RefinementPlan;
-pub use report::{Series, Table};
+pub use report::{PerfPhase, PerfReport, Series, Table};
 pub use substitute::{BlockInterface, BlockSlot, PortKind, PortSpec, SubstituteError};

@@ -1,6 +1,7 @@
 //! System-level metric campaigns: BER curves (Figure 6), Two-Way-Ranging
 //! statistics (Table 2) and CPU-time accounting (Table 1).
 
+use crate::executor::{run_indexed, stream_seed, try_run_indexed, worker_threads};
 use crate::report::{Series, Table};
 use rand::Rng;
 use rand::SeedableRng;
@@ -18,7 +19,7 @@ use uwb_txrx::transceiver::{TwrConfig, TwrError, TwrIteration};
 use uwb_txrx::transmitter::Transmitter;
 
 /// One point of a measured BER curve.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BerPoint {
     /// Eb/N0 at the receiver input, dB.
     pub ebn0_db: f64,
@@ -40,7 +41,7 @@ impl BerPoint {
 }
 
 /// A measured BER curve for one integrator fidelity.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BerCurve {
     /// Label (fidelity name).
     pub label: String,
@@ -107,75 +108,92 @@ impl Default for BerCampaign {
 }
 
 impl BerCampaign {
-    /// Runs the campaign with a fresh integrator per sweep point.
+    /// Runs the campaign with a fresh integrator per sweep point, fanning
+    /// the Eb/N0 points over [`worker_threads`] workers. Each point draws
+    /// from its own RNG stream ([`stream_seed`]`(self.seed, index)`), so
+    /// the curve is bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates integrator construction or reception failures (the
+    /// lowest-Eb/N0 failure when several points fail).
+    pub fn run(
+        &self,
+        label: &str,
+        make_integrator: impl Fn() -> Result<Box<dyn IntegratorBlock>, IntegratorError> + Sync,
+    ) -> Result<BerCurve, ReceiveError> {
+        self.run_with_threads(label, worker_threads(), make_integrator)
+    }
+
+    /// [`run`](Self::run) with an explicit worker count (1 = serial).
     ///
     /// # Errors
     ///
     /// Propagates integrator construction or reception failures.
-    pub fn run(
+    pub fn run_with_threads(
         &self,
         label: &str,
-        mut make_integrator: impl FnMut() -> Result<Box<dyn IntegratorBlock>, IntegratorError>,
+        threads: usize,
+        make_integrator: impl Fn() -> Result<Box<dyn IntegratorBlock>, IntegratorError> + Sync,
     ) -> Result<BerCurve, ReceiveError> {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut points = Vec::with_capacity(self.ebn0_db.len());
-        for &ebn0 in &self.ebn0_db {
-            let mut ppm = self.receiver.ppm;
-            // Genie framing: preamble (for the AGC) directly followed by
-            // the payload — no SFD, whose empty slot-0 symbols would sit
-            // inside the AGC's measurement span and falsely kick the gain
-            // up right before every payload.
-            let preamble = self.receiver.agc.symbols + 2;
-            let t0_clean = preamble as f64 * ppm.symbol_period;
-            // `eb_rx` is the *mean received* per-bit energy: under fading
-            // the transmit energy is scaled up by the mean path loss so the
-            // receiver sits at its design point, and per-block realisations
-            // fade around it — the standard fading-channel BER convention.
-            let mean_path_gain_sq = self
-                .channel
-                .map(|(model, d)| {
-                    let mut probe_rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x9A17);
-                    (0..32)
-                        .map(|_| realize(model, d, &mut probe_rng).path_gain.powi(2))
-                        .sum::<f64>()
-                        / 32.0
-                })
-                .unwrap_or(1.0);
-            ppm.pulse_energy = self.eb_rx / mean_path_gain_sq;
-            let awgn = Awgn::from_ebn0_db(self.eb_rx, ebn0);
+        let points = try_run_indexed(self.ebn0_db.len(), threads, |idx| {
+            self.run_point(idx, &make_integrator)
+        })?;
+        Ok(BerCurve {
+            label: label.to_string(),
+            points,
+        })
+    }
 
-            let mut receiver = Receiver::new(
-                ReceiverConfig {
-                    ppm,
-                    ..self.receiver.clone()
-                },
-                make_integrator().map_err(ReceiveError::Integrator)?,
-            );
-            // Warmup blocks: let the AGC slew from its reset code to the
-            // operating point before any counted bit (the paper's receiver
-            // settles its gain on the long preamble; genie blocks carry a
-            // short one, so settling spans a few blocks).
-            if self.run_agc {
-                for _ in 0..3 {
-                    let payload: Vec<bool> =
-                        (0..self.block_bits).map(|_| rng.gen_bool(0.5)).collect();
-                    let air = modulate(&Packet::new(preamble, payload.clone()), &ppm);
-                    let (mut w, t0) = match self.channel {
-                        None => (air, t0_clean),
-                        Some((model, d)) => {
-                            let ch = realize(model, d, &mut rng);
-                            (ch.apply(&air), t0_clean + ch.propagation_delay)
-                        }
-                    };
-                    awgn.add_to(&mut w, &mut rng);
-                    receiver.receive_genie(&w, t0, payload.len(), true)?;
-                }
-            }
-            let mut errors = 0u64;
-            let mut bits = 0u64;
-            while (bits as usize) < self.bits_per_point {
-                let n = self.block_bits.min(self.bits_per_point - bits as usize);
-                let payload: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    /// Measures sweep point `idx` on the caller's thread.
+    fn run_point(
+        &self,
+        idx: usize,
+        make_integrator: &(impl Fn() -> Result<Box<dyn IntegratorBlock>, IntegratorError> + Sync),
+    ) -> Result<BerPoint, ReceiveError> {
+        let ebn0 = self.ebn0_db[idx];
+        let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(self.seed, idx as u64));
+        let mut ppm = self.receiver.ppm;
+        // Genie framing: preamble (for the AGC) directly followed by
+        // the payload — no SFD, whose empty slot-0 symbols would sit
+        // inside the AGC's measurement span and falsely kick the gain
+        // up right before every payload.
+        let preamble = self.receiver.agc.symbols + 2;
+        let t0_clean = preamble as f64 * ppm.symbol_period;
+        // `eb_rx` is the *mean received* per-bit energy: under fading
+        // the transmit energy is scaled up by the mean path loss so the
+        // receiver sits at its design point, and per-block realisations
+        // fade around it — the standard fading-channel BER convention.
+        // The probe stream depends only on the campaign seed, so every
+        // point (and every thread) sees the same calibration.
+        let mean_path_gain_sq = self
+            .channel
+            .map(|(model, d)| {
+                let mut probe_rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x9A17);
+                (0..32)
+                    .map(|_| realize(model, d, &mut probe_rng).path_gain.powi(2))
+                    .sum::<f64>()
+                    / 32.0
+            })
+            .unwrap_or(1.0);
+        ppm.pulse_energy = self.eb_rx / mean_path_gain_sq;
+        let awgn = Awgn::from_ebn0_db(self.eb_rx, ebn0);
+
+        let mut receiver = Receiver::new(
+            ReceiverConfig {
+                ppm,
+                ..self.receiver.clone()
+            },
+            make_integrator().map_err(ReceiveError::Integrator)?,
+        );
+        // Warmup blocks: let the AGC slew from its reset code to the
+        // operating point before any counted bit (the paper's receiver
+        // settles its gain on the long preamble; genie blocks carry a
+        // short one, so settling spans a few blocks).
+        if self.run_agc {
+            for _ in 0..3 {
+                let payload: Vec<bool> =
+                    (0..self.block_bits).map(|_| rng.gen_bool(0.5)).collect();
                 let air = modulate(&Packet::new(preamble, payload.clone()), &ppm);
                 let (mut w, t0) = match self.channel {
                     None => (air, t0_clean),
@@ -185,30 +203,42 @@ impl BerCampaign {
                     }
                 };
                 awgn.add_to(&mut w, &mut rng);
-                let rep = receiver.receive_genie(&w, t0, n, self.run_agc)?;
-                errors += rep
-                    .bits
-                    .iter()
-                    .zip(&payload)
-                    .filter(|(a, b)| a != b)
-                    .count() as u64;
-                bits += n as u64;
+                receiver.receive_genie(&w, t0, payload.len(), true)?;
             }
-            points.push(BerPoint {
-                ebn0_db: ebn0,
-                errors,
-                bits,
-            });
         }
-        Ok(BerCurve {
-            label: label.to_string(),
-            points,
+        let mut errors = 0u64;
+        let mut bits = 0u64;
+        while (bits as usize) < self.bits_per_point {
+            let n = self.block_bits.min(self.bits_per_point - bits as usize);
+            let payload: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+            let air = modulate(&Packet::new(preamble, payload.clone()), &ppm);
+            let (mut w, t0) = match self.channel {
+                None => (air, t0_clean),
+                Some((model, d)) => {
+                    let ch = realize(model, d, &mut rng);
+                    (ch.apply(&air), t0_clean + ch.propagation_delay)
+                }
+            };
+            awgn.add_to(&mut w, &mut rng);
+            let rep = receiver.receive_genie(&w, t0, n, self.run_agc)?;
+            errors += rep
+                .bits
+                .iter()
+                .zip(&payload)
+                .filter(|(a, b)| a != b)
+                .count() as u64;
+            bits += n as u64;
+        }
+        Ok(BerPoint {
+            ebn0_db: ebn0,
+            errors,
+            bits,
         })
     }
 }
 
 /// Table-2-style TWR result row.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TwrRow {
     /// Integrator label.
     pub label: String,
@@ -224,24 +254,29 @@ pub struct TwrRow {
     pub failures: usize,
 }
 
-/// Runs the paper's Table 2 experiment for one integrator fidelity.
-///
-/// # Errors
-///
-/// Propagates ranging failures.
-pub fn twr_table_row(
+/// One TWR exchange on its own RNG stream (`stream_seed(seed, index)`).
+fn twr_exchange(
     cfg: &TwrConfig,
-    iterations: usize,
-    label: &str,
-    mut make_integrator: impl FnMut() -> Box<dyn IntegratorBlock>,
     seed: u64,
+    index: usize,
+    make_integrator: &(impl Fn() -> Box<dyn IntegratorBlock> + Sync),
+) -> Result<TwrIteration, TwrError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(seed, index as u64));
+    uwb_txrx::transceiver::twr_iteration(cfg, make_integrator, &mut rng)
+}
+
+/// Folds per-exchange outcomes into a [`TwrRow`] (failures tolerated and
+/// counted; errors only if *every* exchange failed).
+fn summarize_twr(
+    label: &str,
+    true_distance: f64,
+    outcomes: Vec<Result<TwrIteration, TwrError>>,
 ) -> Result<(TwrRow, Vec<TwrIteration>), TwrError> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut iters = Vec::with_capacity(iterations);
+    let mut iters = Vec::with_capacity(outcomes.len());
     let mut failures = 0usize;
     let mut last_err = None;
-    for _ in 0..iterations {
-        match uwb_txrx::transceiver::twr_iteration(cfg, &mut make_integrator, &mut rng) {
+    for o in outcomes {
+        match o {
             Ok(it) => iters.push(it),
             Err(e) => {
                 failures += 1;
@@ -259,12 +294,32 @@ pub fn twr_table_row(
             label: label.to_string(),
             mean: stats.mean,
             std_dev: stats.std_dev,
-            offset: stats.offset(cfg.distance),
+            offset: stats.offset(true_distance),
             iterations: stats.n,
             failures,
         },
         iters,
     ))
+}
+
+/// Runs the paper's Table 2 experiment for one integrator fidelity, with
+/// the exchanges fanned over [`worker_threads`] workers (each on its own
+/// [`stream_seed`] stream, so the row is thread-count independent).
+///
+/// # Errors
+///
+/// Fails only if *every* exchange fails (individual losses are counted).
+pub fn twr_table_row(
+    cfg: &TwrConfig,
+    iterations: usize,
+    label: &str,
+    make_integrator: impl Fn() -> Box<dyn IntegratorBlock> + Sync,
+    seed: u64,
+) -> Result<(TwrRow, Vec<TwrIteration>), TwrError> {
+    let outcomes = run_indexed(iterations, worker_threads(), |i| {
+        twr_exchange(cfg, seed, i, &make_integrator)
+    });
+    summarize_twr(label, cfg.distance, outcomes)
 }
 
 /// Formats TWR rows as the paper's Table 2.
@@ -315,27 +370,34 @@ impl TwrDistanceSweep {
     /// Runs the sweep; one [`TwrRow`] per distance (failed exchanges are
     /// tolerated and counted).
     ///
+    /// The full `distance × iteration` grid is flattened into one task
+    /// list so the worker pool stays busy even when `iterations` is small.
+    /// Each exchange reuses the exact seed stream [`twr_table_row`] would
+    /// give it (`stream_seed(seed + distance_index, iteration)`), so the
+    /// sweep matches per-distance rows run standalone, at any thread count.
+    ///
     /// # Errors
     ///
     /// Fails only if *every* exchange at some distance fails.
     pub fn run(
         &self,
         label: &str,
-        mut make_integrator: impl FnMut() -> Box<dyn IntegratorBlock>,
+        make_integrator: impl Fn() -> Box<dyn IntegratorBlock> + Sync,
     ) -> Result<Vec<(f64, TwrRow)>, TwrError> {
-        let mut out = Vec::with_capacity(self.distances.len());
-        for (k, &d) in self.distances.iter().enumerate() {
+        let iters = self.iterations;
+        let outcomes = run_indexed(self.distances.len() * iters, worker_threads(), |j| {
+            let (k, i) = (j / iters.max(1), j % iters.max(1));
             let cfg = TwrConfig {
-                distance: d,
+                distance: self.distances[k],
                 ..self.base.clone()
             };
-            let (row, _) = twr_table_row(
-                &cfg,
-                self.iterations,
-                &format!("{label} @ {d} m"),
-                &mut make_integrator,
-                self.seed.wrapping_add(k as u64),
-            )?;
+            twr_exchange(&cfg, self.seed.wrapping_add(k as u64), i, &make_integrator)
+        });
+        let mut outcomes = outcomes.into_iter();
+        let mut out = Vec::with_capacity(self.distances.len());
+        for &d in &self.distances {
+            let chunk: Vec<_> = outcomes.by_ref().take(iters).collect();
+            let (row, _) = summarize_twr(&format!("{label} @ {d} m"), d, chunk)?;
             out.push((d, row));
         }
         Ok(out)
@@ -362,7 +424,7 @@ pub fn distance_sweep_table(rows: &[(f64, TwrRow)]) -> Table {
 }
 
 /// One row of the CPU-time comparison (the paper's Table 1).
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuTimeRow {
     /// Model label (IDEAL / VHDL-AMS / SPICE).
     pub label: String,

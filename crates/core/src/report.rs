@@ -4,7 +4,7 @@
 use std::fmt;
 
 /// A printable table.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Caption.
     pub title: String,
@@ -77,7 +77,7 @@ impl fmt::Display for Table {
 }
 
 /// A named (x, y) series.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Series name.
     pub name: String,
@@ -132,6 +132,136 @@ impl Series {
     }
 }
 
+/// One measured phase of a performance report (a campaign, a solver run,
+/// a sweep) — solver work counters plus free-form numeric annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPhase {
+    /// Phase name (e.g. `"fig6_ber_parallel"`).
+    pub name: String,
+    /// Wall-clock time, s.
+    pub wall_s: f64,
+    /// Solver work during the phase (all-zero when not applicable).
+    pub counters: spice::PerfCounters,
+    /// Extra numeric facts (`("speedup", 3.4)`, `("threads", 8.0)` …).
+    pub extra: Vec<(String, f64)>,
+}
+
+impl PerfPhase {
+    /// A phase carrying only a wall time.
+    pub fn timed(name: &str, wall_s: f64) -> Self {
+        PerfPhase {
+            name: name.to_string(),
+            wall_s,
+            counters: spice::PerfCounters::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// A phase built from solver counters (wall time taken from them).
+    pub fn from_counters(name: &str, counters: spice::PerfCounters) -> Self {
+        PerfPhase {
+            name: name.to_string(),
+            wall_s: counters.wall.as_secs_f64(),
+            counters,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Adds a numeric annotation (builder style).
+    #[must_use]
+    pub fn with(mut self, key: &str, value: f64) -> Self {
+        self.extra.push((key.to_string(), value));
+        self
+    }
+}
+
+/// A machine-readable performance report (`BENCH_perf.json`): named
+/// phases with wall times, solver work counters and derived rates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfReport {
+    /// Measured phases, in execution order.
+    pub phases: Vec<PerfPhase>,
+}
+
+impl PerfReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a phase.
+    pub fn push(&mut self, phase: PerfPhase) {
+        self.phases.push(phase);
+    }
+
+    /// Renders the report as pretty-printed JSON (hand-rolled — the
+    /// workspace is std-only by design).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\n      \"name\": {},", json_string(&p.name)));
+            s.push_str(&format!("\n      \"wall_s\": {},", json_f64(p.wall_s)));
+            let c = &p.counters;
+            s.push_str(&format!("\n      \"steps\": {},", c.steps));
+            s.push_str(&format!(
+                "\n      \"newton_iterations\": {},",
+                c.newton_iterations
+            ));
+            s.push_str(&format!(
+                "\n      \"lu_factorizations\": {},",
+                c.lu_factorizations
+            ));
+            s.push_str(&format!("\n      \"lu_reuses\": {},", c.lu_reuses));
+            s.push_str(&format!(
+                "\n      \"steps_per_s\": {},",
+                json_f64(c.steps_per_second())
+            ));
+            s.push_str(&format!(
+                "\n      \"lu_reuse_ratio\": {}",
+                json_f64(c.reuse_ratio())
+            ));
+            for (k, v) in &p.extra {
+                s.push_str(&format!(",\n      {}: {}", json_string(k), json_f64(*v)));
+            }
+            s.push_str("\n    }");
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number (non-finite values become null — JSON has no NaN/Inf).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +286,29 @@ mod tests {
         let csv = s.to_csv();
         assert!(csv.starts_with("x,ber\n"));
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn perf_report_renders_valid_json() {
+        let mut r = PerfReport::new();
+        r.push(PerfPhase::timed("campaign \"fig6\"", 1.5).with("speedup", 3.25));
+        let mut counters = spice::PerfCounters::new();
+        counters.steps = 100;
+        counters.lu_factorizations = 1;
+        counters.lu_reuses = 99;
+        counters.wall = std::time::Duration::from_millis(50);
+        r.push(PerfPhase::from_counters("tran_fast_path", counters));
+        let json = r.to_json();
+        assert!(json.contains("\"campaign \\\"fig6\\\"\""), "{json}");
+        assert!(json.contains("\"speedup\": 3.25"), "{json}");
+        assert!(json.contains("\"steps\": 100"), "{json}");
+        assert!(json.contains("\"lu_reuse_ratio\": 0.99"), "{json}");
+        assert!(json.contains("\"wall_s\": 0.05"), "{json}");
+        // Balanced braces/brackets — a cheap well-formedness check.
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json_f64(f64::NAN), "null");
     }
 
     #[test]

@@ -554,6 +554,18 @@ impl Circuit {
             .filter(|(_, e)| matches!(e, Element::Mosfet { .. }))
             .count()
     }
+
+    /// True when no element's stamp depends on the solution vector —
+    /// Newton then converges in a single solve and the transient fast
+    /// path can reuse one LU factorization across every step.
+    pub fn is_linear(&self) -> bool {
+        self.elements.iter().all(|(_, e)| {
+            !matches!(
+                e,
+                Element::Mosfet { .. } | Element::Diode { .. } | Element::Switch { .. }
+            )
+        })
+    }
 }
 
 #[cfg(test)]

@@ -2,8 +2,9 @@
 
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
-use crate::linalg::Matrix;
+use crate::linalg::{LuFactors, Matrix};
 use crate::mna::{assemble, AssembleMode, AssembleParams, MnaLayout};
+use crate::perf::PerfCounters;
 
 /// Newton iteration controls.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,6 +17,11 @@ pub struct NewtonOptions {
     pub reltol: f64,
     /// Per-iteration clamp on node-voltage updates, V (damping).
     pub max_step: f64,
+    /// Reuse the cached LU factorization whenever the assembled Jacobian
+    /// is unchanged since the last factorization (the fast path). Safe by
+    /// construction — reuse only triggers on bit-identical matrices, so
+    /// solutions are identical with the flag on or off.
+    pub reuse_lu: bool,
 }
 
 impl Default for NewtonOptions {
@@ -25,6 +31,36 @@ impl Default for NewtonOptions {
             vntol: 1e-6,
             reltol: 1e-3,
             max_step: 0.5,
+            reuse_lu: true,
+        }
+    }
+}
+
+/// Preallocated per-layout solve buffers and the LU factorization cache.
+///
+/// One instance lives inside each [`crate::tran::TransientSimulator`] (and
+/// each `dcop` call), so the hot path allocates nothing per Newton
+/// iteration and can carry a factorization across iterations and steps.
+#[derive(Debug, Clone)]
+pub(crate) struct NewtonWorkspace {
+    mat: Matrix,
+    rhs: Vec<f64>,
+    x_new: Vec<f64>,
+    lu: LuFactors,
+    /// Raw copy of the matrix the cached `lu` factors.
+    a_cached: Vec<f64>,
+    lu_valid: bool,
+}
+
+impl NewtonWorkspace {
+    pub(crate) fn new(n: usize) -> Self {
+        NewtonWorkspace {
+            mat: Matrix::zeros(n),
+            rhs: vec![0.0; n],
+            x_new: vec![0.0; n],
+            lu: LuFactors::new(n),
+            a_cached: vec![0.0; n * n],
+            lu_valid: false,
         }
     }
 }
@@ -32,6 +68,10 @@ impl Default for NewtonOptions {
 /// One damped Newton solve at fixed `gmin`/`source_scale`.
 ///
 /// Returns the converged solution or the last iterate with an error.
+/// Circuits without nonlinear devices take the fast path: a single
+/// assemble + solve is exact, so the damping/confirmation loop is skipped
+/// entirely ("linear circuits fall out of Newton").
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_solve(
     circuit: &Circuit,
     layout: &MnaLayout,
@@ -42,12 +82,11 @@ pub(crate) fn newton_solve(
     gmin: f64,
     source_scale: f64,
     opts: &NewtonOptions,
-    iter_count: &mut usize,
+    ws: &mut NewtonWorkspace,
+    counters: &mut PerfCounters,
 ) -> Result<Vec<f64>, SpiceError> {
     let n = layout.size();
     let mut x = x0.to_vec();
-    let mut mat = Matrix::zeros(n);
-    let mut rhs = vec![0.0; n];
     let params = AssembleParams {
         t,
         externals,
@@ -56,17 +95,34 @@ pub(crate) fn newton_solve(
     };
     let n_volt = layout.n_nodes() - 1;
     let mut last_delta = f64::INFINITY;
+    let linear = circuit.is_linear();
     for _ in 0..opts.max_iter {
-        *iter_count += 1;
-        assemble(circuit, layout, &x, mode, &params, &mut mat, &mut rhs);
-        let mut x_new = rhs.clone();
-        if !mat.solve_in_place(&mut x_new) {
-            return Err(SpiceError::Singular { analysis: "dcop" });
+        counters.newton_iterations += 1;
+        assemble(circuit, layout, &x, mode, &params, &mut ws.mat, &mut ws.rhs);
+        if opts.reuse_lu && ws.lu_valid && ws.mat.data() == &ws.a_cached[..] {
+            counters.lu_reuses += 1;
+        } else {
+            ws.a_cached.copy_from_slice(ws.mat.data());
+            ws.lu_valid = ws.lu.factorize(&ws.mat);
+            counters.lu_factorizations += 1;
+            if !ws.lu_valid {
+                return Err(SpiceError::Singular { analysis: "dcop" });
+            }
+        }
+        ws.x_new.copy_from_slice(&ws.rhs);
+        ws.lu.solve(&mut ws.x_new);
+        if linear {
+            // Affine system: the solve is exact — accept undamped.
+            if ws.x_new.iter().any(|v| !v.is_finite()) {
+                return Err(SpiceError::Singular { analysis: "dcop" });
+            }
+            x.copy_from_slice(&ws.x_new);
+            return Ok(x);
         }
         // Damping: clamp the largest node-voltage update.
         let mut max_dv = 0.0f64;
         for i in 0..n_volt {
-            max_dv = max_dv.max((x_new[i] - x[i]).abs());
+            max_dv = max_dv.max((ws.x_new[i] - x[i]).abs());
         }
         let scale = if max_dv > opts.max_step {
             opts.max_step / max_dv
@@ -75,7 +131,7 @@ pub(crate) fn newton_solve(
         };
         let mut converged = scale == 1.0;
         for i in 0..n {
-            let delta = (x_new[i] - x[i]) * scale;
+            let delta = (ws.x_new[i] - x[i]) * scale;
             x[i] += delta;
             if i < n_volt && delta.abs() > opts.vntol + opts.reltol * x[i].abs() {
                 converged = false;
@@ -90,7 +146,7 @@ pub(crate) fn newton_solve(
         }
     }
     Err(SpiceError::DcopDiverged {
-        iterations: *iter_count,
+        iterations: counters.newton_iterations as usize,
         delta: last_delta,
     })
 }
@@ -103,6 +159,8 @@ pub struct DcSolution {
     pub(crate) layout: MnaLayout,
     /// Total Newton iterations spent (including homotopy stages).
     pub iterations: usize,
+    /// Work counters for the whole operating-point search.
+    pub counters: PerfCounters,
 }
 
 impl DcSolution {
@@ -196,7 +254,8 @@ pub fn dcop_with(circuit: &Circuit, externals: &[f64]) -> Result<DcSolution, Spi
     let layout = MnaLayout::new(circuit);
     let opts = NewtonOptions::default();
     let x0 = vec![0.0; layout.size()];
-    let mut iters = 0usize;
+    let mut ws = NewtonWorkspace::new(layout.size());
+    let mut counters = PerfCounters::new();
 
     // Stage 1: direct.
     if let Ok(x) = newton_solve(
@@ -209,12 +268,14 @@ pub fn dcop_with(circuit: &Circuit, externals: &[f64]) -> Result<DcSolution, Spi
         GMIN_FINAL,
         1.0,
         &opts,
-        &mut iters,
+        &mut ws,
+        &mut counters,
     ) {
         return Ok(DcSolution {
             x,
             layout,
-            iterations: iters,
+            iterations: counters.newton_iterations as usize,
+            counters,
         });
     }
 
@@ -233,7 +294,8 @@ pub fn dcop_with(circuit: &Circuit, externals: &[f64]) -> Result<DcSolution, Spi
             gmin,
             1.0,
             &opts,
-            &mut iters,
+            &mut ws,
+            &mut counters,
         ) {
             Ok(sol) => x = sol,
             Err(_) => {
@@ -246,7 +308,8 @@ pub fn dcop_with(circuit: &Circuit, externals: &[f64]) -> Result<DcSolution, Spi
         return Ok(DcSolution {
             x,
             layout,
-            iterations: iters,
+            iterations: counters.newton_iterations as usize,
+            counters,
         });
     }
 
@@ -264,10 +327,11 @@ pub fn dcop_with(circuit: &Circuit, externals: &[f64]) -> Result<DcSolution, Spi
             1e-9,
             scale,
             &opts,
-            &mut iters,
+            &mut ws,
+            &mut counters,
         )
         .map_err(|_| SpiceError::DcopDiverged {
-            iterations: iters,
+            iterations: counters.newton_iterations as usize,
             delta: f64::NAN,
         })?;
     }
@@ -281,12 +345,14 @@ pub fn dcop_with(circuit: &Circuit, externals: &[f64]) -> Result<DcSolution, Spi
         GMIN_FINAL,
         1.0,
         &opts,
-        &mut iters,
+        &mut ws,
+        &mut counters,
     )?;
     Ok(DcSolution {
         x,
         layout,
-        iterations: iters,
+        iterations: counters.newton_iterations as usize,
+        counters,
     })
 }
 

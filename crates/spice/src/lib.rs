@@ -47,6 +47,7 @@ pub mod linalg;
 pub mod mna;
 pub mod mosfet;
 pub mod netlist;
+pub mod perf;
 pub mod tran;
 
 pub use ac::{ac_analysis, log_sweep, AcSweep};
@@ -55,4 +56,5 @@ pub use dcop::{dcop, dcop_with, DcSolution, NewtonOptions};
 pub use error::SpiceError;
 pub use mosfet::{MosParams, MosType};
 pub use deck::run_deck;
+pub use perf::PerfCounters;
 pub use tran::{Method as TranMethod, TranOptions, TransientSimulator};

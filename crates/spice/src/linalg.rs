@@ -46,6 +46,11 @@ impl Matrix {
         }
     }
 
+    /// Raw row-major storage (for factorization caching / comparison).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Solves `self · x = b`, overwriting `b` with `x`. Destroys `self`.
     ///
     /// Returns `false` if the matrix is numerically singular.
@@ -92,6 +97,111 @@ impl Matrix {
             b[col] = acc / self.data[col * n + col];
         }
         true
+    }
+}
+
+/// A reusable partial-pivot LU factorization.
+///
+/// Unlike [`Matrix::solve_in_place`], which destroys the matrix per solve,
+/// this keeps the factors and pivot sequence so one factorization ( O(n³) )
+/// can serve many right-hand sides ( O(n²) each ) — the transient fast
+/// path reuses it across Newton iterations and time steps whenever the
+/// assembled Jacobian is unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuFactors {
+    n: usize,
+    /// Packed L (unit diagonal, below) and U (on/above diagonal).
+    lu: Vec<f64>,
+    /// Row swap applied at each elimination column.
+    piv: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Empty factorization workspace for order-`n` systems.
+    pub fn new(n: usize) -> Self {
+        LuFactors {
+            n,
+            lu: vec![0.0; n * n],
+            piv: vec![0; n],
+        }
+    }
+
+    /// Factors `a` (which is left untouched), replacing any previous
+    /// factorization. Returns `false` if `a` is numerically singular.
+    pub fn factorize(&mut self, a: &Matrix) -> bool {
+        let n = a.n;
+        if self.n != n {
+            self.n = n;
+            self.lu = vec![0.0; n * n];
+            self.piv = vec![0; n];
+        }
+        self.lu.copy_from_slice(&a.data);
+        let lu = &mut self.lu;
+        for col in 0..n {
+            let mut piv = col;
+            let mut mag = lu[col * n + col].abs();
+            for r in (col + 1)..n {
+                let m = lu[r * n + col].abs();
+                if m > mag {
+                    mag = m;
+                    piv = r;
+                }
+            }
+            if mag < 1e-300 {
+                return false;
+            }
+            self.piv[col] = piv;
+            if piv != col {
+                for c in 0..n {
+                    lu.swap(col * n + c, piv * n + c);
+                }
+            }
+            let pivot = lu[col * n + col];
+            for r in (col + 1)..n {
+                let f = lu[r * n + col] / pivot;
+                lu[r * n + col] = f;
+                if f == 0.0 {
+                    continue;
+                }
+                for c in (col + 1)..n {
+                    let v = lu[col * n + c];
+                    lu[r * n + c] -= f * v;
+                }
+            }
+        }
+        true
+    }
+
+    /// Solves `A·x = b` with the stored factors, overwriting `b` with `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` disagrees with the factored order.
+    pub fn solve(&self, b: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        // Apply the recorded row swaps, then forward/back substitution.
+        for col in 0..n {
+            let piv = self.piv[col];
+            if piv != col {
+                b.swap(col, piv);
+            }
+        }
+        for col in 0..n {
+            let bc = b[col];
+            if bc != 0.0 {
+                for r in (col + 1)..n {
+                    b[r] -= self.lu[r * n + col] * bc;
+                }
+            }
+        }
+        for col in (0..n).rev() {
+            let mut acc = b[col];
+            for c in (col + 1)..n {
+                acc -= self.lu[col * n + c] * b[c];
+            }
+            b[col] = acc / self.lu[col * n + col];
+        }
     }
 }
 
@@ -219,6 +329,61 @@ mod tests {
         assert_eq!(m.get(0, 0), 3.0);
         m.clear();
         assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn lu_factors_match_direct_solve() {
+        // Pseudo-random but deterministic well-conditioned system.
+        let n = 7;
+        let mut m = Matrix::zeros(n);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for r in 0..n {
+            for c in 0..n {
+                m.add(r, c, next());
+            }
+            m.add(r, r, 4.0); // diagonally dominant
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+
+        let mut lu = LuFactors::new(n);
+        assert!(lu.factorize(&m));
+        let mut x_lu = b.clone();
+        lu.solve(&mut x_lu);
+
+        let mut m2 = m.clone();
+        let mut x_direct = b.clone();
+        assert!(m2.solve_in_place(&mut x_direct));
+        for (a, d) in x_lu.iter().zip(&x_direct) {
+            assert!((a - d).abs() < 1e-12, "{a} vs {d}");
+        }
+
+        // Factors are reusable: a second RHS still solves correctly.
+        let b2: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut x2 = b2.clone();
+        lu.solve(&mut x2);
+        // Residual check ||A x − b||.
+        for r in 0..n {
+            let mut acc = 0.0;
+            for c in 0..n {
+                acc += m.get(r, c) * x2[c];
+            }
+            assert!((acc - b2[r]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_factors_detect_singular() {
+        let mut m = Matrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 2.0);
+        m.add(1, 0, 2.0);
+        m.add(1, 1, 4.0);
+        let mut lu = LuFactors::new(2);
+        assert!(!lu.factorize(&m));
     }
 
     #[test]

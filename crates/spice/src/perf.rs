@@ -1,0 +1,121 @@
+//! Performance counters for the numerical kernels.
+//!
+//! The paper's Table 1 compares CPU time across model fidelities; these
+//! counters make the underlying work machine-readable — how many time
+//! steps ran, how many Newton iterations they took, and how often the
+//! Jacobian actually had to be re-factorized versus reusing the cached LU
+//! (the transient fast path).
+
+use std::time::Duration;
+
+/// Cheap work counters threaded through DC and transient analyses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Accepted time steps (transient only).
+    pub steps: u64,
+    /// Newton iterations (each one assembles the MNA system once).
+    pub newton_iterations: u64,
+    /// LU factorizations performed.
+    pub lu_factorizations: u64,
+    /// Linear solves that reused a cached factorization.
+    pub lu_reuses: u64,
+    /// Wall-clock time spent inside `step()` (transient only).
+    pub wall: Duration,
+}
+
+impl PerfCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `other` into `self` (for aggregating phases or workers).
+    pub fn merge(&mut self, other: &PerfCounters) {
+        self.steps += other.steps;
+        self.newton_iterations += other.newton_iterations;
+        self.lu_factorizations += other.lu_factorizations;
+        self.lu_reuses += other.lu_reuses;
+        self.wall += other.wall;
+    }
+
+    /// Accepted steps per wall-clock second (0 when no time was recorded).
+    pub fn steps_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.steps as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of linear solves that skipped factorization.
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.lu_factorizations + self.lu_reuses;
+        if total > 0 {
+            self.lu_reuses as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for PerfCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} steps, {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {:.3} s wall",
+            self.steps,
+            self.newton_iterations,
+            self.lu_factorizations,
+            self.lu_reuses,
+            self.reuse_ratio() * 100.0,
+            self.wall.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = PerfCounters {
+            steps: 1,
+            newton_iterations: 2,
+            lu_factorizations: 3,
+            lu_reuses: 4,
+            wall: Duration::from_millis(10),
+        };
+        let b = PerfCounters {
+            steps: 10,
+            newton_iterations: 20,
+            lu_factorizations: 30,
+            lu_reuses: 40,
+            wall: Duration::from_millis(100),
+        };
+        a.merge(&b);
+        assert_eq!(a.steps, 11);
+        assert_eq!(a.newton_iterations, 22);
+        assert_eq!(a.lu_factorizations, 33);
+        assert_eq!(a.lu_reuses, 44);
+        assert_eq!(a.wall, Duration::from_millis(110));
+    }
+
+    #[test]
+    fn derived_rates() {
+        let c = PerfCounters {
+            steps: 500,
+            wall: Duration::from_millis(250),
+            lu_factorizations: 1,
+            lu_reuses: 499,
+            ..Default::default()
+        };
+        assert!((c.steps_per_second() - 2000.0).abs() < 1e-9);
+        assert!((c.reuse_ratio() - 0.998).abs() < 1e-9);
+        assert_eq!(PerfCounters::default().steps_per_second(), 0.0);
+        assert_eq!(PerfCounters::default().reuse_ratio(), 0.0);
+        let s = c.to_string();
+        assert!(s.contains("500 steps"), "{s}");
+    }
+}

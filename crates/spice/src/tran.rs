@@ -6,9 +6,11 @@
 //! VHDL-AMS/Eldo co-simulation seam).
 
 use crate::circuit::{Circuit, Element, NodeId};
-use crate::dcop::{dcop_with, newton_solve, NewtonOptions, GMIN_FINAL};
+use crate::dcop::{dcop_with, newton_solve, NewtonOptions, NewtonWorkspace, GMIN_FINAL};
 use crate::error::SpiceError;
 use crate::mna::{AssembleMode, MnaLayout};
+use crate::perf::PerfCounters;
+use std::time::Instant;
 
 /// Time-discretisation method for linear capacitors (device capacitances
 /// always use Backward Euler; see [`AssembleMode`]).
@@ -96,10 +98,14 @@ pub struct TransientSimulator {
     /// currents — trapezoidal integration starts from the second step
     /// (the standard restart-after-DC/breakpoint rule).
     trap_ready: bool,
-    /// Cumulative Newton iterations (CPU-cost proxy for Table 1).
-    pub newton_iterations: usize,
-    /// Steps taken.
-    pub steps: u64,
+    /// True when every element is linear (enables the single-solve path).
+    linear: bool,
+    /// Preallocated Newton buffers + LU cache (no per-step allocation).
+    ws: NewtonWorkspace,
+    /// Work done by the initial DC operating-point search.
+    dc_counters: PerfCounters,
+    /// Work done by transient stepping (excludes the DC solve).
+    counters: PerfCounters,
 }
 
 impl TransientSimulator {
@@ -125,7 +131,6 @@ impl TransientSimulator {
         externals: Vec<f64>,
     ) -> Result<Self, SpiceError> {
         let op = dcop_with(&circuit, &externals)?;
-        let iterations = op.iterations;
         let layout = MnaLayout::new(&circuit);
         let caps: Vec<(NodeId, NodeId, f64)> = circuit
             .elements()
@@ -140,6 +145,8 @@ impl TransientSimulator {
             // DC start: no current flows in any capacitor.
             Method::Trapezoidal => vec![0.0; caps.len()],
         };
+        let linear = circuit.is_linear();
+        let ws = NewtonWorkspace::new(layout.size());
         let mut sim = TransientSimulator {
             circuit,
             layout,
@@ -150,8 +157,10 @@ impl TransientSimulator {
             caps,
             cap_currents,
             trap_ready: false,
-            newton_iterations: iterations,
-            steps: 0,
+            linear,
+            ws,
+            dc_counters: op.counters,
+            counters: PerfCounters::new(),
         };
         sim.apply_initial_conditions();
         Ok(sim)
@@ -205,6 +214,32 @@ impl TransientSimulator {
         &self.circuit
     }
 
+    /// True when the circuit contains no nonlinear devices (the solver then
+    /// takes the single-solve path and reuses its LU factorization).
+    pub fn is_linear(&self) -> bool {
+        self.linear
+    }
+
+    /// Total Newton iterations so far, including the DC operating point.
+    pub fn newton_iterations(&self) -> u64 {
+        self.dc_counters.newton_iterations + self.counters.newton_iterations
+    }
+
+    /// Accepted transient steps so far.
+    pub fn steps(&self) -> u64 {
+        self.counters.steps
+    }
+
+    /// Work counters for the transient phase (excludes the DC solve).
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// Work counters for the initial DC operating-point search.
+    pub fn dc_counters(&self) -> &PerfCounters {
+        &self.dc_counters
+    }
+
     /// Advances one Backward-Euler step of width `h`.
     ///
     /// # Errors
@@ -212,25 +247,29 @@ impl TransientSimulator {
     /// [`SpiceError::TranDiverged`] when the per-step Newton fails even
     /// after a retry with halved sub-steps.
     pub fn step(&mut self, h: f64) -> Result<(), SpiceError> {
-        self.substep(h, 0)
+        let t0 = Instant::now();
+        let result = self.substep(h, 0);
+        self.counters.wall += t0.elapsed();
+        result
     }
 
     fn substep(&mut self, h: f64, depth: usize) -> Result<(), SpiceError> {
-        let x_prev = self.x.clone();
         let t_new = self.t + h;
-        let mut iters = 0usize;
         // The first step after DC runs Backward Euler even in trapezoidal
         // mode: the stored capacitor currents are not yet consistent with
         // the (possibly discontinuous) sources.
         let trap_now = self.trap_ready && !self.cap_currents.is_empty();
         let empty: [f64; 0] = [];
         let companion: &[f64] = if trap_now { &self.cap_currents } else { &empty };
+        // `self.x` is both the Newton starting guess and the previous-step
+        // state: it is not mutated until the step is accepted below, so no
+        // clone is needed on the hot path.
         let result = newton_solve(
             &self.circuit,
             &self.layout,
             &self.x,
             AssembleMode::Transient {
-                x_prev: &x_prev,
+                x_prev: &self.x,
                 h,
                 cap_currents: companion,
             },
@@ -239,18 +278,19 @@ impl TransientSimulator {
             self.opts.gmin,
             1.0,
             &self.opts.newton,
-            &mut iters,
+            &mut self.ws,
+            &mut self.counters,
         );
-        self.newton_iterations += iters;
         match result {
             Ok(x) => {
                 // Trapezoidal bookkeeping: update each capacitor's current
-                // from the accepted step before moving on.
+                // from the accepted step before moving on (`self.x` still
+                // holds the previous-step voltages here).
                 if !self.cap_currents.is_empty() {
                     for (k, &(p, n, c)) in self.caps.iter().enumerate() {
                         let v_new = self.layout.voltage(&x, p) - self.layout.voltage(&x, n);
                         let v_old =
-                            self.layout.voltage(&x_prev, p) - self.layout.voltage(&x_prev, n);
+                            self.layout.voltage(&self.x, p) - self.layout.voltage(&self.x, n);
                         self.cap_currents[k] = if trap_now {
                             2.0 * c / h * (v_new - v_old) - self.cap_currents[k]
                         } else {
@@ -261,7 +301,7 @@ impl TransientSimulator {
                 }
                 self.x = x;
                 self.t = t_new;
-                self.steps += 1;
+                self.counters.steps += 1;
                 Ok(())
             }
             Err(_) if depth < 4 => {
@@ -449,10 +489,38 @@ mod tests {
     fn stats_accumulate() {
         let (c, _) = rc_circuit(1e3, 1e-9);
         let mut sim = TransientSimulator::new(c, TranOptions::default()).unwrap();
-        let initial = sim.newton_iterations;
+        let initial = sim.newton_iterations();
+        assert!(initial > 0, "DC solve counted");
         sim.run_until(10e-9, 1e-9, |_| {}).unwrap();
-        assert_eq!(sim.steps, 10);
-        assert!(sim.newton_iterations > initial);
+        assert_eq!(sim.steps(), 10);
+        assert!(sim.newton_iterations() > initial);
+        assert!(sim.counters().wall > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn linear_transient_reuses_lu_and_matches_slow_path() {
+        // A linear RC deck: after the first transient step factorizes the
+        // BE companion matrix, every further step at the same h must reuse
+        // it — exactly one transient factorization total. And the fast
+        // path must be bit-identical to the no-reuse path.
+        let run = |reuse: bool| {
+            let (c, b) = rc_circuit(1e3, 1e-9);
+            let mut opts = TranOptions::default();
+            opts.newton.reuse_lu = reuse;
+            let mut sim = TransientSimulator::new(c, opts).unwrap();
+            let mut trace = Vec::new();
+            sim.run_until(100e-9, 1e-9, |s| trace.push(s.voltage(b))).unwrap();
+            (trace, *sim.counters())
+        };
+        let (fast, cf) = run(true);
+        let (slow, cs) = run(false);
+        assert_eq!(fast, slow, "fast path must be bit-identical");
+        assert!(cf.steps == 100 && cs.steps == 100);
+        assert_eq!(cf.lu_factorizations, 1, "one factorization, then reuse: {cf}");
+        assert_eq!(cf.lu_reuses, 99);
+        assert_eq!(cs.lu_factorizations, 100, "no-reuse path refactorizes every step");
+        // Linear circuit: exactly one Newton iteration per step.
+        assert_eq!(cf.newton_iterations, 100);
     }
 
     #[test]

@@ -323,7 +323,7 @@ impl IntegratorBlock for CircuitIntegrator {
     }
 
     fn newton_iterations(&self) -> u64 {
-        self.sim.newton_iterations as u64
+        self.sim.newton_iterations()
     }
 }
 

@@ -1,0 +1,291 @@
+//! Offline stand-in for the `num-complex` API subset this workspace uses:
+//! [`Complex64`] with arithmetic, `norm`, `norm_sqr`, `arg`, `exp`, `conj`.
+
+#![warn(missing_docs)]
+
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Double-precision complex number.
+pub type Complex64 = Complex<f64>;
+
+impl Complex<f64> {
+    /// Creates `re + i·im`.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The imaginary unit.
+    #[inline]
+    pub fn i() -> Self {
+        Complex { re: 0.0, im: 1.0 }
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex {
+            re: r * self.im.cos(),
+            im: r * self.im.sin(),
+        }
+    }
+
+    /// Reciprocal `1/z`.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl Add for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        // Smith's algorithm: avoids overflow on badly scaled pivots.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex<f64> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex<f64> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex<f64> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex<f64> {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Add<f64> for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: f64) -> Self {
+        Complex::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: f64) -> Self {
+        Complex::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn add(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self + rhs.re, rhs.im)
+    }
+}
+
+impl Sub<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn sub(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self - rhs.re, -rhs.im)
+    }
+}
+
+impl Mul<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn mul(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self * rhs.re, self * rhs.im)
+    }
+}
+
+impl Div<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn div(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self, 0.0) / rhs
+    }
+}
+
+impl std::fmt::Display for Complex<f64> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(3.0, -4.0);
+        let b = Complex64::new(-1.0, 2.0);
+        assert_eq!(a + b, Complex64::new(2.0, -2.0));
+        assert_eq!(a - b, Complex64::new(4.0, -6.0));
+        assert_eq!(a * b, Complex64::new(5.0, 10.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).norm() < 1e-12);
+        assert_eq!(-a, Complex64::new(-3.0, 4.0));
+        assert_eq!(a.conj(), Complex64::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn polar_quantities() {
+        let z = Complex64::new(3.0, 4.0);
+        assert!((z.norm() - 5.0).abs() < 1e-15);
+        assert!((z.norm_sqr() - 25.0).abs() < 1e-12);
+        let i = Complex64::i();
+        assert!((i.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = Complex64::new(0.0, std::f64::consts::PI).exp();
+        assert!((z.re + 1.0).abs() < 1e-12 && z.im.abs() < 1e-12, "{z}");
+    }
+
+    #[test]
+    fn scalar_ops_both_sides() {
+        let z = Complex64::new(1.0, 2.0);
+        assert_eq!(z * 2.0, Complex64::new(2.0, 4.0));
+        assert_eq!(2.0 * z, Complex64::new(2.0, 4.0));
+        assert_eq!(z + 1.0, Complex64::new(2.0, 2.0));
+        let r = 1.0 / z;
+        assert!((r * z - Complex64::new(1.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn smith_division_handles_extreme_scales() {
+        let tiny = Complex64::new(1e-200, 1e-200);
+        let q = Complex64::new(1.0, 1.0) / tiny;
+        assert!(q.re.is_finite() && q.im.is_finite());
+        assert!(Complex64::new(f64::NAN, 0.0).norm_sqr().is_nan());
+    }
+}

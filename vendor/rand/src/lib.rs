@@ -1,0 +1,189 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: [`RngCore`], [`SeedableRng`], and the [`Rng`] extension with
+//! `gen_bool` / `gen_range`.
+//!
+//! The build environment has no registry access, so the real crate cannot
+//! be fetched; this shim keeps the public surface source-compatible. The
+//! generated *streams* are not bit-compatible with upstream `rand` — all
+//! reproducibility guarantees in this repository are defined against this
+//! implementation (fixed seed → fixed stream, forever).
+
+#![warn(missing_docs)]
+
+/// Low-level uniform bit generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// A generator that can be constructed from a fixed-width seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type (e.g. `[u8; 32]`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 and constructs the
+    /// generator. Deterministic: same input, same generator, always.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut s = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, v) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = v;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Maps 64 random bits onto the unit interval `[0, 1)` with 53-bit
+/// resolution (the standard `u64 >> 11` construction).
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Uniform draw from `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let width = self.end - self.start;
+        self.start + width * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleRange<usize> for core::ops::Range<usize> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let width = (self.end - self.start) as u64;
+        // Widening-multiply rejection-free mapping (Lemire); the tiny
+        // modulo bias is irrelevant at the widths used here.
+        let hi = ((u128::from(rng.next_u64()) * u128::from(width)) >> 64) as u64;
+        self.start + hi as usize
+    }
+}
+
+impl SampleRange<u64> for core::ops::Range<u64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        let width = u128::from(self.end - self.start);
+        let hi = ((u128::from(rng.next_u64()) * width) >> 64) as u64;
+        self.start + hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let w = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = Lcg(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+        let mut rng = Lcg(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_range_stays_inside() {
+        let mut rng = Lcg(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&x));
+            let n: usize = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&n));
+        }
+    }
+
+    #[test]
+    fn seed_expansion_is_deterministic_and_distinct() {
+        struct Cap([u8; 32]);
+        impl SeedableRng for Cap {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Cap(seed)
+            }
+        }
+        let a = Cap::seed_from_u64(7).0;
+        let b = Cap::seed_from_u64(7).0;
+        let c = Cap::seed_from_u64(8).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, [0u8; 32]);
+    }
+}
