@@ -219,9 +219,24 @@ mod tests {
         let m = TwoPoleGatedModel::from_db_and_hz(20.0, 1e6, 1e9).with_input_clip(0.05);
         let mut r_clipped = [0.0, 0.0];
         let mut r_at_limit = [0.0, 0.0];
-        m.residual(0.0, &[0.0, 0.0], &[0.0, 0.0], &[1.0, 1.0, 0.0], &mut r_clipped);
-        m.residual(0.0, &[0.0, 0.0], &[0.0, 0.0], &[0.05, 1.0, 0.0], &mut r_at_limit);
-        assert_eq!(r_clipped, r_at_limit, "inputs beyond the clip must saturate");
+        m.residual(
+            0.0,
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+            &[1.0, 1.0, 0.0],
+            &mut r_clipped,
+        );
+        m.residual(
+            0.0,
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+            &[0.05, 1.0, 0.0],
+            &mut r_at_limit,
+        );
+        assert_eq!(
+            r_clipped, r_at_limit,
+            "inputs beyond the clip must saturate"
+        );
     }
 
     #[test]

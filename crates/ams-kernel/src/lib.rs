@@ -45,15 +45,19 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analog;
-pub mod linalg;
 pub mod scheduler;
 pub mod signal;
 pub mod sim;
 pub mod solver;
-pub mod time;
-pub mod trace;
+
+// The numeric substrate (dense matrices + LU), work counters, time axis
+// and waveform probes live in `sim-core`, shared with the circuit
+// simulator; re-exported here so `ams_kernel::linalg` / `::time` /
+// `::trace` paths keep working downstream.
+pub use sim_core::{linalg, perf, time, trace};
 
 pub use analog::AnalogModel;
+pub use perf::PerfCounters;
 pub use scheduler::{AnalogBlock, MixedSimulator, OdeBlock};
 pub use signal::{SignalId, Value};
 pub use sim::{ProcessCtx, ProcessId, Simulator};

@@ -134,7 +134,9 @@ impl MixedSimulator {
 
     /// Borrows a block back as its concrete type.
     pub fn block<T: 'static>(&self, id: BlockId) -> Option<&T> {
-        self.blocks.get(id.0).and_then(|b| b.as_any().downcast_ref())
+        self.blocks
+            .get(id.0)
+            .and_then(|b| b.as_any().downcast_ref())
     }
 
     /// Mutably borrows a block back as its concrete type.
@@ -199,11 +201,7 @@ impl<M: std::fmt::Debug> std::fmt::Debug for OdeBlock<M> {
 impl<M: crate::analog::AnalogModel> OdeBlock<M> {
     /// Wraps `model`, reading `input_signals` in order into `u` and
     /// publishing `outputs` = (signal, state index) after each step.
-    pub fn new(
-        model: M,
-        input_signals: Vec<SignalId>,
-        outputs: Vec<(SignalId, usize)>,
-    ) -> Self {
+    pub fn new(model: M, input_signals: Vec<SignalId>, outputs: Vec<(SignalId, usize)>) -> Self {
         let state = crate::solver::TransientState::from_model(&model);
         let n_in = input_signals.len();
         OdeBlock {
@@ -239,7 +237,13 @@ impl<M: crate::analog::AnalogModel> OdeBlock<M> {
 
     /// Cumulative Newton iterations (CPU-cost proxy).
     pub fn newton_iterations(&self) -> u64 {
-        self.solver.newton_iterations
+        self.solver.newton_iterations()
+    }
+
+    /// Work counters of the wrapped solver (steps, Newton iterations,
+    /// LU factorizations and reuses, wall time).
+    pub fn perf_counters(&self) -> &crate::perf::PerfCounters {
+        self.solver.counters()
     }
 }
 
@@ -314,12 +318,18 @@ mod tests {
         let mid = ms.digital.add_signal("mid", 0.0f64);
         let out = ms.digital.add_signal("out", 0.0f64);
         ms.add_block(Box::new(OdeBlock::new(
-            FirstOrderLag { tau: 50e-9, gain: 1.0 },
+            FirstOrderLag {
+                tau: 50e-9,
+                gain: 1.0,
+            },
             vec![u],
             vec![(mid, 0)],
         )));
         ms.add_block(Box::new(OdeBlock::new(
-            FirstOrderLag { tau: 50e-9, gain: 2.0 },
+            FirstOrderLag {
+                tau: 50e-9,
+                gain: 2.0,
+            },
             vec![mid],
             vec![(out, 0)],
         )));
@@ -358,7 +368,10 @@ mod tests {
         let u = ms.digital.add_signal("u", 1.0f64);
         let y = ms.digital.add_signal("y", 0.0f64);
         ms.add_block(Box::new(OdeBlock::new(
-            FirstOrderLag { tau: 1e-9, gain: 1.0 },
+            FirstOrderLag {
+                tau: 1e-9,
+                gain: 1.0,
+            },
             vec![u],
             vec![(y, 0)],
         )));
@@ -372,7 +385,10 @@ mod tests {
         let u = ms.digital.add_signal("u", 0.0f64);
         let y = ms.digital.add_signal("y", 0.0f64);
         let id = ms.add_block(Box::new(OdeBlock::new(
-            FirstOrderLag { tau: 1e-9, gain: 3.0 },
+            FirstOrderLag {
+                tau: 1e-9,
+                gain: 3.0,
+            },
             vec![u],
             vec![(y, 0)],
         )));

@@ -6,8 +6,10 @@
 //! the same regime this solver targets.
 
 use crate::analog::AnalogModel;
-use crate::linalg::{solve_in_place, DMatrix};
+use crate::linalg::{DMatrix, LuFactors};
+use crate::perf::PerfCounters;
 use std::fmt;
+use std::time::Instant;
 
 /// Discretisation method for the time derivative.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,6 +32,10 @@ pub struct SolverOptions {
     pub tol: f64,
     /// Relative perturbation for finite-difference Jacobians.
     pub fd_eps: f64,
+    /// Reuse the cached LU factorization when a freshly assembled Jacobian
+    /// is byte-identical to the last one factored. Bit-exact by
+    /// construction; disable to force a factorization per Newton iteration.
+    pub reuse_lu: bool,
 }
 
 impl Default for SolverOptions {
@@ -40,6 +46,7 @@ impl Default for SolverOptions {
             // The paper runs Eldo/ADMS with EPS = 1e-6.
             tol: 1e-6,
             fd_eps: 1e-7,
+            reuse_lu: true,
         }
     }
 }
@@ -126,10 +133,15 @@ impl TransientState {
 pub struct ImplicitSolver {
     /// Solver options.
     pub options: SolverOptions,
-    /// Cumulative Newton iterations (diagnostic / CPU-cost proxy).
-    pub newton_iterations: u64,
-    /// Cumulative steps taken.
-    pub steps: u64,
+    /// Work counters (steps, Newton iterations, LU work, wall time) —
+    /// the same [`PerfCounters`] type the circuit simulator threads.
+    counters: PerfCounters,
+    /// Cached LU of the last factored Newton Jacobian.
+    lu: LuFactors,
+    /// Raw bytes of the last factored Jacobian, for the reuse compare.
+    jac_cached: Vec<f64>,
+    /// Whether `lu`/`jac_cached` hold a valid factorization.
+    lu_valid: bool,
 }
 
 impl ImplicitSolver {
@@ -137,9 +149,23 @@ impl ImplicitSolver {
     pub fn new(options: SolverOptions) -> Self {
         ImplicitSolver {
             options,
-            newton_iterations: 0,
-            steps: 0,
+            ..Default::default()
         }
+    }
+
+    /// Work counters accumulated over this solver's lifetime.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// Cumulative Newton iterations (diagnostic / CPU-cost proxy).
+    pub fn newton_iterations(&self) -> u64 {
+        self.counters.newton_iterations
+    }
+
+    /// Cumulative steps taken.
+    pub fn steps(&self) -> u64 {
+        self.counters.steps
     }
 
     /// Advances `state` from time `t` to `t + h` under inputs `u`
@@ -151,6 +177,20 @@ impl ImplicitSolver {
     /// Returns a [`SolveError`] if the Newton iteration fails to converge,
     /// hits a singular Jacobian, or the model emits non-finite residuals.
     pub fn step<M: AnalogModel + ?Sized>(
+        &mut self,
+        model: &M,
+        t: f64,
+        h: f64,
+        u: &[f64],
+        state: &mut TransientState,
+    ) -> Result<(), SolveError> {
+        let start = Instant::now();
+        let out = self.step_inner(model, t, h, u, state);
+        self.counters.wall += start.elapsed();
+        out
+    }
+
+    fn step_inner<M: AnalogModel + ?Sized>(
         &mut self,
         model: &M,
         t: f64,
@@ -192,7 +232,7 @@ impl ImplicitSolver {
 
         let mut converged = false;
         for _ in 0..self.options.max_newton {
-            self.newton_iterations += 1;
+            self.counters.newton_iterations += 1;
             derive(&x, &mut xdot);
             model.residual(t_new, &x, &xdot, u, &mut r);
             if r.iter().any(|v| !v.is_finite()) {
@@ -216,9 +256,26 @@ impl ImplicitSolver {
                     jac[(i, j)] = (r_pert[i] - r[i]) / dx;
                 }
             }
+            // Factor (or reuse) the Jacobian and solve for the Newton update.
+            // When consecutive builds produce byte-identical Jacobians — e.g.
+            // a linear model replayed from the same state — the cached LU is
+            // reused and the update is bit-identical by construction.
+            if self.options.reuse_lu && self.lu_valid && jac.data() == &self.jac_cached[..] {
+                self.counters.lu_reuses += 1;
+            } else {
+                self.jac_cached.clear();
+                self.jac_cached.extend_from_slice(jac.data());
+                self.counters.lu_factorizations += 1;
+                match self.lu.factorize(&jac) {
+                    Ok(()) => self.lu_valid = true,
+                    Err(_) => {
+                        self.lu_valid = false;
+                        return Err(SolveError::SingularJacobian { t: t_new });
+                    }
+                }
+            }
             let mut delta: Vec<f64> = r.iter().map(|v| -v).collect();
-            solve_in_place(&mut jac, &mut delta)
-                .map_err(|_| SolveError::SingularJacobian { t: t_new })?;
+            self.lu.solve(&mut delta);
             let mut step_norm = 0.0f64;
             for i in 0..n {
                 x[i] += delta[i];
@@ -237,6 +294,9 @@ impl ImplicitSolver {
             derive(&x, &mut xdot);
             model.residual(t_new, &x, &xdot, u, &mut r);
             let res_norm = r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            // Negated comparison on purpose: a NaN norm must count as
+            // divergence, and `res_norm >= tol` would let it through.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
             if !(res_norm < self.options.tol) {
                 return Err(SolveError::NewtonDiverged {
                     t: t_new,
@@ -248,7 +308,7 @@ impl ImplicitSolver {
         state.x = x;
         state.xdot = xdot;
         state.bootstrapped = true;
-        self.steps += 1;
+        self.counters.steps += 1;
         Ok(())
     }
 
@@ -285,6 +345,7 @@ impl ImplicitSolver {
     /// # Errors
     ///
     /// Propagates the first [`SolveError`] encountered.
+    #[allow(clippy::too_many_arguments)]
     pub fn run<M: AnalogModel + ?Sized>(
         &mut self,
         model: &M,
@@ -312,7 +373,10 @@ mod tests {
     use crate::analog::{FirstOrderLag, IdealGatedIntegrator, TwoPoleGatedModel};
 
     fn run_lag(method: Method, h: f64, t_end: f64) -> f64 {
-        let model = FirstOrderLag { tau: 1e-6, gain: 1.0 };
+        let model = FirstOrderLag {
+            tau: 1e-6,
+            gain: 1.0,
+        };
         let mut solver = ImplicitSolver::new(SolverOptions {
             method,
             ..Default::default()
@@ -369,7 +433,15 @@ mod tests {
         let mut solver = ImplicitSolver::default();
         let mut st = TransientState::from_model(&model);
         solver
-            .run(&model, 0.0, 1e-10, 500, &mut st, |_| vec![0.1, 1.0, 0.0], |_, _| {})
+            .run(
+                &model,
+                0.0,
+                1e-10,
+                500,
+                &mut st,
+                |_| vec![0.1, 1.0, 0.0],
+                |_, _| {},
+            )
             .unwrap();
         assert!(st.x[0] > 1.0);
         // sel = 0 → algebraic constraint vo = 0 solved in one step.
@@ -385,11 +457,27 @@ mod tests {
         let mut solver = ImplicitSolver::default();
         let mut st = TransientState::from_model(&model);
         solver
-            .run(&model, 0.0, 1e-10, 100, &mut st, |_| vec![0.1, 1.0, 0.0], |_, _| {})
+            .run(
+                &model,
+                0.0,
+                1e-10,
+                100,
+                &mut st,
+                |_| vec![0.1, 1.0, 0.0],
+                |_, _| {},
+            )
             .unwrap();
         let held = st.x[0];
         solver
-            .run(&model, 0.0, 1e-10, 100, &mut st, |_| vec![0.5, 1.0, 1.0], |_, _| {})
+            .run(
+                &model,
+                0.0,
+                1e-10,
+                100,
+                &mut st,
+                |_| vec![0.5, 1.0, 1.0],
+                |_, _| {},
+            )
             .unwrap();
         assert!((st.x[0] - held).abs() < 1e-9);
     }
@@ -471,7 +559,9 @@ mod tests {
         let mut direct = ImplicitSolver::new(opts);
         let mut st_direct = TransientState::from_model(&Sharp);
         assert!(
-            direct.step(&Sharp, 0.0, 50e-9, &[3.0], &mut st_direct).is_err(),
+            direct
+                .step(&Sharp, 0.0, 50e-9, &[3.0], &mut st_direct)
+                .is_err(),
             "premise: the undivided step diverges"
         );
         // ...while the adaptive wrapper subdivides and lands it.
@@ -506,13 +596,87 @@ mod tests {
 
     #[test]
     fn solver_counts_work() {
-        let model = FirstOrderLag { tau: 1e-6, gain: 1.0 };
+        let model = FirstOrderLag {
+            tau: 1e-6,
+            gain: 1.0,
+        };
         let mut solver = ImplicitSolver::default();
         let mut st = TransientState::from_model(&model);
         solver
             .run(&model, 0.0, 1e-8, 10, &mut st, |_| vec![1.0], |_, _| {})
             .unwrap();
-        assert_eq!(solver.steps, 10);
-        assert!(solver.newton_iterations >= 10);
+        assert_eq!(solver.steps(), 10);
+        assert!(solver.newton_iterations() >= 10);
+        let c = solver.counters();
+        assert_eq!(c.steps, 10);
+        assert!(c.lu_factorizations + c.lu_reuses >= 1, "LU work recorded");
+    }
+
+    /// A near-algebraic model that converges in one Newton update, so each
+    /// step builds exactly one Jacobian — and at identical state the builds
+    /// are byte-identical, exercising the LU-reuse fast path.
+    struct NearAlgebraic;
+    impl crate::analog::AnalogModel for NearAlgebraic {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&self, _t: f64, x: &[f64], xd: &[f64], u: &[f64], r: &mut [f64]) {
+            r[0] = u[0] - x[0] - 1e-9 * xd[0];
+        }
+    }
+
+    fn replay_steps(solver: &mut ImplicitSolver, n: usize) -> Vec<u64> {
+        let mut bits = Vec::with_capacity(n);
+        for _ in 0..n {
+            // `apply_break` replays the identical pre-step state, so the
+            // finite-difference Jacobian is rebuilt from the same bytes.
+            let mut st = TransientState::from_model(&NearAlgebraic);
+            st.apply_break(&[0.0]);
+            solver
+                .step(&NearAlgebraic, 0.0, 1e-9, &[2.0], &mut st)
+                .unwrap();
+            bits.push(st.x[0].to_bits());
+        }
+        bits
+    }
+
+    #[test]
+    fn replayed_identical_steps_reuse_the_lu_bit_exactly() {
+        let mut fast = ImplicitSolver::default();
+        let fast_bits = replay_steps(&mut fast, 50);
+        assert_eq!(fast.counters().lu_factorizations, 1, "one factorization");
+        assert_eq!(fast.counters().lu_reuses, 49, "the rest reuse it");
+
+        let mut slow = ImplicitSolver::new(SolverOptions {
+            reuse_lu: false,
+            ..Default::default()
+        });
+        let slow_bits = replay_steps(&mut slow, 50);
+        assert_eq!(slow.counters().lu_factorizations, 50);
+        assert_eq!(slow.counters().lu_reuses, 0);
+
+        // The reuse path must be bit-identical to refactoring every time.
+        assert_eq!(fast_bits, slow_bits);
+    }
+
+    #[test]
+    fn changed_jacobian_invalidates_the_reuse_cache() {
+        let mut solver = ImplicitSolver::default();
+        let mut st = TransientState::from_model(&NearAlgebraic);
+        solver
+            .step(&NearAlgebraic, 0.0, 1e-9, &[2.0], &mut st)
+            .unwrap();
+        let after_first = solver.counters().lu_factorizations;
+        // A different step width changes the discretised Jacobian
+        // (∂r/∂x = -1 - 1e-9/h), so the cached factors must not be trusted.
+        st.apply_break(&[0.0]);
+        solver
+            .step(&NearAlgebraic, 0.0, 2e-9, &[2.0], &mut st)
+            .unwrap();
+        assert!(
+            solver.counters().lu_factorizations > after_first,
+            "a changed Jacobian must force a fresh factorization"
+        );
+        assert_eq!(solver.counters().lu_reuses, 0);
     }
 }

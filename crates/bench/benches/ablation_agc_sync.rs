@@ -16,12 +16,7 @@ use uwb_txrx::transceiver::{twr_iteration, TwrConfig};
 
 /// Runs `n` independent TWR exchanges, tolerating failed ones, and returns
 /// (mean, std, worst |error|, failures).
-fn campaign(
-    cfg: &TwrConfig,
-    n: usize,
-    fidelity: Fidelity,
-    seed: u64,
-) -> (f64, f64, f64, usize) {
+fn campaign(cfg: &TwrConfig, n: usize, fidelity: Fidelity, seed: u64) -> (f64, f64, f64, usize) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut estimates = Vec::new();
     let mut failures = 0usize;
@@ -40,8 +35,7 @@ fn campaign(
     }
     let n = estimates.len() as f64;
     let mean = estimates.iter().sum::<f64>() / n;
-    let var =
-        estimates.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+    let var = estimates.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
     let worst = estimates
         .iter()
         .map(|d| (d - cfg.distance).abs())
@@ -60,7 +54,13 @@ fn main() {
     println!("=== Ablation 1: AGC architecture (circuit I&D, BER) ===\n");
     let mut t1 = Table::new(
         "AGC architecture ablation (BER, circuit integrator)",
-        &["Architecture", "BER @ 10 dB", "BER @ 14 dB", "BER @ 22 dB", "BER @ 30 dB"],
+        &[
+            "Architecture",
+            "BER @ 10 dB",
+            "BER @ 14 dB",
+            "BER @ 22 dB",
+            "BER @ 30 dB",
+        ],
     );
     for (label, two_stage) in [
         ("single-stage AGC (paper baseline)", None),
@@ -100,7 +100,13 @@ fn main() {
     println!("\n=== Ablation 2: synchroniser strategy (ideal I&D, TWR @ 9.9 m) ===\n");
     let mut t2 = Table::new(
         "Sync strategy ablation",
-        &["Strategy", "Mean (m)", "Std (m)", "Worst |err| (m)", "Failures"],
+        &[
+            "Strategy",
+            "Mean (m)",
+            "Std (m)",
+            "Worst |err| (m)",
+            "Failures",
+        ],
     );
     for (label, strategy) in [
         ("leading-edge (first echo)", SyncStrategy::LeadingEdge),

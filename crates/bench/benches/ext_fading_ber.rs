@@ -9,9 +9,9 @@
 use uwb_ams_core::metrics::BerCampaign;
 use uwb_ams_core::report::Series;
 use uwb_phy::channel::Tg4aModel;
+use uwb_phy::PpmConfig;
 use uwb_txrx::integrator::{build_integrator, Fidelity};
 use uwb_txrx::receiver::ReceiverConfig;
-use uwb_phy::PpmConfig;
 
 fn main() {
     let full = std::env::var("UWB_AMS_BENCH").as_deref() == Ok("full");
@@ -29,10 +29,7 @@ fn main() {
     println!("=== Extension: BER under CM1 fading vs AWGN ({bits} bits/point) ===\n");
 
     let mut series = Vec::new();
-    for (label, channel) in [
-        ("awgn", None),
-        ("cm1_5m", Some((Tg4aModel::Cm1, 5.0))),
-    ] {
+    for (label, channel) in [("awgn", None), ("cm1_5m", Some((Tg4aModel::Cm1, 5.0)))] {
         let campaign = BerCampaign {
             receiver: receiver.clone(),
             ebn0_db: vec![6.0, 10.0, 14.0, 18.0, 22.0],

@@ -15,7 +15,10 @@ fn main() {
     let (ac, fit) = phase4_extract(&Default::default()).expect("characterisation");
 
     println!("=== Figure 4: Integrator AC response ===\n");
-    println!("{:>14} {:>12} {:>12}", "freq (Hz)", "circuit(dB)", "model(dB)");
+    println!(
+        "{:>14} {:>12} {:>12}",
+        "freq (Hz)", "circuit(dB)", "model(dB)"
+    );
     let model_db = |f: f64| {
         fit.gain_db
             - 10.0 * (1.0 + (f / fit.f_pole1).powi(2)).log10()
@@ -29,13 +32,26 @@ fn main() {
 
     println!("\nExtracted vs paper:");
     println!("  DC gain : {:7.2} dB   (paper 21 dB)", fit.gain_db);
-    println!("  pole 1  : {:7.3} MHz  (paper 0.886 MHz)", fit.f_pole1 / 1e6);
-    println!("  pole 2  : {:7.2} GHz  (paper 5.895 GHz)", fit.f_pole2 / 1e9);
-    println!("  fit rms : {:7.3} dB   (paper: 'perfect overlap')", fit.rms_error_db);
+    println!(
+        "  pole 1  : {:7.3} MHz  (paper 0.886 MHz)",
+        fit.f_pole1 / 1e6
+    );
+    println!(
+        "  pole 2  : {:7.2} GHz  (paper 5.895 GHz)",
+        fit.f_pole2 / 1e9
+    );
+    println!(
+        "  fit rms : {:7.3} dB   (paper: 'perfect overlap')",
+        fit.rms_error_db
+    );
 
     // Integration-band slope check (−20 dB/dec through 10 MHz–1 GHz).
     let g_at = |target: f64| {
-        let i = ac.freqs.iter().position(|&f| f >= target).expect("in sweep");
+        let i = ac
+            .freqs
+            .iter()
+            .position(|&f| f >= target)
+            .expect("in sweep");
         ac.gain_db[i]
     };
     let slope = (g_at(1e9) - g_at(10e6)) / 2.0;
@@ -43,14 +59,20 @@ fn main() {
 
     let circuit = Series::new(
         "circuit_db",
-        ac.freqs.iter().zip(&ac.gain_db).map(|(&f, &g)| (f, g)).collect(),
+        ac.freqs
+            .iter()
+            .zip(&ac.gain_db)
+            .map(|(&f, &g)| (f, g))
+            .collect(),
     );
     let model = Series::new(
         "model_db",
         ac.freqs.iter().map(|&f| (f, model_db(f))).collect(),
     );
-    let path =
-        uwb_ams_bench::write_result("fig4_ac_response.csv", &Series::merge_csv(&[&circuit, &model]));
+    let path = uwb_ams_bench::write_result(
+        "fig4_ac_response.csv",
+        &Series::merge_csv(&[&circuit, &model]),
+    );
     println!("\nwrote {}", path.display());
     println!("bench wall time: {:?}", start.elapsed());
 }

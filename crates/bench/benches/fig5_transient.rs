@@ -12,7 +12,7 @@ use uwb_txrx::integrator::{
 };
 
 fn burst(t: f64) -> f64 {
-    if t < 5e-9 || t > 25e-9 {
+    if !(5e-9..=25e-9).contains(&t) {
         return 0.0;
     }
     let u = (t - 5e-9) / 20e-9;
@@ -51,7 +51,10 @@ fn main() {
     );
     let d_ckt = t0.elapsed();
 
-    println!("{:>8} {:>10} {:>12} {:>12}", "t (ns)", "ideal", "model", "circuit");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "t (ns)", "ideal", "model", "circuit"
+    );
     for i in (0..ideal.len()).step_by(80) {
         println!(
             "{:>8.1} {:>10.4} {:>12.4} {:>12.4}",
@@ -78,8 +81,10 @@ fn main() {
         "wall time for this 80 ns window: ideal {d_ideal:?}, model {d_model:?}, circuit {d_ckt:?}"
     );
 
-    let path =
-        uwb_ams_bench::write_result("fig5_transient.csv", &probes_to_csv(&[&ideal, &model, &circuit]));
+    let path = uwb_ams_bench::write_result(
+        "fig5_transient.csv",
+        &probes_to_csv(&[&ideal, &model, &circuit]),
+    );
     println!("\nwrote {}", path.display());
     println!("bench wall time: {:?}", start.elapsed());
 }

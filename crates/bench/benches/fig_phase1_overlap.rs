@@ -25,7 +25,10 @@ fn main() {
     println!(
         "=== Phase I overlap: Monte-Carlo vs closed form (DOF = {dof:.0}, {bits} bits/point) ===\n"
     );
-    println!("{:>10} {:>14} {:>14} {:>10}", "Eb/N0(dB)", "monte-carlo", "theory", "ratio");
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "Eb/N0(dB)", "monte-carlo", "theory", "ratio"
+    );
 
     let mut rng = ChaCha8Rng::seed_from_u64(0x1);
     let mut mc_series = Vec::new();
@@ -35,7 +38,11 @@ fn main() {
         let db = db as f64;
         let est = monte_carlo_ber(&cfg, db, bits, &mut rng);
         let theory = ppm2_energy_detection_ber_db(db, dof);
-        let ratio = if theory > 0.0 { est.ber() / theory } else { f64::NAN };
+        let ratio = if theory > 0.0 {
+            est.ber() / theory
+        } else {
+            f64::NAN
+        };
         if est.errors > 10 {
             worst_ratio = worst_ratio.max(ratio.max(1.0 / ratio));
         }
@@ -54,6 +61,7 @@ fn main() {
 
     let mc = Series::new("monte_carlo", mc_series);
     let th = Series::new("theory", th_series);
-    let path = uwb_ams_bench::write_result("fig_phase1_overlap.csv", &Series::merge_csv(&[&mc, &th]));
+    let path =
+        uwb_ams_bench::write_result("fig_phase1_overlap.csv", &Series::merge_csv(&[&mc, &th]));
     println!("wrote {}", path.display());
 }

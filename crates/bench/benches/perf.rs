@@ -1,19 +1,27 @@
-//! Performance harness: the parallel campaign engine and the transient
-//! fast path, measured and written to `results/BENCH_perf.json`.
+//! Performance harness: the parallel campaign engine and the LU fast
+//! paths of *both* engines, measured and written to a single merged
+//! `results/BENCH_perf.json`.
 //!
-//! Two experiments:
+//! Three experiments:
 //!
 //! 1. **Campaign scaling** — the Fig 6 BER campaign run serially and then
 //!    fanned over the worker pool ([`worker_threads`], overridable with
 //!    `UWB_AMS_THREADS`). The two runs must produce bit-identical BER
 //!    points; the speedup is recorded.
-//! 2. **Transient fast path** — a linear deck stepped with LU reuse off
-//!    and on. The reusing run must factorize exactly once after DC and
-//!    produce an identical final state.
+//! 2. **Transient fast path (spice)** — a linear deck stepped with LU
+//!    reuse off and on. The reusing run must factorize exactly once after
+//!    DC and produce an identical final state.
+//! 3. **Replay fast path (ams-kernel)** — the paper's ideal
+//!    integrate-and-dump replayed from an identical `break` state, so the
+//!    finite-difference Jacobian rebuilds byte-identically each step and
+//!    the shared `sim-core` LU cache kicks in. Both engines report the
+//!    same [`PerfCounters`] type, so the phases land in one report.
 //!
 //! `UWB_AMS_BENCH=full` raises the campaign to fig6's full 2000
 //! bits/point.
 
+use ams_kernel::analog::IdealGatedIntegrator;
+use ams_kernel::solver::{ImplicitSolver, SolverOptions, TransientState};
 use spice::circuit::{Circuit, SourceWave};
 use spice::tran::{TranOptions, TransientSimulator};
 use spice::PerfCounters;
@@ -115,7 +123,10 @@ fn transient_fast_path() -> Vec<PerfPhase> {
         "linear deck must factorize exactly once after DC: {on}"
     );
     let speedup = off.wall.as_secs_f64() / on.wall.as_secs_f64();
-    println!("transient fast path (10-node RC ladder, {} steps):", on.steps);
+    println!(
+        "transient fast path (10-node RC ladder, {} steps):",
+        on.steps
+    );
     println!("  reuse off: {off}");
     println!("  reuse on : {on}");
     println!("  -> speedup {speedup:.2}x (identical waveforms)");
@@ -125,14 +136,61 @@ fn transient_fast_path() -> Vec<PerfPhase> {
     ]
 }
 
+/// One AMS-engine replay run: `k` identical dump steps of the ideal
+/// integrate-and-dump, each restarted from the same `break` state; returns
+/// the per-step output bits plus the solver's counters.
+fn run_ams_replay(reuse: bool, k: usize) -> (Vec<u64>, PerfCounters) {
+    let model = IdealGatedIntegrator::new(1e9);
+    let mut solver = ImplicitSolver::new(SolverOptions {
+        reuse_lu: reuse,
+        ..Default::default()
+    });
+    let mut st = TransientState::from_model(&model);
+    let mut bits = Vec::with_capacity(k);
+    for _ in 0..k {
+        // Replay the identical pre-step state: the dump step (sel low) is
+        // the algebraic constraint vo = 0, solved with one Jacobian build.
+        st.apply_break(&[5.0]);
+        solver
+            .step(&model, 0.0, 50e-12, &[0.0, 0.0, 0.0], &mut st)
+            .expect("ams dump step");
+        bits.push(st.x[0].to_bits());
+    }
+    (bits, *solver.counters())
+}
+
+/// LU-reuse off/on on the AMS replay workload; returns the two phases.
+fn ams_replay_fast_path() -> Vec<PerfPhase> {
+    const K: usize = 1000;
+    let (bits_off, off) = run_ams_replay(false, K);
+    let (bits_on, on) = run_ams_replay(true, K);
+    assert_eq!(bits_off, bits_on, "reuse must not change solutions");
+    assert_eq!(
+        on.lu_factorizations, 1,
+        "replayed steps must factorize exactly once: {on}"
+    );
+    let speedup = off.wall.as_secs_f64() / on.wall.as_secs_f64();
+    println!("ams replay fast path (ideal integrate-and-dump, {K} replays):");
+    println!("  reuse off: {off}");
+    println!("  reuse on : {on}");
+    println!("  -> speedup {speedup:.2}x (bit-identical outputs)");
+    vec![
+        PerfPhase::from_counters("ams_replay_lu_reuse_off", off),
+        PerfPhase::from_counters("ams_replay_lu_reuse_on", on).with("speedup", speedup),
+    ]
+}
+
 fn main() {
     let full = std::env::var("UWB_AMS_BENCH").as_deref() == Ok("full");
-    println!("=== Performance: parallel campaigns + transient fast path ===\n");
+    println!("=== Performance: parallel campaigns + both engines' LU fast paths ===\n");
     let mut report = PerfReport::new();
     for phase in campaign_scaling(full) {
         report.push(phase);
     }
     for phase in transient_fast_path() {
+        report.push(phase);
+    }
+    for phase in ams_replay_fast_path() {
         report.push(phase);
     }
     let path = uwb_ams_bench::write_result("BENCH_perf.json", &report.to_json());

@@ -41,9 +41,7 @@ impl TwoPoleFit {
 
 /// Two-pole transfer magnitude, dB.
 fn model_db(gain_db: f64, f1: f64, f2: f64, f: f64) -> f64 {
-    gain_db
-        - 10.0 * (1.0 + (f / f1).powi(2)).log10()
-        - 10.0 * (1.0 + (f / f2).powi(2)).log10()
+    gain_db - 10.0 * (1.0 + (f / f1).powi(2)).log10() - 10.0 * (1.0 + (f / f2).powi(2)).log10()
 }
 
 fn rms_error(gain_db: f64, f1: f64, f2: f64, freqs: &[f64], mag_db: &[f64]) -> f64 {
@@ -176,21 +174,14 @@ mod tests {
             "f1 {}",
             fit.f_pole1
         );
-        assert!(
-            (fit.f_pole2 / 5.9e9).ln().abs() < 0.1,
-            "f2 {}",
-            fit.f_pole2
-        );
+        assert!((fit.f_pole2 / 5.9e9).ln().abs() < 0.1, "f2 {}", fit.f_pole2);
         assert!(fit.rms_error_db < 0.05);
     }
 
     #[test]
     fn fit_orders_poles() {
         let freqs = log_sweep(1e4, 1e11, 6);
-        let mag: Vec<f64> = freqs
-            .iter()
-            .map(|&f| model_db(10.0, 1e6, 1e9, f))
-            .collect();
+        let mag: Vec<f64> = freqs.iter().map(|&f| model_db(10.0, 1e6, 1e9, f)).collect();
         let fit = fit_two_pole(&freqs, &mag);
         assert!(fit.f_pole1 <= fit.f_pole2);
     }
@@ -200,7 +191,11 @@ mod tests {
         let (ac, fit) = phase4_extract(&Default::default()).expect("extract");
         assert_eq!(ac.freqs.len(), ac.gain_db.len());
         // Paper's Figure 4 class: ~21 dB gain, sub-MHz pole 1, GHz pole 2.
-        assert!(fit.gain_db > 15.0 && fit.gain_db < 30.0, "gain {}", fit.gain_db);
+        assert!(
+            fit.gain_db > 15.0 && fit.gain_db < 30.0,
+            "gain {}",
+            fit.gain_db
+        );
         assert!(
             fit.f_pole1 > 0.2e6 && fit.f_pole1 < 3e6,
             "f1 {}",

@@ -110,9 +110,7 @@ mod tests {
     fn results_come_back_in_index_order() {
         // Make early indices slow so completion order inverts.
         let out = run_indexed(16, 8, |i| {
-            std::thread::sleep(std::time::Duration::from_micros(
-                (16 - i as u64) * 200,
-            ));
+            std::thread::sleep(std::time::Duration::from_micros((16 - i as u64) * 200));
             i * i
         });
         assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());

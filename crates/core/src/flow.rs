@@ -21,7 +21,7 @@ use uwb_phy::modulation::{demodulate_energy, PpmConfig};
 use uwb_phy::noise::Awgn;
 use uwb_phy::waveform::Waveform;
 use uwb_txrx::integrator::{build_integrator, Fidelity};
-use uwb_txrx::receiver::{Receiver, ReceiveError, ReceiverConfig, SFD_PATTERN};
+use uwb_txrx::receiver::{ReceiveError, Receiver, ReceiverConfig, SFD_PATTERN};
 use uwb_txrx::transmitter::Transmitter;
 
 /// A methodology phase.
@@ -121,8 +121,7 @@ impl FlowScenario {
         w.add_at(&air, self.lead_in);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         Awgn::from_ebn0_db(self.eb_rx, self.ebn0_db).add_to(&mut w, &mut rng);
-        let t0 = self.lead_in
-            + (self.preamble_len + SFD_PATTERN.len()) as f64 * ppm.symbol_period;
+        let t0 = self.lead_in + (self.preamble_len + SFD_PATTERN.len()) as f64 * ppm.symbol_period;
         (w, t0)
     }
 }
@@ -194,12 +193,7 @@ impl TopDownFlow {
                     integrator,
                 );
                 let rep = rx.receive(&w, payload.len())?;
-                let errors = rep
-                    .bits
-                    .iter()
-                    .zip(payload)
-                    .filter(|(a, b)| a != b)
-                    .count();
+                let errors = rep.bits.iter().zip(payload).filter(|(a, b)| a != b).count();
                 metrics.insert("bit_errors".into(), errors as f64);
                 metrics.insert("bits".into(), payload.len() as f64);
                 metrics.insert("vga_code".into(), rep.vga_code as f64);

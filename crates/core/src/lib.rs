@@ -34,8 +34,8 @@
 pub mod calibrate;
 pub mod executor;
 pub mod flow;
-pub mod plan;
 pub mod metrics;
+pub mod plan;
 pub mod report;
 pub mod substitute;
 

@@ -9,12 +9,12 @@ use rand_chacha::ChaCha8Rng;
 use std::time::{Duration, Instant};
 use uwb_phy::ber::BerEstimate;
 use uwb_phy::channel::{realize, Tg4aModel};
+use uwb_phy::modulation::{modulate, Packet};
 use uwb_phy::noise::Awgn;
+use uwb_phy::ranging::RangingStats;
 use uwb_phy::waveform::Waveform;
 use uwb_txrx::integrator::{Fidelity, IntegratorBlock, IntegratorError};
-use uwb_phy::modulation::{modulate, Packet};
-use uwb_txrx::receiver::{Receiver, ReceiveError, ReceiverConfig, SFD_PATTERN};
-use uwb_phy::ranging::RangingStats;
+use uwb_txrx::receiver::{ReceiveError, Receiver, ReceiverConfig, SFD_PATTERN};
 use uwb_txrx::transceiver::{TwrConfig, TwrError, TwrIteration};
 use uwb_txrx::transmitter::Transmitter;
 
@@ -192,8 +192,7 @@ impl BerCampaign {
         // short one, so settling spans a few blocks).
         if self.run_agc {
             for _ in 0..3 {
-                let payload: Vec<bool> =
-                    (0..self.block_bits).map(|_| rng.gen_bool(0.5)).collect();
+                let payload: Vec<bool> = (0..self.block_bits).map(|_| rng.gen_bool(0.5)).collect();
                 let air = modulate(&Packet::new(preamble, payload.clone()), &ppm);
                 let (mut w, t0) = match self.channel {
                     None => (air, t0_clean),
@@ -326,7 +325,13 @@ pub fn twr_table_row(
 pub fn twr_table(rows: &[TwrRow], distance: f64) -> Table {
     let mut t = Table::new(
         &format!("Table 2. TWR simulation results @ {distance} m"),
-        &["Integrator", "Mean (m)", "Std (m)", "Offset (m)", "Iterations"],
+        &[
+            "Integrator",
+            "Mean (m)",
+            "Std (m)",
+            "Offset (m)",
+            "Iterations",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -408,7 +413,14 @@ impl TwrDistanceSweep {
 pub fn distance_sweep_table(rows: &[(f64, TwrRow)]) -> Table {
     let mut t = Table::new(
         "TWR accuracy vs distance (CM1 LOS)",
-        &["True (m)", "Mean (m)", "Std (m)", "Offset (m)", "OK", "Lost"],
+        &[
+            "True (m)",
+            "Mean (m)",
+            "Std (m)",
+            "Offset (m)",
+            "OK",
+            "Lost",
+        ],
     );
     for (d, r) in rows {
         t.push_row(vec![
@@ -486,7 +498,9 @@ impl CpuTimeCampaign {
         let mut ppm = self.receiver.ppm;
         ppm.pulse_energy = self.eb_rx;
         let tx = Transmitter::new(ppm, 28);
-        let payload: Vec<bool> = (0..self.payload_bits()).map(|_| rng.gen_bool(0.5)).collect();
+        let payload: Vec<bool> = (0..self.payload_bits())
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
         let air = tx.transmit(&payload);
         let total = (self.lead_in + air.duration() + 0.3e-6).max(self.sim_time);
         let mut w = Waveform::zeros(ppm.sample_rate, (total * ppm.sample_rate) as usize);
@@ -654,8 +668,8 @@ mod tests {
     #[test]
     fn fading_campaign_runs_and_degrades_vs_awgn() {
         use uwb_phy::channel::Tg4aModel;
-        use uwb_txrx::receiver::ReceiverConfig;
         use uwb_phy::PpmConfig;
+        use uwb_txrx::receiver::ReceiverConfig;
         let receiver = ReceiverConfig {
             ppm: PpmConfig {
                 symbol_period: 256e-9,

@@ -78,7 +78,10 @@ impl RefinementPlan {
 
     /// Blocks whose fidelity differs from `other` — the "what changed
     /// between phases" view.
-    pub fn diff<'a>(&'a self, other: &'a RefinementPlan) -> Vec<(&'a str, Option<Fidelity>, Option<Fidelity>)> {
+    pub fn diff<'a>(
+        &'a self,
+        other: &'a RefinementPlan,
+    ) -> Vec<(&'a str, Option<Fidelity>, Option<Fidelity>)> {
         let mut keys: Vec<&str> = self.map.keys().map(String::as_str).collect();
         for k in other.map.keys() {
             if !keys.contains(&k.as_str()) {

@@ -141,7 +141,7 @@ pub struct PerfPhase {
     /// Wall-clock time, s.
     pub wall_s: f64,
     /// Solver work during the phase (all-zero when not applicable).
-    pub counters: spice::PerfCounters,
+    pub counters: sim_core::PerfCounters,
     /// Extra numeric facts (`("speedup", 3.4)`, `("threads", 8.0)` …).
     pub extra: Vec<(String, f64)>,
 }
@@ -152,13 +152,13 @@ impl PerfPhase {
         PerfPhase {
             name: name.to_string(),
             wall_s,
-            counters: spice::PerfCounters::new(),
+            counters: sim_core::PerfCounters::new(),
             extra: Vec::new(),
         }
     }
 
     /// A phase built from solver counters (wall time taken from them).
-    pub fn from_counters(name: &str, counters: spice::PerfCounters) -> Self {
+    pub fn from_counters(name: &str, counters: sim_core::PerfCounters) -> Self {
         PerfPhase {
             name: name.to_string(),
             wall_s: counters.wall.as_secs_f64(),
@@ -292,7 +292,7 @@ mod tests {
     fn perf_report_renders_valid_json() {
         let mut r = PerfReport::new();
         r.push(PerfPhase::timed("campaign \"fig6\"", 1.5).with("speedup", 3.25));
-        let mut counters = spice::PerfCounters::new();
+        let mut counters = sim_core::PerfCounters::new();
         counters.steps = 100;
         counters.lu_factorizations = 1;
         counters.lu_reuses = 99;

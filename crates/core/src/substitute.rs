@@ -151,7 +151,10 @@ impl fmt::Display for SubstituteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SubstituteError::PortCountMismatch { expected, found } => {
-                write!(f, "port count mismatch: slot has {expected}, candidate {found}")
+                write!(
+                    f,
+                    "port count mismatch: slot has {expected}, candidate {found}"
+                )
             }
             SubstituteError::MissingPort { port } => {
                 write!(f, "candidate lacks port '{port}'")
@@ -160,10 +163,7 @@ impl fmt::Display for SubstituteError {
                 port,
                 expected,
                 found,
-            } => write!(
-                f,
-                "port '{port}' is {found}, slot requires {expected}"
-            ),
+            } => write!(f, "port '{port}' is {found}, slot requires {expected}"),
         }
     }
 }
@@ -305,7 +305,10 @@ mod tests {
         let b = iface(&[("x", PortKind::AnalogIn), ("y", PortKind::AnalogIn)]);
         assert!(matches!(
             a.compatible_with(&b),
-            Err(SubstituteError::PortCountMismatch { expected: 1, found: 2 })
+            Err(SubstituteError::PortCountMismatch {
+                expected: 1,
+                found: 2
+            })
         ));
     }
 

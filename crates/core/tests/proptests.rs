@@ -13,9 +13,7 @@ use uwb_ams_core::substitute::{BlockInterface, PortKind, PortSpec};
 use uwb_txrx::integrator::Fidelity;
 
 fn two_pole_db(gain_db: f64, f1: f64, f2: f64, f: f64) -> f64 {
-    gain_db
-        - 10.0 * (1.0 + (f / f1).powi(2)).log10()
-        - 10.0 * (1.0 + (f / f2).powi(2)).log10()
+    gain_db - 10.0 * (1.0 + (f / f1).powi(2)).log10() - 10.0 * (1.0 + (f / f2).powi(2)).log10()
 }
 
 proptest! {

@@ -1,0 +1,34 @@
+//! # sim-core — the shared numeric and observability substrate
+//!
+//! Both simulation engines of this workspace — the behavioural mixed-signal
+//! kernel (`ams-kernel`, the VHDL-AMS stand-in) and the transistor-level
+//! circuit simulator (`spice`, the Eldo stand-in) — solve dense linear
+//! systems inside Newton iterations, count the work they do, and record
+//! waveforms on a common time axis. This crate owns that substrate once,
+//! so every abstraction level of the top-down flow runs on the same kernel:
+//!
+//! * [`linalg`] — dense real ([`DMatrix`]) and complex ([`CMatrix`])
+//!   matrices, partial-pivot LU with reusable cached factors
+//!   ([`LuFactors`]), and [`SingularMatrixError`] reporting where
+//!   elimination broke down,
+//! * [`perf`] — [`PerfCounters`]: steps, Newton iterations, LU
+//!   factorizations vs cached reuses, wall time,
+//! * [`time`] — [`SimTime`], the femtosecond-resolution instant/duration,
+//! * [`trace`] — [`Probe`] waveform recording and VCD/CSV export.
+//!
+//! The LU elimination here is the single implementation in the workspace;
+//! both engines consume it and their solutions are bit-identical to the
+//! pre-consolidation ones (see the workspace `golden_kernel` tests).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod linalg;
+pub mod perf;
+pub mod time;
+pub mod trace;
+
+pub use linalg::{CMatrix, DMatrix, LuFactors, Matrix, SingularMatrixError};
+pub use perf::PerfCounters;
+pub use time::SimTime;
+pub use trace::Probe;

@@ -1,0 +1,645 @@
+//! Dense linear algebra shared by both simulation engines.
+//!
+//! Equation systems in this workspace are small — a handful of states per
+//! behavioural block, tens of MNA unknowns per netlist — so dense
+//! partial-pivot Gaussian elimination is simpler than and competitive with
+//! sparse machinery. One elimination implementation lives here; the
+//! behavioural solver, the MNA analyses and the reusable-factor fast path
+//! all call into it, so their solutions agree bit-for-bit.
+
+// The eliminations below stay in index form on purpose: it mirrors the
+// textbook algorithm and keeps the floating-point operation order explicit
+// (the golden-vector tests pin the exact bits).
+#![allow(clippy::needless_range_loop)]
+
+use num_complex::Complex64;
+
+/// Pivot magnitude below which elimination reports a singular matrix.
+const PIVOT_MIN: f64 = 1e-300;
+
+/// A dense row-major matrix of `f64`.
+///
+/// Serves both the behavioural solver (rectangular shapes, index-pair
+/// access) and MNA assembly (square systems, accumulate-style
+/// [`add`](Self::add) stamps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Alias emphasising the square MNA usage of [`DMatrix`] in the circuit
+/// simulator (`spice::linalg::Matrix`).
+pub type Matrix = DMatrix;
+
+impl DMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a zero square matrix of order `n`.
+    pub fn square(n: usize) -> Self {
+        Self::zeros(n, n)
+    }
+
+    /// Creates an identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DMatrix::square(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Order of a square matrix (its row count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn order(&self) -> usize {
+        assert_eq!(self.rows, self.cols, "order() requires a square matrix");
+        self.rows
+    }
+
+    /// Adds `v` at `(r, c)` (the MNA "stamp" operation).
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Reads entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        for v in &mut self.data {
+            *v = 0.0;
+        }
+    }
+
+    /// Raw row-major storage (for factorization caching / comparison).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Solves `self · x = b`, overwriting `b` with `x`. Destroys `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when elimination finds no usable
+    /// pivot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len()` disagrees.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SingularMatrixError> {
+        solve_in_place(self, b)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DMatrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Error raised when a linear system cannot be solved: records which
+/// system (its order) and where elimination broke down (the pivot column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError {
+    /// Order of the offending system.
+    pub order: usize,
+    /// Pivot column at which elimination broke down.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "singular matrix of order {}: no usable pivot in column {}",
+            self.order, self.pivot
+        )
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+/// Solves `A x = b` in place by Gaussian elimination with partial pivoting.
+///
+/// `a` is destroyed; `b` is overwritten with the solution. This is the one
+/// dense real elimination in the workspace — [`DMatrix::solve_in_place`]
+/// and the engines' Newton loops all route through it.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] if a pivot smaller than `1e-300` in
+/// magnitude is encountered.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.len() != a.rows()`.
+pub fn solve_in_place(a: &mut DMatrix, b: &mut [f64]) -> Result<(), SingularMatrixError> {
+    let n = a.rows;
+    assert_eq!(a.rows, a.cols, "solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        let mut mag = a.data[col * n + col].abs();
+        for r in (col + 1)..n {
+            let m = a.data[r * n + col].abs();
+            if m > mag {
+                mag = m;
+                piv = r;
+            }
+        }
+        if mag < PIVOT_MIN {
+            return Err(SingularMatrixError {
+                order: n,
+                pivot: col,
+            });
+        }
+        if piv != col {
+            for c in 0..n {
+                a.data.swap(col * n + c, piv * n + c);
+            }
+            b.swap(col, piv);
+        }
+        let pivot = a.data[col * n + col];
+        for r in (col + 1)..n {
+            let f = a.data[r * n + col] / pivot;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = a.data[col * n + c];
+                a.data[r * n + c] -= f * v;
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in (col + 1)..n {
+            acc -= a.data[col * n + c] * b[c];
+        }
+        b[col] = acc / a.data[col * n + col];
+    }
+    Ok(())
+}
+
+/// Solves `A x = b` without destroying the inputs.
+///
+/// # Errors
+///
+/// See [`solve_in_place`].
+pub fn solve(a: &DMatrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+    let mut a = a.clone();
+    let mut x = b.to_vec();
+    solve_in_place(&mut a, &mut x)?;
+    Ok(x)
+}
+
+/// A reusable partial-pivot LU factorization.
+///
+/// Unlike [`DMatrix::solve_in_place`], which destroys the matrix per solve,
+/// this keeps the factors and pivot sequence so one factorization ( O(n³) )
+/// can serve many right-hand sides ( O(n²) each ). Both engines' fast
+/// paths build on it: whenever an assembled Jacobian is bit-identical to
+/// the one last factored, the cached factors are reused and the solution
+/// is — by construction — identical to a fresh factorization.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LuFactors {
+    n: usize,
+    /// Packed L (unit diagonal, below) and U (on/above diagonal).
+    lu: Vec<f64>,
+    /// Row swap applied at each elimination column.
+    piv: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Empty factorization workspace for order-`n` systems.
+    pub fn new(n: usize) -> Self {
+        LuFactors {
+            n,
+            lu: vec![0.0; n * n],
+            piv: vec![0; n],
+        }
+    }
+
+    /// Factors `a` (which is left untouched), replacing any previous
+    /// factorization. The workspace reallocates if the order changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when `a` is numerically singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factorize(&mut self, a: &DMatrix) -> Result<(), SingularMatrixError> {
+        let n = a.order();
+        if self.n != n {
+            self.n = n;
+            self.lu = vec![0.0; n * n];
+            self.piv = vec![0; n];
+        }
+        self.lu.copy_from_slice(&a.data);
+        let lu = &mut self.lu;
+        for col in 0..n {
+            let mut piv = col;
+            let mut mag = lu[col * n + col].abs();
+            for r in (col + 1)..n {
+                let m = lu[r * n + col].abs();
+                if m > mag {
+                    mag = m;
+                    piv = r;
+                }
+            }
+            if mag < PIVOT_MIN {
+                return Err(SingularMatrixError {
+                    order: n,
+                    pivot: col,
+                });
+            }
+            self.piv[col] = piv;
+            if piv != col {
+                for c in 0..n {
+                    lu.swap(col * n + c, piv * n + c);
+                }
+            }
+            let pivot = lu[col * n + col];
+            for r in (col + 1)..n {
+                let f = lu[r * n + col] / pivot;
+                lu[r * n + col] = f;
+                if f == 0.0 {
+                    continue;
+                }
+                for c in (col + 1)..n {
+                    let v = lu[col * n + c];
+                    lu[r * n + c] -= f * v;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A·x = b` with the stored factors, overwriting `b` with `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` disagrees with the factored order.
+    pub fn solve(&self, b: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        // Apply the recorded row swaps, then forward/back substitution.
+        for col in 0..n {
+            let piv = self.piv[col];
+            if piv != col {
+                b.swap(col, piv);
+            }
+        }
+        for col in 0..n {
+            let bc = b[col];
+            if bc != 0.0 {
+                for r in (col + 1)..n {
+                    b[r] -= self.lu[r * n + col] * bc;
+                }
+            }
+        }
+        for col in (0..n).rev() {
+            let mut acc = b[col];
+            for c in (col + 1)..n {
+                acc -= self.lu[col * n + c] * b[c];
+            }
+            b[col] = acc / self.lu[col * n + col];
+        }
+    }
+}
+
+/// Dense row-major complex matrix (for AC analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    n: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Zero square complex matrix of order `n`.
+    pub fn zeros(n: usize) -> Self {
+        CMatrix {
+            n,
+            data: vec![Complex64::new(0.0, 0.0); n * n],
+        }
+    }
+
+    /// Order of the matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `v` at `(r, c)`.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: Complex64) {
+        self.data[r * self.n + c] += v;
+    }
+
+    /// Adds a real value at `(r, c)`.
+    #[inline]
+    pub fn add_re(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] += Complex64::new(v, 0.0);
+    }
+
+    /// Adds a purely imaginary value at `(r, c)`.
+    #[inline]
+    pub fn add_im(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] += Complex64::new(0.0, v);
+    }
+
+    /// Solves `self · x = b`, overwriting `b`. Destroys `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when the matrix is numerically
+    /// singular (pivot selection is by squared norm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` disagrees with the order.
+    pub fn solve_in_place(&mut self, b: &mut [Complex64]) -> Result<(), SingularMatrixError> {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        for col in 0..n {
+            let mut piv = col;
+            let mut mag = self.data[col * n + col].norm_sqr();
+            for r in (col + 1)..n {
+                let m = self.data[r * n + col].norm_sqr();
+                if m > mag {
+                    mag = m;
+                    piv = r;
+                }
+            }
+            if mag < PIVOT_MIN {
+                return Err(SingularMatrixError {
+                    order: n,
+                    pivot: col,
+                });
+            }
+            if piv != col {
+                for c in 0..n {
+                    self.data.swap(col * n + c, piv * n + c);
+                }
+                b.swap(col, piv);
+            }
+            let pivot = self.data[col * n + col];
+            for r in (col + 1)..n {
+                let f = self.data[r * n + col] / pivot;
+                if f == Complex64::new(0.0, 0.0) {
+                    continue;
+                }
+                for c in col..n {
+                    let v = self.data[col * n + c];
+                    self.data[r * n + c] -= f * v;
+                }
+                b[r] -= f * b[col];
+            }
+        }
+        for col in (0..n).rev() {
+            let mut acc = b[col];
+            for c in (col + 1)..n {
+                acc -= self.data[col * n + c] * b[c];
+            }
+            b[col] = acc / self.data[col * n + col];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_2x2() {
+        let mut a = DMatrix::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = DMatrix::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_errors_with_location() {
+        let mut a = DMatrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        let err = solve(&a, &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert_eq!(err.order, 2);
+        assert!(err.to_string().contains("singular"));
+        assert!(err.to_string().contains("column 1"));
+    }
+
+    #[test]
+    fn identity_round_trips() {
+        let a = DMatrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x, b.to_vec());
+    }
+
+    #[test]
+    fn mul_vec_matches_solution() {
+        let mut a = DMatrix::zeros(3, 3);
+        let vals = [[4.0, 1.0, 0.5], [1.0, 3.0, -1.0], [0.5, -1.0, 5.0]];
+        for r in 0..3 {
+            for c in 0..3 {
+                a[(r, c)] = vals[r][c];
+            }
+        }
+        let b = [1.0, 2.0, 3.0];
+        let x = solve(&a, &b).unwrap();
+        let back = a.mul_vec(&x);
+        for (bi, bb) in back.iter().zip(&b) {
+            assert!((bi - bb).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn stamps_accumulate() {
+        let mut m = Matrix::square(1);
+        m.add(0, 0, 1.0);
+        m.add(0, 0, 2.0);
+        assert_eq!(m.get(0, 0), 3.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn method_solve_matches_free_function() {
+        let mut m = Matrix::square(2);
+        m.add(0, 0, 3.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 2.0);
+        let mut b = vec![9.0, 8.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 2.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_factors_match_direct_solve() {
+        // Pseudo-random but deterministic well-conditioned system.
+        let n = 7;
+        let mut m = Matrix::square(n);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for r in 0..n {
+            for c in 0..n {
+                m.add(r, c, next());
+            }
+            m.add(r, r, 4.0); // diagonally dominant
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+
+        let mut lu = LuFactors::new(n);
+        lu.factorize(&m).unwrap();
+        let mut x_lu = b.clone();
+        lu.solve(&mut x_lu);
+
+        let mut m2 = m.clone();
+        let mut x_direct = b.clone();
+        m2.solve_in_place(&mut x_direct).unwrap();
+        for (a, d) in x_lu.iter().zip(&x_direct) {
+            assert!((a - d).abs() < 1e-12, "{a} vs {d}");
+        }
+
+        // Factors are reusable: a second RHS still solves correctly.
+        let b2: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut x2 = b2.clone();
+        lu.solve(&mut x2);
+        // Residual check ||A x − b||.
+        for r in 0..n {
+            let mut acc = 0.0;
+            for c in 0..n {
+                acc += m.get(r, c) * x2[c];
+            }
+            assert!((acc - b2[r]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_factors_detect_singular() {
+        let mut m = Matrix::square(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 2.0);
+        m.add(1, 0, 2.0);
+        m.add(1, 1, 4.0);
+        let mut lu = LuFactors::new(2);
+        let err = lu.factorize(&m).unwrap_err();
+        assert_eq!(err, SingularMatrixError { order: 2, pivot: 1 });
+    }
+
+    #[test]
+    fn lu_factors_reallocate_on_order_change() {
+        let mut lu = LuFactors::default();
+        let m = DMatrix::identity(3);
+        lu.factorize(&m).unwrap();
+        let mut b = vec![1.0, 2.0, 3.0];
+        lu.solve(&mut b);
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn complex_solve_rc_divider() {
+        // v / (R + 1/jwC) * (1/jwC) at w where |Zc| = R → |H| = 1/sqrt(2).
+        let r = 1e3;
+        let c = 1e-9;
+        let w = 1.0 / (r * c);
+        let mut m = CMatrix::zeros(1);
+        // Node equation: (1/R) (v - 1) + jwC v = 0 → v (1/R + jwC) = 1/R.
+        m.add_re(0, 0, 1.0 / r);
+        m.add_im(0, 0, w * c);
+        let mut b = vec![Complex64::new(1.0 / r, 0.0)];
+        m.solve_in_place(&mut b).unwrap();
+        let mag = b[0].norm();
+        assert!((mag - 1.0 / 2f64.sqrt()).abs() < 1e-9, "mag = {mag}");
+        let phase = b[0].arg().to_degrees();
+        assert!((phase + 45.0).abs() < 1e-6, "phase = {phase}");
+    }
+
+    #[test]
+    fn complex_singular_detected() {
+        let mut m = CMatrix::zeros(2);
+        m.add_re(0, 0, 1.0);
+        m.add_re(1, 0, 1.0);
+        let mut b = vec![Complex64::new(1.0, 0.0); 2];
+        let err = m.solve_in_place(&mut b).unwrap_err();
+        assert_eq!(err.order, 2);
+        assert_eq!(err.pivot, 1);
+    }
+}

@@ -4,11 +4,14 @@
 //! counters make the underlying work machine-readable — how many time
 //! steps ran, how many Newton iterations they took, and how often the
 //! Jacobian actually had to be re-factorized versus reusing the cached LU
-//! (the transient fast path).
+//! (the fast path). Both engines thread the same counter type, so a
+//! mixed-fidelity campaign can merge behavioural and circuit work into
+//! one report.
 
 use std::time::Duration;
 
-/// Cheap work counters threaded through DC and transient analyses.
+/// Cheap work counters threaded through both engines' solvers (the
+/// behavioural implicit solver and the circuit DC/transient analyses).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PerfCounters {
     /// Accepted time steps (transient only).

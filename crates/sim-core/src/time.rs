@@ -16,7 +16,7 @@ pub const FS_PER_SEC: u64 = 1_000_000_000_000_000;
 /// # Examples
 ///
 /// ```
-/// use ams_kernel::time::SimTime;
+/// use sim_core::time::SimTime;
 ///
 /// let step = SimTime::from_ps(50); // the paper's 0.05 ns time step
 /// let stop = SimTime::from_us(30); // the paper's 30 µs system run

@@ -109,7 +109,7 @@ impl Probe {
                 out.push(t, v);
             }
         }
-        if self.len() > 1 && (self.len() - 1) % n != 0 {
+        if self.len() > 1 && !(self.len() - 1).is_multiple_of(n) {
             out.push(
                 *self.times.last().expect("non-empty"),
                 *self.values.last().expect("non-empty"),
@@ -225,6 +225,37 @@ mod tests {
     }
 
     #[test]
+    fn value_at_boundaries_and_between_samples() {
+        // Regression coverage for the binary-search interpolation: exact
+        // hits, boundary clamps, between-sample queries and duplicate
+        // timestamps must all behave.
+        let mut p = Probe::new("v");
+        p.push(1.0, 10.0);
+        p.push(2.0, 20.0);
+        p.push(2.0, 30.0); // duplicate timestamp (event at t = 2)
+        p.push(4.0, 40.0);
+        // Exact sample hits: the first sample and the last of a duplicate
+        // pair win (partition_point on `<= t` lands past equal times).
+        assert_eq!(p.value_at(1.0), Some(10.0));
+        assert_eq!(p.value_at(2.0), Some(30.0));
+        assert_eq!(p.value_at(4.0), Some(40.0));
+        // Clamping outside the span.
+        assert_eq!(p.value_at(0.0), Some(10.0));
+        assert_eq!(p.value_at(9.0), Some(40.0));
+        // Between samples: linear interpolation on the enclosing segment.
+        assert_eq!(p.value_at(1.5), Some(15.0));
+        assert_eq!(p.value_at(3.0), Some(35.0));
+        // Single-sample probe: everything clamps to that sample.
+        let mut s = Probe::new("s");
+        s.push(5.0, 7.0);
+        assert_eq!(s.value_at(4.0), Some(7.0));
+        assert_eq!(s.value_at(5.0), Some(7.0));
+        assert_eq!(s.value_at(6.0), Some(7.0));
+        // Empty probe.
+        assert_eq!(Probe::new("e").value_at(0.0), None);
+    }
+
+    #[test]
     #[should_panic(expected = "time-ordered")]
     fn out_of_order_push_panics() {
         let mut p = Probe::new("v");
@@ -295,7 +326,11 @@ mod tests {
         let csv = probes_to_csv(&[&a, &b]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "time,a,b");
-        assert!(lines[2].contains("2.0"), "b interpolated at t=1: {}", lines[2]);
+        assert!(
+            lines[2].contains("2.0"),
+            "b interpolated at t=1: {}",
+            lines[2]
+        );
         assert_eq!(probes_to_csv(&[]), "");
     }
 }

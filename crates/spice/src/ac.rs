@@ -70,11 +70,7 @@ impl AcSweep {
 
     /// Bode magnitude as `(freq, dB)` pairs — the plotting-friendly view.
     pub fn bode_points(&self, p: NodeId, n: NodeId) -> Vec<(f64, f64)> {
-        self.freqs
-            .iter()
-            .copied()
-            .zip(self.gain_db(p, n))
-            .collect()
+        self.freqs.iter().copied().zip(self.gain_db(p, n)).collect()
     }
 }
 
@@ -85,7 +81,10 @@ impl AcSweep {
 ///
 /// Panics unless `0 < f_start < f_stop` and `points_per_decade ≥ 1`.
 pub fn log_sweep(f_start: f64, f_stop: f64, points_per_decade: usize) -> Vec<f64> {
-    assert!(f_start > 0.0 && f_stop > f_start, "need 0 < f_start < f_stop");
+    assert!(
+        f_start > 0.0 && f_stop > f_start,
+        "need 0 < f_start < f_stop"
+    );
     assert!(points_per_decade >= 1);
     let decades = (f_stop / f_start).log10();
     let n = (decades * points_per_decade as f64).ceil() as usize;
@@ -180,7 +179,9 @@ pub fn ac_analysis_at(
             match e {
                 Element::Resistor { p, n: nn, r } => stamp_g(&mut mat, *p, *nn, 1.0 / r),
                 Element::Capacitor { p, n: nn, c, .. } => stamp_c(&mut mat, *p, *nn, *c),
-                Element::Vsource { p, n: nn, ac_mag, .. } => {
+                Element::Vsource {
+                    p, n: nn, ac_mag, ..
+                } => {
                     let ib = layout.branch_unknown(idx).expect("vsource branch");
                     if let Some(i) = layout.node_unknown(*p) {
                         mat.add_re(i, ib, 1.0);
@@ -192,7 +193,9 @@ pub fn ac_analysis_at(
                     }
                     rhs[ib] += Complex64::new(*ac_mag, 0.0);
                 }
-                Element::Isource { p, n: nn, ac_mag, .. } => {
+                Element::Isource {
+                    p, n: nn, ac_mag, ..
+                } => {
                     if let Some(i) = layout.node_unknown(*p) {
                         rhs[i] -= Complex64::new(*ac_mag, 0.0);
                     }
@@ -200,7 +203,13 @@ pub fn ac_analysis_at(
                         rhs[j] += Complex64::new(*ac_mag, 0.0);
                     }
                 }
-                Element::Vcvs { p, n: nn, cp, cn, gain } => {
+                Element::Vcvs {
+                    p,
+                    n: nn,
+                    cp,
+                    cn,
+                    gain,
+                } => {
                     let ib = layout.branch_unknown(idx).expect("vcvs branch");
                     if let Some(i) = layout.node_unknown(*p) {
                         mat.add_re(i, ib, 1.0);
@@ -217,7 +226,13 @@ pub fn ac_analysis_at(
                         mat.add_re(ib, k, *gain);
                     }
                 }
-                Element::Vccs { p, n: nn, cp, cn, gm } => {
+                Element::Vccs {
+                    p,
+                    n: nn,
+                    cp,
+                    cn,
+                    gm,
+                } => {
                     stamp_gm(&mut mat, *p, *nn, *cp, *gm);
                     stamp_gm(&mut mat, *p, *nn, *cn, -*gm);
                 }
@@ -294,9 +309,12 @@ pub fn ac_analysis_at(
             mat.add_re(node - 1, node - 1, 1e-12);
         }
         let mut sol = rhs;
-        if !mat.solve_in_place(&mut sol) {
-            return Err(SpiceError::Singular { analysis: "ac" });
-        }
+        mat.solve_in_place(&mut sol)
+            .map_err(|e| SpiceError::Singular {
+                analysis: "ac",
+                order: e.order,
+                pivot: e.pivot,
+            })?;
         solutions.push(sol);
     }
     Ok(AcSweep {
@@ -351,8 +369,17 @@ mod tests {
         c.vsource_ac("VIN", vi, Circuit::gnd(), SourceWave::Dc(0.6), 1.0);
         c.resistor("RL", vdd, vo, 20e3);
         c.capacitor("CL", vo, Circuit::gnd(), 1e-12);
-        c.mosfet("M1", vo, vi, Circuit::gnd(), Circuit::gnd(), "nch", 10e-6, 1e-6)
-            .unwrap();
+        c.mosfet(
+            "M1",
+            vo,
+            vi,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            "nch",
+            10e-6,
+            1e-6,
+        )
+        .unwrap();
         let sweep = ac_analysis(&c, &[], &log_sweep(1e3, 10e9, 5)).unwrap();
         let g = sweep.gain_db(vo, Circuit::gnd());
         // Low-frequency gain must exceed 10 dB for this sizing.

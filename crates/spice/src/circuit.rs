@@ -410,7 +410,15 @@ impl Circuit {
     /// Panics if `c` is not positive and finite.
     pub fn capacitor_ic(&mut self, name: &str, p: NodeId, n: NodeId, c: f64, ic: f64) {
         assert!(c.is_finite() && c > 0.0, "capacitance must be positive");
-        self.push(name, Element::Capacitor { p, n, c, ic: Some(ic) });
+        self.push(
+            name,
+            Element::Capacitor {
+                p,
+                n,
+                c,
+                ic: Some(ic),
+            },
+        );
     }
 
     /// Adds an independent voltage source.
@@ -455,6 +463,7 @@ impl Circuit {
     }
 
     /// Adds a smooth voltage-controlled switch.
+    #[allow(clippy::too_many_arguments)]
     pub fn switch(
         &mut self,
         name: &str,
@@ -487,8 +496,14 @@ impl Circuit {
     ///
     /// Panics unless `is > 0` and `nf > 0`.
     pub fn diode(&mut self, name: &str, p: NodeId, n: NodeId, is: f64, nf: f64) {
-        assert!(is > 0.0 && is.is_finite(), "saturation current must be positive");
-        assert!(nf > 0.0 && nf.is_finite(), "emission coefficient must be positive");
+        assert!(
+            is > 0.0 && is.is_finite(),
+            "saturation current must be positive"
+        );
+        assert!(
+            nf > 0.0 && nf.is_finite(),
+            "emission coefficient must be positive"
+        );
         self.push(name, Element::Diode { p, n, is, nf });
     }
 
@@ -507,6 +522,7 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`SpiceError::UnknownModel`] if the model was never added.
+    #[allow(clippy::too_many_arguments)]
     pub fn mosfet(
         &mut self,
         name: &str,
@@ -521,7 +537,18 @@ impl Circuit {
         let model = self
             .find_model(model)
             .ok_or_else(|| SpiceError::UnknownModel { name: model.into() })?;
-        self.push(name, Element::Mosfet { d, g, s, b, model, w, l });
+        self.push(
+            name,
+            Element::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                model,
+                w,
+                l,
+            },
+        );
         Ok(())
     }
 
@@ -637,12 +664,30 @@ mod tests {
         let mut c = Circuit::new();
         let d = c.node("d");
         let err = c
-            .mosfet("M1", d, d, NodeId::GROUND, NodeId::GROUND, "nope", 1e-6, 1e-6)
+            .mosfet(
+                "M1",
+                d,
+                d,
+                NodeId::GROUND,
+                NodeId::GROUND,
+                "nope",
+                1e-6,
+                1e-6,
+            )
             .unwrap_err();
         assert!(matches!(err, SpiceError::UnknownModel { .. }));
         c.add_model("nch", crate::mosfet::MosParams::nmos_018());
-        c.mosfet("M1", d, d, NodeId::GROUND, NodeId::GROUND, "NCH", 1e-6, 1e-6)
-            .unwrap();
+        c.mosfet(
+            "M1",
+            d,
+            d,
+            NodeId::GROUND,
+            NodeId::GROUND,
+            "NCH",
+            1e-6,
+            1e-6,
+        )
+        .unwrap();
         assert_eq!(c.transistor_count(), 1);
     }
 

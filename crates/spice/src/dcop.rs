@@ -55,7 +55,7 @@ pub(crate) struct NewtonWorkspace {
 impl NewtonWorkspace {
     pub(crate) fn new(n: usize) -> Self {
         NewtonWorkspace {
-            mat: Matrix::zeros(n),
+            mat: Matrix::square(n),
             rhs: vec![0.0; n],
             x_new: vec![0.0; n],
             lu: LuFactors::new(n),
@@ -103,10 +103,17 @@ pub(crate) fn newton_solve(
             counters.lu_reuses += 1;
         } else {
             ws.a_cached.copy_from_slice(ws.mat.data());
-            ws.lu_valid = ws.lu.factorize(&ws.mat);
             counters.lu_factorizations += 1;
-            if !ws.lu_valid {
-                return Err(SpiceError::Singular { analysis: "dcop" });
+            match ws.lu.factorize(&ws.mat) {
+                Ok(()) => ws.lu_valid = true,
+                Err(e) => {
+                    ws.lu_valid = false;
+                    return Err(SpiceError::Singular {
+                        analysis: "dcop",
+                        order: e.order,
+                        pivot: e.pivot,
+                    });
+                }
             }
         }
         ws.x_new.copy_from_slice(&ws.rhs);
@@ -114,15 +121,19 @@ pub(crate) fn newton_solve(
         if linear {
             // Affine system: the solve is exact — accept undamped.
             if ws.x_new.iter().any(|v| !v.is_finite()) {
-                return Err(SpiceError::Singular { analysis: "dcop" });
+                return Err(SpiceError::Singular {
+                    analysis: "dcop",
+                    order: n,
+                    pivot: n,
+                });
             }
             x.copy_from_slice(&ws.x_new);
             return Ok(x);
         }
         // Damping: clamp the largest node-voltage update.
         let mut max_dv = 0.0f64;
-        for i in 0..n_volt {
-            max_dv = max_dv.max((ws.x_new[i] - x[i]).abs());
+        for (xn, xv) in ws.x_new.iter().zip(x.iter()).take(n_volt) {
+            max_dv = max_dv.max((xn - xv).abs());
         }
         let scale = if max_dv > opts.max_step {
             opts.max_step / max_dv
@@ -130,17 +141,21 @@ pub(crate) fn newton_solve(
             1.0
         };
         let mut converged = scale == 1.0;
-        for i in 0..n {
-            let delta = (ws.x_new[i] - x[i]) * scale;
-            x[i] += delta;
-            if i < n_volt && delta.abs() > opts.vntol + opts.reltol * x[i].abs() {
+        for (i, xv) in x.iter_mut().enumerate() {
+            let delta = (ws.x_new[i] - *xv) * scale;
+            *xv += delta;
+            if i < n_volt && delta.abs() > opts.vntol + opts.reltol * xv.abs() {
                 converged = false;
             }
         }
         last_delta = max_dv * scale;
         if converged {
             if x.iter().any(|v| !v.is_finite()) {
-                return Err(SpiceError::Singular { analysis: "dcop" });
+                return Err(SpiceError::Singular {
+                    analysis: "dcop",
+                    order: n,
+                    pivot: n,
+                });
             }
             return Ok(x);
         }
@@ -194,8 +209,15 @@ impl DcSolution {
                     w,
                     l,
                 } => {
-                    let (ev, _) =
-                        eval_mosfet(&circuit.models[*model].1, *w, *l, v(*g), v(*d), v(*src), v(*b));
+                    let (ev, _) = eval_mosfet(
+                        &circuit.models[*model].1,
+                        *w,
+                        *l,
+                        v(*g),
+                        v(*d),
+                        v(*src),
+                        v(*b),
+                    );
                     Some(MosfetBias {
                         name: name.clone(),
                         region: ev.region,
@@ -392,8 +414,17 @@ mod tests {
         c.add_model("nch", MosParams::nmos_018());
         c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
         c.resistor("RB", vdd, d, 10e3);
-        c.mosfet("M1", d, d, Circuit::gnd(), Circuit::gnd(), "nch", 10e-6, 1e-6)
-            .unwrap();
+        c.mosfet(
+            "M1",
+            d,
+            d,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            "nch",
+            10e-6,
+            1e-6,
+        )
+        .unwrap();
         let op = dcop(&c).unwrap();
         let vgs = op.voltage(d);
         // Must sit above threshold, below supply.
@@ -417,8 +448,17 @@ mod tests {
             c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
             c.vsource("VIN", vi, Circuit::gnd(), SourceWave::Dc(vin));
             c.resistor("RL", vdd, vo, 10e3);
-            c.mosfet("M1", vo, vi, Circuit::gnd(), Circuit::gnd(), "nch", 10e-6, 1e-6)
-                .unwrap();
+            c.mosfet(
+                "M1",
+                vo,
+                vi,
+                Circuit::gnd(),
+                Circuit::gnd(),
+                "nch",
+                10e-6,
+                1e-6,
+            )
+            .unwrap();
             dcop(&c).unwrap().voltage(vo)
         };
         let off = build(0.0);
@@ -438,9 +478,19 @@ mod tests {
             c.add_model("pch", MosParams::pmos_018());
             c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
             c.vsource("VIN", vi, Circuit::gnd(), SourceWave::Dc(vin));
-            c.mosfet("MN", vo, vi, Circuit::gnd(), Circuit::gnd(), "nch", 2e-6, 0.18e-6)
+            c.mosfet(
+                "MN",
+                vo,
+                vi,
+                Circuit::gnd(),
+                Circuit::gnd(),
+                "nch",
+                2e-6,
+                0.18e-6,
+            )
+            .unwrap();
+            c.mosfet("MP", vo, vi, vdd, vdd, "pch", 6e-6, 0.18e-6)
                 .unwrap();
-            c.mosfet("MP", vo, vi, vdd, vdd, "pch", 6e-6, 0.18e-6).unwrap();
             dcop(&c).unwrap().voltage(vo)
         };
         assert!(build(0.0) > 1.75);
@@ -459,11 +509,29 @@ mod tests {
         c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
         // 100 µA into the diode device.
         c.isource("IB", vdd, ref_n, SourceWave::Dc(100e-6));
-        c.mosfet("M1", ref_n, ref_n, Circuit::gnd(), Circuit::gnd(), "nch", 10e-6, 1e-6)
-            .unwrap();
+        c.mosfet(
+            "M1",
+            ref_n,
+            ref_n,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            "nch",
+            10e-6,
+            1e-6,
+        )
+        .unwrap();
         // Mirror 2× into a resistor load.
-        c.mosfet("M2", out, ref_n, Circuit::gnd(), Circuit::gnd(), "nch", 20e-6, 1e-6)
-            .unwrap();
+        c.mosfet(
+            "M2",
+            out,
+            ref_n,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            "nch",
+            20e-6,
+            1e-6,
+        )
+        .unwrap();
         c.resistor("RL", vdd, out, 3e3);
         let op = dcop(&c).unwrap();
         let i_out = (1.8 - op.voltage(out)) / 3e3;
@@ -488,7 +556,11 @@ mod tests {
             .unwrap();
         c.resistor("RL", dst, Circuit::gnd(), 1e6);
         let op = dcop(&c).unwrap();
-        assert!((op.voltage(dst) - 0.9).abs() < 0.02, "v = {}", op.voltage(dst));
+        assert!(
+            (op.voltage(dst) - 0.9).abs() < 0.02,
+            "v = {}",
+            op.voltage(dst)
+        );
     }
 
     #[test]

@@ -170,8 +170,10 @@ pub fn run_deck(deck: &str) -> Result<DeckRun, SpiceError> {
     if let Some(card) = analyses.tran {
         let mut sim = TransientSimulator::new(circuit.clone(), TranOptions::default())?;
         let mut times = vec![0.0];
-        let mut values: Vec<Vec<f64>> =
-            print_nodes.iter().map(|&(_, id)| vec![sim.voltage(id)]).collect();
+        let mut values: Vec<Vec<f64>> = print_nodes
+            .iter()
+            .map(|&(_, id)| vec![sim.voltage(id)])
+            .collect();
         let steps = (card.tstop / card.tstep).round() as usize;
         for _ in 0..steps {
             sim.step(card.tstep)?;
@@ -183,7 +185,7 @@ pub fn run_deck(deck: &str) -> Result<DeckRun, SpiceError> {
         tran = print_nodes
             .iter()
             .zip(values)
-            .map(|(&(ref name, _), vals)| TranTrace {
+            .map(|((name, _), vals)| TranTrace {
                 node: name.clone(),
                 times: times.clone(),
                 values: vals,
@@ -215,10 +217,7 @@ mod tests {
 
     #[test]
     fn parses_all_cards() {
-        let a = parse_analyses(
-            ".tran 1n 10u\n.ac dec 10 1k 1meg\n.print v(out) in\n",
-        )
-        .unwrap();
+        let a = parse_analyses(".tran 1n 10u\n.ac dec 10 1k 1meg\n.print v(out) in\n").unwrap();
         let t = a.tran.unwrap();
         assert!((t.tstep - 1e-9).abs() < 1e-21);
         assert!((t.tstop - 10e-6).abs() < 1e-12);

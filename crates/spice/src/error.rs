@@ -16,6 +16,12 @@ pub enum SpiceError {
     Singular {
         /// Analysis in which it occurred ("dcop", "tran", "ac").
         analysis: &'static str,
+        /// Order of the offending MNA system.
+        order: usize,
+        /// Pivot column at which elimination broke down; equals `order`
+        /// when the factorization succeeded but the solve produced
+        /// non-finite values.
+        pivot: usize,
     },
     /// Newton failed during a transient step.
     TranDiverged {
@@ -55,8 +61,15 @@ impl fmt::Display for SpiceError {
                 f,
                 "dc operating point failed to converge after {iterations} iterations (last delta {delta:.3e})"
             ),
-            SpiceError::Singular { analysis } => {
-                write!(f, "singular MNA matrix during {analysis} (floating node?)")
+            SpiceError::Singular {
+                analysis,
+                order,
+                pivot,
+            } => {
+                write!(
+                    f,
+                    "singular MNA matrix during {analysis}: order {order}, pivot column {pivot} (floating node?)"
+                )
             }
             SpiceError::TranDiverged { t } => {
                 write!(f, "transient newton diverged at t = {t:.4e} s")
@@ -91,7 +104,13 @@ mod tests {
             message: "bad value".into(),
         };
         assert!(e.to_string().contains("line 4"));
-        let e = SpiceError::Singular { analysis: "ac" };
+        let e = SpiceError::Singular {
+            analysis: "ac",
+            order: 5,
+            pivot: 3,
+        };
         assert!(e.to_string().contains("ac"));
+        assert!(e.to_string().contains("order 5"));
+        assert!(e.to_string().contains("column 3"));
     }
 }

@@ -11,6 +11,9 @@
 //! * Level-1 MOSFETs with body effect and Meyer capacitances
 //!   ([`mosfet::MosParams`]), resistors, capacitors, controlled sources and
 //!   smooth switches,
+//! * dense matrices, the partial-pivot LU and the work counters come from
+//!   the shared [`sim_core`] kernel (re-exported as [`linalg`] / [`perf`]),
+//!   so circuit and behavioural solves run on one numeric substrate,
 //! * a SPICE-deck parser ([`netlist::parse_deck`]) with executable `.tran`,
 //!   `.ac` and `.print` cards ([`deck::run_deck`]), and
 //! * the paper's CMOS Integrate & Dump cell ([`library::integrate_dump`]).
@@ -39,22 +42,26 @@
 
 pub mod ac;
 pub mod circuit;
-pub mod deck;
 pub mod dcop;
+pub mod deck;
 pub mod error;
 pub mod library;
-pub mod linalg;
 pub mod mna;
 pub mod mosfet;
 pub mod netlist;
-pub mod perf;
 pub mod tran;
+
+// The numeric substrate (dense matrices, LU with cached-factor reuse) and
+// the work counters live in `sim-core`, shared with the behavioural
+// kernel; re-exported here so `spice::linalg` / `spice::perf` paths keep
+// working.
+pub use sim_core::{linalg, perf};
 
 pub use ac::{ac_analysis, log_sweep, AcSweep};
 pub use circuit::{Circuit, Element, NodeId, SourceWave};
 pub use dcop::{dcop, dcop_with, DcSolution, NewtonOptions};
+pub use deck::run_deck;
 pub use error::SpiceError;
 pub use mosfet::{MosParams, MosType};
-pub use deck::run_deck;
 pub use perf::PerfCounters;
 pub use tran::{Method as TranMethod, TranOptions, TransientSimulator};

@@ -158,7 +158,9 @@ pub fn integrate_dump(
     m(ckt, "M1", vdd, inp, sfa, gnd, "id_nlv", p.w_sf, p.l_core);
     m(ckt, "M2", sfa, sfa, gnd, gnd, "id_nlv", p.w_diode, p.l_core);
     m(ckt, "M9", sfa, nb2, gnd, gnd, "id_nch", 4e-6, 2e-6);
-    m(ckt, "M3", ota_m, sfa, gnd, gnd, "id_nlv", p.w_mirror, p.l_core);
+    m(
+        ckt, "M3", ota_m, sfa, gnd, gnd, "id_nlv", p.w_mirror, p.l_core,
+    );
     m(ckt, "M4", ota_m, vcmfb, vdd, vdd, "id_pch", p.w_load, 1e-6);
 
     // ---- Side B (input inm → output ota_p).
@@ -167,7 +169,9 @@ pub fn integrate_dump(
     m(ckt, "M5", vdd, inm, sfb, gnd, "id_nlv", p.w_sf, p.l_core);
     m(ckt, "M6", sfb, sfb, gnd, gnd, "id_nlv", p.w_diode, p.l_core);
     m(ckt, "M10", sfb, nb2, gnd, gnd, "id_nch", 4e-6, 2e-6);
-    m(ckt, "M7", ota_p, sfb, gnd, gnd, "id_nlv", p.w_mirror, p.l_core);
+    m(
+        ckt, "M7", ota_p, sfb, gnd, gnd, "id_nlv", p.w_mirror, p.l_core,
+    );
     m(ckt, "M8", ota_p, vcmfb, vdd, vdd, "id_pch", p.w_load, 1e-6);
 
     // ---- CMFB: PMOS source-follower sensors on the floating OTA outputs.
@@ -201,12 +205,48 @@ pub fn integrate_dump(
     ckt.capacitor(&format!("{prefix}CCMFB"), vcmfb, gnd, p.c_cmfb);
 
     // ---- Integration switches: two pass TGs + one reset TG.
-    m(ckt, "MT1", ota_p, ctlp, outp, gnd, "id_nch", p.w_switch, 0.18e-6);
-    m(ckt, "MT2", ota_p, ctlm, outp, vdd, "id_pch", 2.0 * p.w_switch, 0.18e-6);
-    m(ckt, "MT3", ota_m, ctlp, outm, gnd, "id_nch", p.w_switch, 0.18e-6);
-    m(ckt, "MT4", ota_m, ctlm, outm, vdd, "id_pch", 2.0 * p.w_switch, 0.18e-6);
-    m(ckt, "MT5", outp, ctlm, outm, gnd, "id_nch", p.w_switch, 0.18e-6);
-    m(ckt, "MT6", outp, ctlp, outm, vdd, "id_pch", 2.0 * p.w_switch, 0.18e-6);
+    m(
+        ckt, "MT1", ota_p, ctlp, outp, gnd, "id_nch", p.w_switch, 0.18e-6,
+    );
+    m(
+        ckt,
+        "MT2",
+        ota_p,
+        ctlm,
+        outp,
+        vdd,
+        "id_pch",
+        2.0 * p.w_switch,
+        0.18e-6,
+    );
+    m(
+        ckt, "MT3", ota_m, ctlp, outm, gnd, "id_nch", p.w_switch, 0.18e-6,
+    );
+    m(
+        ckt,
+        "MT4",
+        ota_m,
+        ctlm,
+        outm,
+        vdd,
+        "id_pch",
+        2.0 * p.w_switch,
+        0.18e-6,
+    );
+    m(
+        ckt, "MT5", outp, ctlm, outm, gnd, "id_nch", p.w_switch, 0.18e-6,
+    );
+    m(
+        ckt,
+        "MT6",
+        outp,
+        ctlp,
+        outm,
+        vdd,
+        "id_pch",
+        2.0 * p.w_switch,
+        0.18e-6,
+    );
 
     // ---- Integration capacitor.
     ckt.capacitor(&format!("{prefix}CINT"), outp, outm, p.c_int);
@@ -247,12 +287,7 @@ pub struct IntegrateDumpTestbench {
 pub fn integrate_dump_testbench(params: &IntegrateDumpParams) -> IntegrateDumpTestbench {
     let mut ckt = Circuit::new();
     let ports = integrate_dump(&mut ckt, "id_", params);
-    ckt.vsource(
-        "VDD",
-        ports.vdd,
-        Circuit::gnd(),
-        SourceWave::Dc(params.vdd),
-    );
+    ckt.vsource("VDD", ports.vdd, Circuit::gnd(), SourceWave::Dc(params.vdd));
     // Differential inputs: external large-signal drive + AC stimulus.
     let inp_i = ckt.node("drv_inp");
     let inm_i = ckt.node("drv_inm");

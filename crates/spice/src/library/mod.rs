@@ -40,8 +40,17 @@ pub fn cmos_inverter(vin: f64) -> (Circuit, NodeId, NodeId) {
     c.add_model("pch", MosParams::pmos_018());
     c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
     c.vsource("VIN", vi, Circuit::gnd(), SourceWave::Dc(vin));
-    c.mosfet("MN", vo, vi, Circuit::gnd(), Circuit::gnd(), "nch", 2e-6, 0.18e-6)
-        .expect("model registered");
+    c.mosfet(
+        "MN",
+        vo,
+        vi,
+        Circuit::gnd(),
+        Circuit::gnd(),
+        "nch",
+        2e-6,
+        0.18e-6,
+    )
+    .expect("model registered");
     c.mosfet("MP", vo, vi, vdd, vdd, "pch", 6e-6, 0.18e-6)
         .expect("model registered");
     c.capacitor("CL", vo, Circuit::gnd(), 10e-15);

@@ -161,6 +161,7 @@ fn stamp_conductance(layout: &MnaLayout, mat: &mut Matrix, p: NodeId, n: NodeId,
 /// Stamps a linearised current `I(p→n) ≈ i0 + Σ gk (v[dep_k] − v0[dep_k])`.
 ///
 /// `deps` pairs each dependency node with ∂I/∂V of that node.
+#[allow(clippy::too_many_arguments)]
 fn stamp_linearized_current(
     layout: &MnaLayout,
     mat: &mut Matrix,
@@ -194,6 +195,7 @@ fn stamp_linearized_current(
 }
 
 /// Stamps a BE companion for a capacitor `c` between `p` and `n`.
+#[allow(clippy::too_many_arguments)]
 fn stamp_capacitor_be(
     layout: &MnaLayout,
     mat: &mut Matrix,
@@ -246,7 +248,12 @@ pub fn assemble(
                 stamp_conductance(layout, mat, *p, *n, 1.0 / r);
             }
             Element::Capacitor { p, n, c, ic: _ } => {
-                if let AssembleMode::Transient { x_prev, h, cap_currents } = mode {
+                if let AssembleMode::Transient {
+                    x_prev,
+                    h,
+                    cap_currents,
+                } = mode
+                {
                     let vp = layout.voltage(x_prev, *p) - layout.voltage(x_prev, *n);
                     match cap_currents.get(cap_index) {
                         Some(&i_prev) => {
@@ -336,12 +343,7 @@ pub fn assemble(
                 let g = switch_conductance(vc, *ron, *roff, *vt, *vs);
                 let dg = d_switch_conductance(vc, *ron, *roff, *vt, *vs);
                 let i0 = g * vd;
-                let deps = [
-                    (*p, g),
-                    (*n, -g),
-                    (*cp, dg * vd),
-                    (*cn, -dg * vd),
-                ];
+                let deps = [(*p, g), (*n, -g), (*cp, dg * vd), (*cn, -dg * vd)];
                 stamp_linearized_current(layout, mat, rhs, *p, *n, &deps, i0, v_at);
             }
             Element::Diode { p, n, is, nf } => {
@@ -465,7 +467,7 @@ mod tests {
         c.resistor("R1", a, b, 1e3);
         c.resistor("R2", b, NodeId::GROUND, 1e3);
         let layout = MnaLayout::new(&c);
-        let mut mat = Matrix::zeros(layout.size());
+        let mut mat = Matrix::square(layout.size());
         let mut rhs = vec![0.0; layout.size()];
         let x = vec![0.0; layout.size()];
         let params = AssembleParams {
@@ -474,9 +476,17 @@ mod tests {
             gmin: 0.0,
             source_scale: 1.0,
         };
-        assemble(&c, &layout, &x, AssembleMode::Dc, &params, &mut mat, &mut rhs);
+        assemble(
+            &c,
+            &layout,
+            &x,
+            AssembleMode::Dc,
+            &params,
+            &mut mat,
+            &mut rhs,
+        );
         let mut sol = rhs.clone();
-        assert!(mat.solve_in_place(&mut sol));
+        mat.solve_in_place(&mut sol).unwrap();
         assert!((layout.voltage(&sol, a) - 2.0).abs() < 1e-12);
         assert!((layout.voltage(&sol, b) - 1.0).abs() < 1e-12);
         // Branch current: 2 V across 2 kΩ = 1 mA flowing out of the source's
@@ -504,7 +514,7 @@ mod tests {
         c.isource("I1", a, NodeId::GROUND, SourceWave::Dc(1e-3));
         c.resistor("R1", a, NodeId::GROUND, 1e3);
         let layout = MnaLayout::new(&c);
-        let mut mat = Matrix::zeros(layout.size());
+        let mut mat = Matrix::square(layout.size());
         let mut rhs = vec![0.0; layout.size()];
         let params = AssembleParams {
             t: 0.0,
@@ -512,9 +522,17 @@ mod tests {
             gmin: 0.0,
             source_scale: 1.0,
         };
-        assemble(&c, &layout, &[0.0], AssembleMode::Dc, &params, &mut mat, &mut rhs);
+        assemble(
+            &c,
+            &layout,
+            &[0.0],
+            AssembleMode::Dc,
+            &params,
+            &mut mat,
+            &mut rhs,
+        );
         let mut sol = rhs.clone();
-        assert!(mat.solve_in_place(&mut sol));
+        mat.solve_in_place(&mut sol).unwrap();
         assert!((layout.voltage(&sol, a) + 1.0).abs() < 1e-12);
     }
 }

@@ -163,8 +163,8 @@ fn eval_canonical(p: &MosParams, w: f64, l: f64, vgs: f64, vds: f64, vbs: f64) -
         // Triode.
         let ids = beta * (vgst * vds - 0.5 * vds * vds) * (1.0 + p.lambda * vds);
         let gm = beta * vds * (1.0 + p.lambda * vds);
-        let gds = beta * ((vgst - vds) * (1.0 + p.lambda * vds)
-            + (vgst * vds - 0.5 * vds * vds) * p.lambda);
+        let gds = beta
+            * ((vgst - vds) * (1.0 + p.lambda * vds) + (vgst * vds - 0.5 * vds * vds) * p.lambda);
         (ids, gm, gds, MosRegion::Triode)
     } else {
         // Saturation.
@@ -181,9 +181,7 @@ fn eval_canonical(p: &MosParams, w: f64, l: f64, vgs: f64, vds: f64, vbs: f64) -
     let (cgs, cgd, cgb) = match region {
         MosRegion::Cutoff => (cov, cov, cox_total + p.cgbo * l),
         MosRegion::Triode => (0.5 * cox_total + cov, 0.5 * cox_total + cov, p.cgbo * l),
-        MosRegion::Saturation => {
-            ((2.0 / 3.0) * cox_total + cov, cov, p.cgbo * l)
-        }
+        MosRegion::Saturation => ((2.0 / 3.0) * cox_total + cov, cov, p.cgbo * l),
     };
 
     MosEval {
@@ -289,7 +287,10 @@ mod tests {
         let above = eval_mosfet(&p, w, l, 1.0, vgst + 1e-9, 0.0, 0.0).0;
         assert_eq!(below.region, MosRegion::Triode);
         assert_eq!(above.region, MosRegion::Saturation);
-        assert!((below.ids - above.ids).abs() < 1e-9, "Ids continuous at vdsat");
+        assert!(
+            (below.ids - above.ids).abs() < 1e-9,
+            "Ids continuous at vdsat"
+        );
     }
 
     #[test]

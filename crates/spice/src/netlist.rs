@@ -93,10 +93,7 @@ fn logical_lines(deck: &str) -> Vec<(usize, String)> {
 /// Parses a source specification starting at `tokens[k]`:
 /// `DC <v>`, bare `<v>`, `PULSE(...)`, `SIN(...)`, `PWL(...)`, with an
 /// optional trailing `AC <mag>`.
-fn parse_source(
-    line: usize,
-    tokens: &[String],
-) -> Result<(SourceWave, f64), SpiceError> {
+fn parse_source(line: usize, tokens: &[String]) -> Result<(SourceWave, f64), SpiceError> {
     let mut ac_mag = 0.0;
     let mut wave = SourceWave::Dc(0.0);
     let mut k = 0;
@@ -153,7 +150,7 @@ fn parse_source(
                 .split_whitespace()
                 .map(|v| value(line, v))
                 .collect::<Result<_, _>>()?;
-            if vals.len() % 2 != 0 {
+            if !vals.len().is_multiple_of(2) {
                 return Err(err(line, "PWL needs time/value pairs"));
             }
             wave = SourceWave::Pwl(vals.chunks(2).map(|c| (c[0], c[1])).collect());
@@ -455,8 +452,7 @@ pub fn write_deck(circuit: &Circuit) -> String {
                 theta,
             } => format!("SIN({offset:e} {ampl:e} {freq:e} {delay:e} {theta:e})"),
             SourceWave::Pwl(pts) => {
-                let body: Vec<String> =
-                    pts.iter().map(|(t, v)| format!("{t:e} {v:e}")).collect();
+                let body: Vec<String> = pts.iter().map(|(t, v)| format!("{t:e} {v:e}")).collect();
                 format!("PWL({})", body.join(" "))
             }
             SourceWave::External { .. } => "DC 0".to_string(),
@@ -586,10 +582,8 @@ mod tests {
 
     #[test]
     fn divider_deck_end_to_end() {
-        let ckt = parse_deck(
-            "* divider\nV1 in 0 DC 3.0\nR1 in out 1k\nR2 out 0 2k\n.end\n",
-        )
-        .unwrap();
+        let ckt =
+            parse_deck("* divider\nV1 in 0 DC 3.0\nR1 in out 1k\nR2 out 0 2k\n.end\n").unwrap();
         let op = dcop(&ckt).unwrap();
         let out = ckt.find_node("out").unwrap();
         assert!((op.voltage(out) - 2.0).abs() < 1e-6);

@@ -171,7 +171,10 @@ impl TransientSimulator {
     fn apply_initial_conditions(&mut self) {
         let mut forced = Vec::new();
         for (_, e) in self.circuit.elements() {
-            if let Element::Capacitor { p, n, ic: Some(v), .. } = e {
+            if let Element::Capacitor {
+                p, n, ic: Some(v), ..
+            } = e
+            {
                 if *n == NodeId::GROUND {
                     if let Some(i) = self.layout.node_unknown(*p) {
                         forced.push((i, *v));
@@ -310,7 +313,11 @@ impl TransientSimulator {
                 self.substep(h / 2.0, depth + 1)?;
                 self.substep(h / 2.0, depth + 1)
             }
-            Err(SpiceError::Singular { .. }) => Err(SpiceError::Singular { analysis: "tran" }),
+            Err(SpiceError::Singular { order, pivot, .. }) => Err(SpiceError::Singular {
+                analysis: "tran",
+                order,
+                pivot,
+            }),
             Err(_) => Err(SpiceError::TranDiverged { t: t_new }),
         }
     }
@@ -427,16 +434,34 @@ mod tests {
                 period: 0.0,
             },
         );
-        c.mosfet("MN", vo, vi, Circuit::gnd(), Circuit::gnd(), "nch", 2e-6, 0.18e-6)
+        c.mosfet(
+            "MN",
+            vo,
+            vi,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            "nch",
+            2e-6,
+            0.18e-6,
+        )
+        .unwrap();
+        c.mosfet("MP", vo, vi, vdd, vdd, "pch", 6e-6, 0.18e-6)
             .unwrap();
-        c.mosfet("MP", vo, vi, vdd, vdd, "pch", 6e-6, 0.18e-6).unwrap();
         c.capacitor("CL", vo, Circuit::gnd(), 10e-15);
         let mut sim = TransientSimulator::new(c, TranOptions::default()).unwrap();
         assert!(sim.voltage(vo) > 1.7, "initial high");
         sim.run_until(4e-9, 50e-12, |_| {}).unwrap();
-        assert!(sim.voltage(vo) < 0.1, "switched low, v = {}", sim.voltage(vo));
+        assert!(
+            sim.voltage(vo) < 0.1,
+            "switched low, v = {}",
+            sim.voltage(vo)
+        );
         sim.run_until(10e-9, 50e-12, |_| {}).unwrap();
-        assert!(sim.voltage(vo) > 1.7, "returned high, v = {}", sim.voltage(vo));
+        assert!(
+            sim.voltage(vo) > 1.7,
+            "returned high, v = {}",
+            sim.voltage(vo)
+        );
     }
 
     #[test]
@@ -462,7 +487,11 @@ mod tests {
             (tr - exact).abs() < (be - exact).abs(),
             "trap {tr} should beat BE {be} (exact {exact})"
         );
-        assert!((tr - exact).abs() < 0.01, "trap error {}", (tr - exact).abs());
+        assert!(
+            (tr - exact).abs() < 0.01,
+            "trap error {}",
+            (tr - exact).abs()
+        );
     }
 
     #[test]
@@ -509,16 +538,23 @@ mod tests {
             opts.newton.reuse_lu = reuse;
             let mut sim = TransientSimulator::new(c, opts).unwrap();
             let mut trace = Vec::new();
-            sim.run_until(100e-9, 1e-9, |s| trace.push(s.voltage(b))).unwrap();
+            sim.run_until(100e-9, 1e-9, |s| trace.push(s.voltage(b)))
+                .unwrap();
             (trace, *sim.counters())
         };
         let (fast, cf) = run(true);
         let (slow, cs) = run(false);
         assert_eq!(fast, slow, "fast path must be bit-identical");
         assert!(cf.steps == 100 && cs.steps == 100);
-        assert_eq!(cf.lu_factorizations, 1, "one factorization, then reuse: {cf}");
+        assert_eq!(
+            cf.lu_factorizations, 1,
+            "one factorization, then reuse: {cf}"
+        );
         assert_eq!(cf.lu_reuses, 99);
-        assert_eq!(cs.lu_factorizations, 100, "no-reuse path refactorizes every step");
+        assert_eq!(
+            cs.lu_factorizations, 100,
+            "no-reuse path refactorizes every step"
+        );
         // Linear circuit: exactly one Newton iteration per step.
         assert_eq!(cf.newton_iterations, 100);
     }
@@ -569,7 +605,8 @@ mod tests {
             }
         })
         .unwrap();
-        let expect = 1.0 / (1.0f64 + (2.0 * std::f64::consts::PI * 1e6 * 1e3 * 1e-9).powi(2)).sqrt();
+        let expect =
+            1.0 / (1.0f64 + (2.0 * std::f64::consts::PI * 1e6 * 1e3 * 1e-9).powi(2)).sqrt();
         assert!((peak - expect).abs() < 0.02, "peak {peak} vs {expect}");
     }
 

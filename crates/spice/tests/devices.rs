@@ -134,10 +134,8 @@ fn rlc_bandpass_peaks_at_resonance() {
 
 #[test]
 fn deck_parses_diode_and_inductor_cards() {
-    let ckt = parse_deck(
-        "V1 a 0 DC 1\nR1 a d 1k\nD1 d 0 1e-14 1.0\nL1 a m 10u\nR2 m 0 50\n",
-    )
-    .unwrap();
+    let ckt =
+        parse_deck("V1 a 0 DC 1\nR1 a d 1k\nD1 d 0 1e-14 1.0\nL1 a m 10u\nR2 m 0 50\n").unwrap();
     let op = dcop(&ckt).unwrap();
     let d = ckt.find_node("d").unwrap();
     assert!(op.voltage(d) > 0.5 && op.voltage(d) < 0.8);
@@ -160,8 +158,17 @@ fn write_deck_round_trips_operating_point() {
     c.inductor("L1", vdd, choke, 1e-3);
     c.resistor("RL", choke, out, 20e3);
     c.capacitor("CL", out, Circuit::gnd(), 1e-12);
-    c.mosfet("M1", out, inp, Circuit::gnd(), Circuit::gnd(), "nch", 10e-6, 1e-6)
-        .unwrap();
+    c.mosfet(
+        "M1",
+        out,
+        inp,
+        Circuit::gnd(),
+        Circuit::gnd(),
+        "nch",
+        10e-6,
+        1e-6,
+    )
+    .unwrap();
     c.diode("D1", out, Circuit::gnd(), 1e-15, 1.2);
 
     let deck = write_deck(&c);

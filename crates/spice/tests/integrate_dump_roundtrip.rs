@@ -23,8 +23,8 @@ fn thirty_one_transistor_cell_round_trips_through_deck_text() {
     // drive by re-solving the original with the SAME zero externals and
     // comparing node-for-node (the supply and internal bias paths are the
     // bulk of the circuit and fully exercised this way).
-    let op_orig = dcop_with(&tb.circuit, &vec![0.0; tb.circuit.num_externals])
-        .expect("original converges");
+    let op_orig =
+        dcop_with(&tb.circuit, &vec![0.0; tb.circuit.num_externals]).expect("original converges");
     let op_rt = spice::dcop::dcop(&reparsed).expect("reparsed converges");
     for (n1, name) in tb.circuit.nodes().skip(1) {
         let n2 = reparsed.find_node(name).expect("same node in reparse");

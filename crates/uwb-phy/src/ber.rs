@@ -28,9 +28,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         poly
     } else {
@@ -111,17 +110,10 @@ pub fn monte_carlo_ber(
         let mut rx = modulate(&pkt, cfg);
         awgn.add_to(&mut rx, rng);
         let decided = demodulate_energy(&rx, cfg, 0.0, n);
-        errors += decided
-            .iter()
-            .zip(&bits)
-            .filter(|(a, b)| a != b)
-            .count() as u64;
+        errors += decided.iter().zip(&bits).filter(|(a, b)| a != b).count() as u64;
         sent += n as u64;
     }
-    BerEstimate {
-        errors,
-        bits: sent,
-    }
+    BerEstimate { errors, bits: sent }
 }
 
 /// Effective noise degrees of freedom of the genie detector under `cfg`:
@@ -199,7 +191,10 @@ mod tests {
 
     #[test]
     fn ber_estimate_statistics() {
-        let e = BerEstimate { errors: 10, bits: 1000 };
+        let e = BerEstimate {
+            errors: 10,
+            bits: 1000,
+        };
         assert!((e.ber() - 0.01).abs() < 1e-12);
         assert!(e.ci95() > 0.0 && e.ci95() < 0.01);
         let z = BerEstimate { errors: 0, bits: 0 };

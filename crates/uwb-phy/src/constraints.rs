@@ -73,7 +73,11 @@ pub fn energy_capture_window(w: &Waveform, frac: f64) -> f64 {
     }
     let target = frac.clamp(0.0, 1.0) * total;
     // Two-pointer sweep over the cumulative energy.
-    let e: Vec<f64> = w.samples().iter().map(|x| x * x / w.sample_rate()).collect();
+    let e: Vec<f64> = w
+        .samples()
+        .iter()
+        .map(|x| x * x / w.sample_rate())
+        .collect();
     let mut best = w.len();
     let mut acc = 0.0;
     let mut lo = 0usize;

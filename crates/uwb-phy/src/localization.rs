@@ -139,10 +139,7 @@ pub fn multilaterate(observations: &[RangeObservation]) -> Result<Fix, LocalizeE
 /// # Errors
 ///
 /// Same conditions as [`multilaterate`].
-pub fn dilution_of_precision(
-    anchors: &[Point],
-    position: Point,
-) -> Result<f64, LocalizeError> {
+pub fn dilution_of_precision(anchors: &[Point], position: Point) -> Result<f64, LocalizeError> {
     if anchors.len() < 3 {
         return Err(LocalizeError::TooFewAnchors);
     }
@@ -219,8 +216,14 @@ mod tests {
     #[test]
     fn too_few_anchors_rejected() {
         let obs = vec![
-            RangeObservation { anchor: Point::new(0.0, 0.0), range: 5.0 },
-            RangeObservation { anchor: Point::new(10.0, 0.0), range: 5.0 },
+            RangeObservation {
+                anchor: Point::new(0.0, 0.0),
+                range: 5.0,
+            },
+            RangeObservation {
+                anchor: Point::new(10.0, 0.0),
+                range: 5.0,
+            },
         ];
         assert_eq!(multilaterate(&obs), Err(LocalizeError::TooFewAnchors));
     }
@@ -245,7 +248,11 @@ mod tests {
         );
         assert_eq!(
             dilution_of_precision(
-                &[Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+                &[
+                    Point::new(0.0, 0.0),
+                    Point::new(10.0, 0.0),
+                    Point::new(20.0, 0.0)
+                ],
                 Point::new(5.0, 0.0)
             ),
             Err(LocalizeError::DegenerateGeometry)

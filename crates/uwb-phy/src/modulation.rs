@@ -95,8 +95,8 @@ impl Packet {
 /// assert!((tx.duration() - 6.0 * cfg.symbol_period).abs() < 1e-12);
 /// ```
 pub fn modulate(packet: &Packet, cfg: &PpmConfig) -> Waveform {
-    let n_samples = (packet.num_symbols() as f64 * cfg.symbol_period * cfg.sample_rate).round()
-        as usize;
+    let n_samples =
+        (packet.num_symbols() as f64 * cfg.symbol_period * cfg.sample_rate).round() as usize;
     let mut out = Waveform::zeros(cfg.sample_rate, n_samples);
     let mut pulse = cfg.pulse.sampled(cfg.sample_rate);
     pulse.scale(cfg.pulse_energy.sqrt());
@@ -117,12 +117,7 @@ pub fn modulate(packet: &Packet, cfg: &PpmConfig) -> Waveform {
 /// the Phase I abstraction level and the reference for system tests.
 ///
 /// `t0` is the time of the first *payload* symbol boundary in `rx`.
-pub fn demodulate_energy(
-    rx: &Waveform,
-    cfg: &PpmConfig,
-    t0: f64,
-    num_bits: usize,
-) -> Vec<bool> {
+pub fn demodulate_energy(rx: &Waveform, cfg: &PpmConfig, t0: f64, num_bits: usize) -> Vec<bool> {
     let fs = rx.sample_rate();
     let slot_samples = (cfg.slot() * fs).round() as usize;
     let mut bits = Vec::with_capacity(num_bits);

@@ -74,10 +74,12 @@ mod tests {
         let awgn = Awgn::new(1e-18);
         let mut w = Waveform::zeros(20e9, 100_000);
         awgn.add_to(&mut w, &mut rng);
-        let var: f64 =
-            w.samples().iter().map(|x| x * x).sum::<f64>() / w.len() as f64;
+        let var: f64 = w.samples().iter().map(|x| x * x).sum::<f64>() / w.len() as f64;
         let expect = 0.5 * 1e-18 * 20e9;
-        assert!((var - expect).abs() / expect < 0.02, "var {var} vs {expect}");
+        assert!(
+            (var - expect).abs() / expect < 0.02,
+            "var {var} vs {expect}"
+        );
     }
 
     #[test]

@@ -51,9 +51,7 @@ impl PulseShape {
         match self {
             PulseShape::GaussianMonocycle { .. } => -u * g,
             PulseShape::GaussianDoublet { .. } => (u * u - 1.0) * g,
-            PulseShape::GaussianFifth { .. } => {
-                -(u.powi(5) - 10.0 * u.powi(3) + 15.0 * u) * g
-            }
+            PulseShape::GaussianFifth { .. } => -(u.powi(5) - 10.0 * u.powi(3) + 15.0 * u) * g,
         }
     }
 

@@ -103,12 +103,36 @@ pub struct MaskSegment {
 /// GPS notch at −34 dBr in 0.96–1.61 GHz.
 pub fn fcc_indoor_mask() -> Vec<MaskSegment> {
     vec![
-        MaskSegment { f_lo: 0.0, f_hi: 0.96e9, limit_dbr: -34.0 },
-        MaskSegment { f_lo: 0.96e9, f_hi: 1.61e9, limit_dbr: -34.0 },
-        MaskSegment { f_lo: 1.61e9, f_hi: 1.99e9, limit_dbr: -23.3 },
-        MaskSegment { f_lo: 1.99e9, f_hi: 3.1e9, limit_dbr: -10.0 },
-        MaskSegment { f_lo: 3.1e9, f_hi: 10.6e9, limit_dbr: 0.0 },
-        MaskSegment { f_lo: 10.6e9, f_hi: f64::INFINITY, limit_dbr: -10.0 },
+        MaskSegment {
+            f_lo: 0.0,
+            f_hi: 0.96e9,
+            limit_dbr: -34.0,
+        },
+        MaskSegment {
+            f_lo: 0.96e9,
+            f_hi: 1.61e9,
+            limit_dbr: -34.0,
+        },
+        MaskSegment {
+            f_lo: 1.61e9,
+            f_hi: 1.99e9,
+            limit_dbr: -23.3,
+        },
+        MaskSegment {
+            f_lo: 1.99e9,
+            f_hi: 3.1e9,
+            limit_dbr: -10.0,
+        },
+        MaskSegment {
+            f_lo: 3.1e9,
+            f_hi: 10.6e9,
+            limit_dbr: 0.0,
+        },
+        MaskSegment {
+            f_lo: 10.6e9,
+            f_hi: f64::INFINITY,
+            limit_dbr: -10.0,
+        },
     ]
 }
 
@@ -165,9 +189,7 @@ mod tests {
     #[test]
     fn sine_psd_peaks_at_its_frequency() {
         let f0 = 2e9;
-        let w = Waveform::from_fn(20e9, 50e-9, |t| {
-            (2.0 * std::f64::consts::PI * f0 * t).sin()
-        });
+        let w = Waveform::from_fn(20e9, 50e-9, |t| (2.0 * std::f64::consts::PI * f0 * t).sin());
         let freqs: Vec<f64> = (1..100).map(|i| i as f64 * 50e6).collect();
         let psd = estimate_psd(&w, &freqs);
         assert!((psd.peak_frequency() - f0).abs() <= 50e6);
@@ -175,7 +197,12 @@ mod tests {
 
     #[test]
     fn doublet_peak_is_in_the_uwb_band_class() {
-        let psd = pulse_psd(&PulseShape::GaussianDoublet { tau: 80e-12 }, 40e9, 12e9, 240);
+        let psd = pulse_psd(
+            &PulseShape::GaussianDoublet { tau: 80e-12 },
+            40e9,
+            12e9,
+            240,
+        );
         let fp = psd.peak_frequency();
         assert!(fp > 1.5e9 && fp < 6e9, "peak at {fp:.3e}");
         let (lo, hi) = psd.occupied_band(10.0);
@@ -201,7 +228,10 @@ mod tests {
                 .iter()
                 .zip(&psd.db)
                 .min_by(|a, b| {
-                    (a.0 - gps).abs().partial_cmp(&(b.0 - gps).abs()).expect("finite")
+                    (a.0 - gps)
+                        .abs()
+                        .partial_cmp(&(b.0 - gps).abs())
+                        .expect("finite")
                 })
                 .map(|(_, &d)| d)
                 .expect("non-empty")

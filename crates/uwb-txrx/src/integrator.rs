@@ -165,7 +165,7 @@ impl IntegratorBlock for IdealIntegrator {
     }
 
     fn newton_iterations(&self) -> u64 {
-        self.solver.newton_iterations
+        self.solver.newton_iterations()
     }
 }
 
@@ -203,12 +203,8 @@ impl BehavioralIntegrator {
     /// the paper flags as the model's missing effect in Figure 5).
     pub fn with_input_clip() -> Self {
         Self::new(
-            TwoPoleGatedModel::from_db_and_hz(
-                DEFAULT_GAIN_DB,
-                DEFAULT_POLE1_HZ,
-                DEFAULT_POLE2_HZ,
-            )
-            .with_input_clip(DEFAULT_INPUT_RANGE),
+            TwoPoleGatedModel::from_db_and_hz(DEFAULT_GAIN_DB, DEFAULT_POLE1_HZ, DEFAULT_POLE2_HZ)
+                .with_input_clip(DEFAULT_INPUT_RANGE),
         )
     }
 }
@@ -240,7 +236,7 @@ impl IntegratorBlock for BehavioralIntegrator {
     }
 
     fn newton_iterations(&self) -> u64 {
-        self.solver.newton_iterations
+        self.solver.newton_iterations()
     }
 }
 

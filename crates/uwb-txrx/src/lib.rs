@@ -47,6 +47,6 @@ pub use integrator::{
     build_integrator, BehavioralIntegrator, CircuitIntegrator, Fidelity, IdealIntegrator,
     IntegratorBlock, IntegratorError,
 };
-pub use receiver::{Receiver, ReceiveError, ReceiverConfig, ReceptionReport};
+pub use receiver::{ReceiveError, Receiver, ReceiverConfig, ReceptionReport};
 pub use transceiver::{twr_campaign, twr_iteration, TwrConfig, TwrIteration};
 pub use transmitter::Transmitter;

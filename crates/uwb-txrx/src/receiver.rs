@@ -26,8 +26,7 @@ use uwb_phy::waveform::Waveform;
 /// Start-of-frame delimiter bit pattern appended after the preamble
 /// (8 symbols, like the short 802.15.4a SFD; long enough that the
 /// tolerant correlation match cannot fire on preamble noise).
-pub const SFD_PATTERN: [bool; 8] =
-    [true, true, false, true, true, false, false, true];
+pub const SFD_PATTERN: [bool; 8] = [true, true, false, true, true, false, false, true];
 
 /// AGC loop settings.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -483,11 +482,8 @@ impl Receiver {
             noise.push(self.integrate_window(rx, slot)?);
         }
         let noise_mean = noise.iter().sum::<f64>() / noise.len() as f64;
-        let noise_var = noise
-            .iter()
-            .map(|e| (e - noise_mean).powi(2))
-            .sum::<f64>()
-            / noise.len() as f64;
+        let noise_var =
+            noise.iter().map(|e| (e - noise_mean).powi(2)).sum::<f64>() / noise.len() as f64;
         let threshold = (noise_mean + self.cfg.neps.sense_factor * noise_var.sqrt())
             .max(noise_mean * 2.0)
             .max(self.cfg.neps.min_threshold);
@@ -576,8 +572,7 @@ impl Receiver {
             sync_base as f64 / fs + (j_edge as f64 + 0.5 + delta.clamp(0.0, 0.75)) * bin_dur;
         // Pulse sits intra_slot_offset (+ half its width) after the symbol
         // boundary; fold to a phase.
-        let pulse_lag =
-            self.cfg.ppm.intra_slot_offset + self.cfg.ppm.pulse.duration() / 2.0;
+        let pulse_lag = self.cfg.ppm.intra_slot_offset + self.cfg.ppm.pulse.duration() / 2.0;
         let ts = self.cfg.ppm.symbol_period;
         let phase = (pulse_time - pulse_lag).rem_euclid(ts);
 
@@ -701,8 +696,7 @@ impl Receiver {
     /// position.
     fn window_open(&self, rx: &Waveform) -> usize {
         let fs = rx.sample_rate();
-        let centre =
-            self.cfg.ppm.intra_slot_offset + self.cfg.ppm.pulse.duration() / 2.0;
+        let centre = self.cfg.ppm.intra_slot_offset + self.cfg.ppm.pulse.duration() / 2.0;
         let open = centre - self.cfg.demod_window / 2.0;
         (open.max(0.0) * fs).round() as usize
     }
@@ -807,9 +801,8 @@ mod tests {
             "anchor error {err:.3e} s (true {true_anchor:.3e})"
         );
         // Phase must match the modulo-Ts truth.
-        let phase_err = (report.sync_phase.unwrap()
-            - true_anchor.rem_euclid(tx.ppm.symbol_period))
-        .abs();
+        let phase_err =
+            (report.sync_phase.unwrap() - true_anchor.rem_euclid(tx.ppm.symbol_period)).abs();
         assert!(
             phase_err < 4e-9 || (tx.ppm.symbol_period - phase_err) < 4e-9,
             "phase error {phase_err:.3e}"
@@ -900,7 +893,9 @@ mod tests {
     #[test]
     fn errors_display() {
         assert!(ReceiveError::NoPreamble.to_string().contains("preamble"));
-        let e = ReceiveError::NoSfd { history: vec![true, false] };
+        let e = ReceiveError::NoSfd {
+            history: vec![true, false],
+        };
         assert!(e.to_string().contains("delimiter"));
         assert!(e.to_string().contains("10"));
     }

@@ -11,7 +11,7 @@
 
 use crate::counter::RangingCounter;
 use crate::integrator::IntegratorBlock;
-use crate::receiver::{Receiver, ReceiveError, ReceiverConfig, SFD_PATTERN};
+use crate::receiver::{ReceiveError, Receiver, ReceiverConfig, SFD_PATTERN};
 use crate::transmitter::Transmitter;
 use rand::Rng;
 use uwb_phy::channel::{realize, Tg4aModel};
@@ -258,13 +258,9 @@ mod tests {
     fn ideal_twr_lands_near_true_distance() {
         let cfg = TwrConfig::default();
         let mut rng = ChaCha8Rng::seed_from_u64(21);
-        let (stats, iters) = twr_campaign(
-            &cfg,
-            3,
-            || Box::new(IdealIntegrator::default()),
-            &mut rng,
-        )
-        .expect("campaign");
+        let (stats, iters) =
+            twr_campaign(&cfg, 3, || Box::new(IdealIntegrator::default()), &mut rng)
+                .expect("campaign");
         assert_eq!(iters.len(), 3);
         // Multipath + sync bias keep the estimate near but above the truth.
         assert!(
@@ -287,13 +283,8 @@ mod tests {
         // +1.26 m ELDO offsets).
         let cfg = TwrConfig::default();
         let mut rng = ChaCha8Rng::seed_from_u64(22);
-        let (stats, _) = twr_campaign(
-            &cfg,
-            5,
-            || Box::new(IdealIntegrator::default()),
-            &mut rng,
-        )
-        .expect("campaign");
+        let (stats, _) = twr_campaign(&cfg, 5, || Box::new(IdealIntegrator::default()), &mut rng)
+            .expect("campaign");
         assert!(
             stats.offset(cfg.distance) > -0.5,
             "offset {}",

@@ -38,14 +38,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let circuit = Series::new(
         "circuit_db",
-        ac.freqs.iter().zip(&ac.gain_db).map(|(&f, &g)| (f, g)).collect(),
+        ac.freqs
+            .iter()
+            .zip(&ac.gain_db)
+            .map(|(&f, &g)| (f, g))
+            .collect(),
     );
     let model = Series::new(
         "model_db",
         ac.freqs.iter().map(|&f| (f, model_db(f))).collect(),
     );
 
-    println!("{:>14} {:>12} {:>12}", "freq (Hz)", "circuit(dB)", "model(dB)");
+    println!(
+        "{:>14} {:>12} {:>12}",
+        "freq (Hz)", "circuit(dB)", "model(dB)"
+    );
     for i in (0..ac.freqs.len()).step_by(4) {
         println!(
             "{:>14.3e} {:>12.2} {:>12.2}",

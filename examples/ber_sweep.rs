@@ -25,10 +25,7 @@ fn parse_fidelity(s: &str) -> Option<Fidelity> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let bits: usize = args
-        .first()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(400);
+    let bits: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(400);
     let fidelities: Vec<Fidelity> = {
         let parsed: Vec<Fidelity> = args.iter().filter_map(|a| parse_fidelity(a)).collect();
         if parsed.is_empty() {

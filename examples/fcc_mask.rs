@@ -39,7 +39,11 @@ fn main() {
         );
         println!(
             "  mask            : {} (worst margin {:+.1} dB at {:.2} GHz)",
-            if report.compliant { "COMPLIANT" } else { "VIOLATES" },
+            if report.compliant {
+                "COMPLIANT"
+            } else {
+                "VIOLATES"
+            },
             report.worst_margin_db,
             report.worst_frequency / 1e9
         );

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nposition fix: ({:.2}, {:.2}) m after {} Gauss-Newton iterations",
         fix.position.x, fix.position.y, fix.iterations
     );
-    println!("position error: {err:.2} m (rms range residual {:.2} m)", fix.rms_residual);
+    println!(
+        "position error: {err:.2} m (rms range residual {:.2} m)",
+        fix.rms_residual
+    );
     let dop = dilution_of_precision(&anchors, fix.position)?;
     println!("geometry DOP : {dop:.2}");
     println!(

@@ -21,7 +21,7 @@ use uwb_txrx::integrator::{
 /// beyond its measured ≈0.5 V linear input range so the Figure 5 mismatch
 /// (two-pole model vs real transistors) becomes visible.
 fn burst(t: f64) -> f64 {
-    if t < 5e-9 || t > 25e-9 {
+    if !(5e-9..=25e-9).contains(&t) {
         return 0.0;
     }
     let u = (t - 5e-9) / 20e-9;
@@ -53,17 +53,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let initial: Box<dyn IntegratorBlock> = Box::new(IdealIntegrator::default());
     let mut slot = BlockSlot::new(iface.clone(), initial, iface.clone())?;
 
-    let ideal = run("ideal", slot.substitute(Box::new(IdealIntegrator::default()), iface.clone())?)
-        .map_err(|e| format!("ideal: {e}"))?;
-    let _ = slot.substitute(Box::new(BehavioralIntegrator::with_input_clip()), iface.clone())?;
+    let ideal = run(
+        "ideal",
+        slot.substitute(Box::new(IdealIntegrator::default()), iface.clone())?,
+    )
+    .map_err(|e| format!("ideal: {e}"))?;
+    let _ = slot.substitute(
+        Box::new(BehavioralIntegrator::with_input_clip()),
+        iface.clone(),
+    )?;
     println!("slot now holds: {}", slot.get().fidelity());
-    let model = run("vhdl_ams_model", Box::new(BehavioralIntegrator::from_default_calibration()))?;
+    let model = run(
+        "vhdl_ams_model",
+        Box::new(BehavioralIntegrator::from_default_calibration()),
+    )?;
     let circuit = run(
         "eldo_circuit",
         Box::new(CircuitIntegrator::with_defaults().map_err(|e| format!("op: {e}"))?),
     )?;
 
-    println!("\n{:>10} {:>10} {:>12} {:>12}", "t (ns)", "ideal", "model", "circuit");
+    println!(
+        "\n{:>10} {:>10} {:>12} {:>12}",
+        "t (ns)", "ideal", "model", "circuit"
+    );
     for i in (0..ideal.len()).step_by(100) {
         println!(
             "{:>10.2} {:>10.4} {:>12.4} {:>12.4}",

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local verification: build, tests, formatting, lints.
+# Any failure aborts the script (and the non-zero status propagates).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "verify: all checks passed"

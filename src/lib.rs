@@ -4,8 +4,11 @@
 //! Methodology Applied to the Design of a Mixed-Signal UWB
 //! System-on-Chip"* (DATE 2007).
 //!
-//! This facade crate re-exports the five building blocks:
+//! This facade crate re-exports the six building blocks:
 //!
+//! * [`sim_core`] — the shared numeric/observability kernel both engines
+//!   sit on: the one dense LU (with cached, bit-identical factor reuse),
+//!   solver work counters, the femtosecond time axis and waveform probes,
 //! * [`ams_kernel`] — the mixed-signal simulation kernel (VHDL-AMS stand-in),
 //! * [`spice`] — the transistor-level circuit simulator (Eldo stand-in),
 //! * [`uwb_phy`] — UWB pulses, 2-PPM, TG4a channels, noise, BER references,
@@ -19,6 +22,7 @@
 //! figure of the paper.
 
 pub use ams_kernel;
+pub use sim_core;
 pub use spice;
 pub use uwb_ams_core;
 pub use uwb_phy;

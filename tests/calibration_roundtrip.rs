@@ -37,5 +37,9 @@ fn fit_parameters_are_in_the_papers_class() {
     assert!(fit.gain_db > 15.0 && fit.gain_db < 30.0);
     assert!(fit.f_pole1 > 1e5 && fit.f_pole1 < 1e7);
     assert!(fit.f_pole2 > 1e9 && fit.f_pole2 < 1e11);
-    assert!(fit.rms_error_db < 2.0, "overlay quality {}", fit.rms_error_db);
+    assert!(
+        fit.rms_error_db < 2.0,
+        "overlay quality {}",
+        fit.rms_error_db
+    );
 }

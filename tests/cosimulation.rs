@@ -39,13 +39,18 @@ impl SpiceRcBlock {
         // conducting when sel is LOW (dump phase).
         c.resistor("R1", vin, out, 1e3);
         c.capacitor("C1", out, Circuit::gnd(), 1e-9);
-        c.switch("SRST", out, Circuit::gnd(), Circuit::gnd(), sel, 10.0, 1e9, -0.9);
-        let sim = TransientSimulator::with_externals(
-            c,
-            TranOptions::default(),
-            vec![0.0, 1.8],
-        )
-        .expect("operating point");
+        c.switch(
+            "SRST",
+            out,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            sel,
+            10.0,
+            1e9,
+            -0.9,
+        );
+        let sim = TransientSimulator::with_externals(c, TranOptions::default(), vec![0.0, 1.8])
+            .expect("operating point");
         SpiceRcBlock {
             sim,
             slot_vin,
@@ -63,7 +68,11 @@ impl SpiceRcBlock {
 impl AnalogBlock for SpiceRcBlock {
     fn sample_inputs(&mut self, sim: &Simulator) {
         self.vin = sim.read(self.in_sig).as_real();
-        self.sel = if sim.read(self.sel_sig).as_bit() { 1.8 } else { 0.0 };
+        self.sel = if sim.read(self.sel_sig).as_bit() {
+            1.8
+        } else {
+            0.0
+        };
     }
 
     fn step(&mut self, _t0: SimTime, dt: SimTime) -> Result<(), SolveError> {
@@ -138,7 +147,8 @@ fn digital_process_gates_behavioural_and_spice_blocks_together() {
     );
 
     // After the dump interval both are reset near zero.
-    ms.run_until(SimTime::from_us(2) + SimTime::from_ns(395)).unwrap();
+    ms.run_until(SimTime::from_us(2) + SimTime::from_ns(395))
+        .unwrap();
     assert!(ms.digital.read(vo_model).as_real().abs() < 1e-6);
     assert!(ms.digital.read(vo_spice).as_real().abs() < 0.05);
 }

@@ -65,7 +65,10 @@ fn single_corrupted_sfd_symbol_still_anchors_correctly() {
             err.abs() < 8e-9,
             "corrupt symbol {corrupt}: anchor error {err:.3e}"
         );
-        assert_eq!(rep.bits, payload, "corrupt symbol {corrupt}: payload intact");
+        assert_eq!(
+            rep.bits, payload,
+            "corrupt symbol {corrupt}: payload intact"
+        );
     }
 }
 

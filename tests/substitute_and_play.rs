@@ -9,9 +9,7 @@ use uwb_ams_core::substitute::{
 };
 use uwb_phy::noise::Awgn;
 use uwb_phy::waveform::Waveform;
-use uwb_txrx::integrator::{
-    BehavioralIntegrator, Fidelity, IdealIntegrator, IntegratorBlock,
-};
+use uwb_txrx::integrator::{BehavioralIntegrator, Fidelity, IdealIntegrator, IntegratorBlock};
 use uwb_txrx::receiver::{Receiver, ReceiverConfig, SFD_PATTERN};
 use uwb_txrx::transmitter::Transmitter;
 

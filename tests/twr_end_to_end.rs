@@ -15,13 +15,8 @@ fn ranging_estimates_track_distance_at_two_points() {
             ..Default::default()
         };
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let (stats, _) = twr_campaign(
-            &cfg,
-            2,
-            || Box::new(IdealIntegrator::default()),
-            &mut rng,
-        )
-        .expect("campaign");
+        let (stats, _) = twr_campaign(&cfg, 2, || Box::new(IdealIntegrator::default()), &mut rng)
+            .expect("campaign");
         assert!(
             (stats.mean - distance).abs() < 2.0,
             "at {distance} m: mean {}",
@@ -36,14 +31,13 @@ fn ranging_error_is_dominated_by_late_bias_not_early() {
     // land on or after the truth (the paper's positive offsets).
     let cfg = TwrConfig::default();
     let mut rng = ChaCha8Rng::seed_from_u64(43);
-    let (stats, iters) = twr_campaign(
-        &cfg,
-        3,
-        || Box::new(IdealIntegrator::default()),
-        &mut rng,
-    )
-    .expect("campaign");
-    assert!(stats.offset(cfg.distance) > -0.6, "offset {}", stats.offset(cfg.distance));
+    let (stats, iters) =
+        twr_campaign(&cfg, 3, || Box::new(IdealIntegrator::default()), &mut rng).expect("campaign");
+    assert!(
+        stats.offset(cfg.distance) > -0.6,
+        "offset {}",
+        stats.offset(cfg.distance)
+    );
     for it in &iters {
         assert!(
             it.responder_anchor_error > -5e-9,
