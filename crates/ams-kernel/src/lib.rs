@@ -41,6 +41,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -58,7 +59,7 @@ pub use sim_core::{linalg, perf, time, trace};
 
 pub use analog::AnalogModel;
 pub use perf::PerfCounters;
-pub use scheduler::{AnalogBlock, MixedSimulator, OdeBlock};
+pub use scheduler::{AnalogBlock, BlockPortInfo, MixedSimulator, OdeBlock};
 pub use signal::{SignalId, Value};
 pub use sim::{ProcessCtx, ProcessId, Simulator};
 pub use solver::{ImplicitSolver, Method, SolveError, SolverOptions, TransientState};

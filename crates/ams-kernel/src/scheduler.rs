@@ -13,6 +13,24 @@ use crate::solver::SolveError;
 use crate::time::SimTime;
 use std::any::Any;
 
+/// Static port metadata an [`AnalogBlock`] can expose so the pre-simulation
+/// rule checker (`crates/lint`) can reason about the scheduler graph without
+/// running it: which digital signals the block reads and forces, and whether
+/// it carries continuous state (a stateful block legitimately breaks a
+/// combinational feedback loop; a stateless one does not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPortInfo {
+    /// Human-readable block label for diagnostics.
+    pub name: String,
+    /// Digital signals sampled by [`AnalogBlock::sample_inputs`].
+    pub inputs: Vec<SignalId>,
+    /// Digital signals forced by [`AnalogBlock::publish`].
+    pub outputs: Vec<SignalId>,
+    /// True when the block integrates internal state between steps
+    /// (its outputs at `t` do not combinationally depend on inputs at `t`).
+    pub has_state: bool,
+}
+
 /// A continuous-time block participating in mixed-signal lock-step.
 ///
 /// Implementations typically wrap an [`AnalogModel`](crate::analog::AnalogModel)
@@ -40,6 +58,12 @@ pub trait AnalogBlock {
 
     /// Mutable upcast.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Static port metadata for rule checking. Blocks that cannot describe
+    /// themselves return `None` and are skipped by graph-level lints.
+    fn port_info(&self) -> Option<BlockPortInfo> {
+        None
+    }
 }
 
 /// Handle to an analog block inside a [`MixedSimulator`].
@@ -144,6 +168,12 @@ impl MixedSimulator {
         self.blocks
             .get_mut(id.0)
             .and_then(|b| b.as_any_mut().downcast_mut())
+    }
+
+    /// Port metadata of every registered block, in registration order.
+    /// Blocks without self-description yield `None`.
+    pub fn block_info(&self) -> Vec<Option<BlockPortInfo>> {
+        self.blocks.iter().map(|b| b.port_info()).collect()
     }
 
     /// Advances the co-simulation to `stop` in lock-step.
@@ -277,12 +307,45 @@ impl<M: crate::analog::AnalogModel + 'static> AnalogBlock for OdeBlock<M> {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn port_info(&self) -> Option<BlockPortInfo> {
+        Some(BlockPortInfo {
+            name: format!("ode:{}", std::any::type_name::<M>()),
+            inputs: self.input_signals.clone(),
+            outputs: self.outputs.iter().map(|&(sig, _)| sig).collect(),
+            // An ODE block always integrates: outputs come from `state.x`,
+            // never combinationally from this step's inputs.
+            has_state: !self.state.x.is_empty(),
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::analog::{FirstOrderLag, IdealGatedIntegrator};
+
+    #[test]
+    fn ode_block_describes_its_ports() {
+        let mut ms = MixedSimulator::new(SimTime::from_ns(1));
+        let u = ms.digital.add_signal("u", 0.0f64);
+        let y = ms.digital.add_signal("y", 0.0f64);
+        ms.add_block(Box::new(OdeBlock::new(
+            FirstOrderLag {
+                tau: 1e-9,
+                gain: 1.0,
+            },
+            vec![u],
+            vec![(y, 0)],
+        )));
+        let info = ms.block_info();
+        assert_eq!(info.len(), 1);
+        let info = info[0].as_ref().expect("ode blocks self-describe");
+        assert_eq!(info.inputs, vec![u]);
+        assert_eq!(info.outputs, vec![y]);
+        assert!(info.has_state);
+        assert!(info.name.starts_with("ode:"));
+    }
 
     #[test]
     fn lockstep_integrator_tracks_digital_gate() {

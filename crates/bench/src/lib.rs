@@ -1,5 +1,8 @@
 //! Shared helpers for the benchmark harness (see `benches/`).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::path::PathBuf;
 
 /// Canonical output directory for regenerated tables/figures:

@@ -1,0 +1,304 @@
+//! Pre-simulation ERC gate: every flow phase is statically checked before
+//! any solver runs.
+//!
+//! The paper's methodology leans on catching topology mistakes *early* —
+//! a voltage-source loop that would surface as an opaque
+//! `SingularMatrixError` three phases later is cheap to reject while the
+//! design is still a netlist. This module wires the [`lint`] analyzer into
+//! [`TopDownFlow`](crate::flow::TopDownFlow):
+//!
+//! * [`ErcConfig`] — gate policy: enabled/disabled and the severity that
+//!   denies a run (the `--no-erc` escape hatch maps to [`ErcConfig::disabled`]),
+//! * [`FlowError`] — the flow's error type, carrying either a full ERC
+//!   [`Report`] or the downstream [`ReceiveError`],
+//! * [`phase_block_graph`] — the architectural partition of the paper's
+//!   receiver (Figure 3) as a lintable [`BlockGraph`],
+//! * [`phase_report`] — the checks a given phase must pass,
+//! * [`checked_transient`] — lint-then-simulate for ad-hoc circuits.
+
+use crate::flow::Phase;
+use lint::{lint_circuit, BlockGraph, PortKind, Report, Severity};
+use spice::circuit::Circuit;
+use spice::tran::{TranOptions, TransientSimulator};
+use uwb_txrx::receiver::ReceiveError;
+
+/// Policy for the pre-simulation ERC gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErcConfig {
+    /// Run the checks at all. `false` is the `--no-erc` escape hatch.
+    pub enabled: bool,
+    /// Findings at or above this severity deny the run.
+    pub deny: Severity,
+}
+
+impl Default for ErcConfig {
+    fn default() -> Self {
+        ErcConfig {
+            enabled: true,
+            deny: Severity::Error,
+        }
+    }
+}
+
+impl ErcConfig {
+    /// The `--no-erc` escape hatch: checks are skipped entirely.
+    pub fn disabled() -> Self {
+        ErcConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// A stricter gate that also denies on warnings.
+    pub fn deny_warnings() -> Self {
+        ErcConfig {
+            enabled: true,
+            deny: Severity::Warning,
+        }
+    }
+
+    /// Parses command-line style arguments, consuming the flags this gate
+    /// understands (`--no-erc`, `--erc-strict`) and returning the rest.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> (Self, Vec<String>) {
+        let mut cfg = ErcConfig::default();
+        let rest = args
+            .into_iter()
+            .filter(|a| match a.as_str() {
+                "--no-erc" => {
+                    cfg.enabled = false;
+                    false
+                }
+                "--erc-strict" => {
+                    cfg.deny = Severity::Warning;
+                    false
+                }
+                _ => true,
+            })
+            .collect();
+        (cfg, rest)
+    }
+
+    /// Applies the policy to a finished report: `Err` when the gate denies.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Erc`] when enabled and any finding reaches the deny
+    /// severity.
+    pub fn gate(&self, phase: Phase, report: Report) -> Result<Report, FlowError> {
+        if self.enabled && report.worst().is_some_and(|w| w >= self.deny) {
+            Err(FlowError::Erc { phase, report })
+        } else {
+            Ok(report)
+        }
+    }
+}
+
+/// Why a flow phase did not produce a report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The static ERC gate denied the phase before any solver ran.
+    Erc {
+        /// The phase that was denied.
+        phase: Phase,
+        /// The full diagnostic report (render it for the user).
+        report: Report,
+    },
+    /// The phase ran and reception failed downstream.
+    Receive(ReceiveError),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Erc { phase, report } => {
+                write!(f, "{phase} denied by ERC gate:\n{}", report.render())
+            }
+            FlowError::Receive(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Erc { .. } => None,
+            FlowError::Receive(e) => Some(e),
+        }
+    }
+}
+
+impl From<ReceiveError> for FlowError {
+    fn from(e: ReceiveError) -> Self {
+        FlowError::Receive(e)
+    }
+}
+
+/// The architectural partition the paper's Phases II–IV all share (the
+/// receiver side of Figure 3), as a lintable block graph: LNA → squarer →
+/// Integrate & Dump → ADC → synchroniser, with the sync closing the dump
+/// control loop through the stateful I&D.
+pub fn phase_block_graph(phase: Phase) -> BlockGraph {
+    BlockGraph::new(format!("{phase} receiver partition"))
+        .block(
+            "lna",
+            vec![("rf_in", PortKind::Voltage)],
+            vec![("rf_amp", PortKind::Voltage)],
+            false,
+        )
+        .block(
+            "squarer",
+            vec![("rf_amp", PortKind::Voltage)],
+            vec![("i_sq", PortKind::Current)],
+            false,
+        )
+        .block(
+            "integrate_dump",
+            vec![("i_sq", PortKind::Current), ("ctl_dump", PortKind::Digital)],
+            vec![("v_int", PortKind::Voltage)],
+            true,
+        )
+        .block(
+            "adc",
+            vec![("v_int", PortKind::Voltage)],
+            vec![("code", PortKind::Digital)],
+            true,
+        )
+        .block(
+            "sync",
+            vec![("code", PortKind::Digital)],
+            vec![("ctl_dump", PortKind::Digital), ("bits", PortKind::Digital)],
+            true,
+        )
+        .external("rf_in")
+}
+
+/// Runs every static check a phase must pass, without applying any policy.
+///
+/// * **Phase I** is the unpartitioned behavioural entity — there is no
+///   structure to lint, so its report is empty.
+/// * **Phases II and IV** lint the architectural partition.
+/// * **Phase III** additionally lints the transistor-level I&D testbench
+///   netlist that will be substituted into the loop.
+pub fn phase_report(phase: Phase) -> Report {
+    let mut report = Report::new(format!("{phase} pre-simulation ERC"));
+    if phase == Phase::I {
+        return report;
+    }
+    report.extend(lint::lint_graph(&phase_block_graph(phase)));
+    if phase == Phase::III {
+        let bench = spice::library::integrate_dump_testbench(&Default::default());
+        report.extend(lint_circuit(&bench.circuit, "integrate_dump testbench"));
+    }
+    report
+}
+
+/// Convenience gate used by [`TopDownFlow`](crate::flow::TopDownFlow):
+/// runs [`phase_report`] and applies `cfg`.
+///
+/// # Errors
+///
+/// [`FlowError::Erc`] when the gate denies the phase.
+pub fn check_phase(phase: Phase, cfg: &ErcConfig) -> Result<Report, FlowError> {
+    if !cfg.enabled {
+        return Ok(Report::new(format!("{phase} (ERC skipped)")));
+    }
+    cfg.gate(phase, phase_report(phase))
+}
+
+/// Lints `circuit`, applies the gate, and only then constructs the
+/// transient simulator — the one-call "never hand a singular topology to
+/// the solver" helper.
+///
+/// # Errors
+///
+/// [`FlowError::Erc`] when the static checks deny the circuit;
+/// [`FlowError::Receive`] (wrapping the solver error) when the operating
+/// point itself fails.
+pub fn checked_transient(
+    circuit: Circuit,
+    opts: TranOptions,
+    externals: Vec<f64>,
+    cfg: &ErcConfig,
+    artefact: &str,
+) -> Result<TransientSimulator, FlowError> {
+    if cfg.enabled {
+        cfg.gate(Phase::III, lint_circuit(&circuit, artefact))?;
+    }
+    TransientSimulator::with_externals(circuit, opts, externals).map_err(|e| {
+        FlowError::Receive(ReceiveError::Integrator(
+            uwb_txrx::integrator::IntegratorError::Circuit(e),
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_graph_is_clean() {
+        for phase in [Phase::II, Phase::III, Phase::IV] {
+            let r = lint::lint_graph(&phase_block_graph(phase));
+            assert!(r.is_clean(), "{phase}: {}", r.render());
+        }
+    }
+
+    #[test]
+    fn every_phase_passes_its_own_gate() {
+        for phase in Phase::ALL {
+            let r = check_phase(phase, &ErcConfig::default()).expect("gate passes");
+            assert!(!r.has_errors(), "{}", r.render());
+        }
+    }
+
+    #[test]
+    fn disabled_gate_never_denies() {
+        let mut report = Report::new("x");
+        report.push(lint::Diagnostic::new(
+            lint::LintCode::VoltageSourceLoop,
+            "v1",
+            "synthetic",
+        ));
+        assert!(ErcConfig::disabled().gate(Phase::III, report).is_ok());
+    }
+
+    #[test]
+    fn strict_gate_denies_warnings() {
+        let mut report = Report::new("x");
+        report.push(lint::Diagnostic::new(
+            lint::LintCode::UnusedModel,
+            "nch",
+            "synthetic",
+        ));
+        assert!(ErcConfig::default().gate(Phase::II, report.clone()).is_ok());
+        assert!(matches!(
+            ErcConfig::deny_warnings().gate(Phase::II, report),
+            Err(FlowError::Erc {
+                phase: Phase::II,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn from_args_strips_flags() {
+        let (cfg, rest) =
+            ErcConfig::from_args(["--no-erc", "deck.sp", "--erc-strict"].map(String::from));
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.deny, Severity::Warning);
+        assert_eq!(rest, vec!["deck.sp".to_string()]);
+    }
+
+    #[test]
+    fn flow_error_renders_report() {
+        let mut report = Report::new("x");
+        report.push(lint::Diagnostic::new(
+            lint::LintCode::VoltageSourceLoop,
+            "v1",
+            "synthetic",
+        ));
+        let e = ErcConfig::default().gate(Phase::III, report).unwrap_err();
+        let s = e.to_string();
+        assert!(s.contains("Phase III") && s.contains("E0103"), "{s}");
+    }
+}

@@ -10,6 +10,7 @@
 //! * **Phase IV** — the detailed block re-abstracted into the calibrated
 //!   two-pole behavioural model.
 
+use crate::erc::{check_phase, ErcConfig, FlowError};
 use crate::metrics::format_duration;
 use crate::report::Table;
 use rand::Rng;
@@ -149,20 +150,36 @@ impl PhaseReport {
 pub struct TopDownFlow {
     /// The scenario.
     pub scenario: FlowScenario,
+    /// Pre-simulation ERC gate policy (on by default).
+    pub erc: ErcConfig,
 }
 
 impl TopDownFlow {
-    /// Creates the flow.
+    /// Creates the flow with the default (enabled) ERC gate.
     pub fn new(scenario: FlowScenario) -> Self {
-        TopDownFlow { scenario }
+        TopDownFlow {
+            scenario,
+            erc: ErcConfig::default(),
+        }
     }
 
-    /// Runs a single phase.
+    /// Creates the flow with the ERC gate disabled (`--no-erc`).
+    pub fn without_erc(scenario: FlowScenario) -> Self {
+        TopDownFlow {
+            scenario,
+            erc: ErcConfig::disabled(),
+        }
+    }
+
+    /// Runs a single phase, after it passes the static ERC gate.
     ///
     /// # Errors
     ///
-    /// Propagates reception/construction failures.
-    pub fn run_phase(&self, phase: Phase) -> Result<PhaseReport, ReceiveError> {
+    /// [`FlowError::Erc`] when the gate denies the phase before any solver
+    /// runs; [`FlowError::Receive`] for downstream reception/construction
+    /// failures.
+    pub fn run_phase(&self, phase: Phase) -> Result<PhaseReport, FlowError> {
+        check_phase(phase, &self.erc)?;
         let (w, t0) = self.scenario.waveform();
         let payload = &self.scenario.payload;
         let start = Instant::now();
@@ -221,7 +238,7 @@ impl TopDownFlow {
     /// # Errors
     ///
     /// Stops at the first failing phase.
-    pub fn run_all(&self) -> Result<Vec<PhaseReport>, ReceiveError> {
+    pub fn run_all(&self) -> Result<Vec<PhaseReport>, FlowError> {
         Phase::ALL.iter().map(|&p| self.run_phase(p)).collect()
     }
 
@@ -232,8 +249,10 @@ impl TopDownFlow {
     ///
     /// # Errors
     ///
-    /// Propagates characterisation and reception failures.
-    pub fn run_phase4_calibrated(&self) -> Result<PhaseReport, ReceiveError> {
+    /// [`FlowError::Erc`] when the gate denies Phase IV; otherwise
+    /// propagates characterisation and reception failures.
+    pub fn run_phase4_calibrated(&self) -> Result<PhaseReport, FlowError> {
+        check_phase(Phase::IV, &self.erc)?;
         let (_, fit) = crate::calibrate::phase4_extract(&Default::default()).map_err(|e| {
             ReceiveError::Integrator(uwb_txrx::integrator::IntegratorError::Circuit(e))
         })?;

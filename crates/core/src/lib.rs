@@ -7,6 +7,9 @@
 //!   transistor-level netlist sit inside a behavioural system),
 //! * [`flow`] — the four-phase top-down flow (behavioural entity →
 //!   architectural partition → netlist-in-the-loop → calibrated model),
+//! * [`erc`] — the pre-simulation ERC gate: every phase is statically
+//!   checked (block graph and, for Phase III, the transistor netlist)
+//!   before any solver runs, with a `--no-erc` escape hatch,
 //! * [`calibrate`] — Phase IV extraction: AC-characterise the detailed
 //!   block and fit the two-pole behavioural model,
 //! * [`metrics`] — the system-level campaigns behind the paper's
@@ -29,9 +32,11 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod erc;
 pub mod executor;
 pub mod flow;
 pub mod metrics;
@@ -40,6 +45,9 @@ pub mod report;
 pub mod substitute;
 
 pub use calibrate::{fit_two_pole, phase4_extract, TwoPoleFit};
+pub use erc::{
+    check_phase, checked_transient, phase_block_graph, phase_report, ErcConfig, FlowError,
+};
 pub use executor::{run_indexed, stream_seed, try_run_indexed, worker_threads};
 pub use flow::{FlowScenario, Phase, PhaseReport, TopDownFlow};
 pub use metrics::{BerCampaign, BerCurve, CpuTimeCampaign, CpuTimeRow, TwrRow};

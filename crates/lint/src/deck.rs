@@ -1,0 +1,128 @@
+//! Deck-level checks: parse a SPICE deck, lint the resulting circuit, and
+//! additionally validate the analysis and probe cards the netlist parser
+//! deliberately ignores.
+//!
+//! [`lint_deck`] is the one-call entry point for textual decks: it wraps
+//! [`lint_circuit`](crate::lint_circuit) and adds the `.tran`/`.ac` sanity
+//! rule ([`E0108`](crate::LintCode::InvalidAnalysisCard)) and the probe
+//! hygiene rules ([`W0109`](crate::LintCode::DuplicateProbe),
+//! [`W0110`](crate::LintCode::UnknownProbe)).
+
+use crate::{Diagnostic, LintCode, Report, SourceSpan};
+use spice::circuit::Circuit;
+use spice::deck::{parse_analyses, DeckAnalyses};
+use spice::netlist::parse_deck;
+use spice::SpiceError;
+
+/// Parses `deck` and runs every netlist- and deck-level check.
+///
+/// Returns the parsed circuit alongside the report so callers can proceed
+/// straight to simulation when the report is acceptable.
+///
+/// # Errors
+///
+/// Propagates [`SpiceError`] when the deck does not parse at all — a lint
+/// run needs a syntactically valid deck to say anything useful.
+pub fn lint_deck(deck: &str, artefact: &str) -> Result<(Circuit, Report), SpiceError> {
+    let circuit = parse_deck(deck)?;
+    let analyses = parse_analyses(deck)?;
+    let mut report = crate::lint_circuit(&circuit, artefact);
+    lint_analyses(&analyses, &circuit, artefact, &mut report);
+    Ok((circuit, report))
+}
+
+/// Checks already-parsed analysis cards against a circuit.
+pub fn lint_analyses(
+    analyses: &DeckAnalyses,
+    circuit: &Circuit,
+    artefact: &str,
+    report: &mut Report,
+) {
+    let span = SourceSpan::artefact(artefact);
+    if let Some(tran) = analyses.tran {
+        if !(tran.tstep.is_finite() && tran.tstep > 0.0) {
+            report.push(
+                Diagnostic::new(
+                    LintCode::InvalidAnalysisCard,
+                    ".tran",
+                    format!("timestep {:e} s must be positive and finite", tran.tstep),
+                )
+                .with_span(span.clone()),
+            );
+        } else if !(tran.tstop.is_finite() && tran.tstop >= tran.tstep) {
+            report.push(
+                Diagnostic::new(
+                    LintCode::InvalidAnalysisCard,
+                    ".tran",
+                    format!(
+                        "stop time {:e} s must be finite and at least one step ({:e} s)",
+                        tran.tstop, tran.tstep
+                    ),
+                )
+                .with_span(span.clone()),
+            );
+        }
+    }
+    if let Some(ac) = analyses.ac {
+        if ac.points_per_decade == 0
+            || !(ac.f_start.is_finite() && ac.f_start > 0.0)
+            || !(ac.f_stop.is_finite() && ac.f_stop >= ac.f_start)
+        {
+            report.push(
+                Diagnostic::new(
+                    LintCode::InvalidAnalysisCard,
+                    ".ac",
+                    format!(
+                        "sweep dec {} from {:e} Hz to {:e} Hz is degenerate",
+                        ac.points_per_decade, ac.f_start, ac.f_stop
+                    ),
+                )
+                .with_span(span.clone()),
+            );
+        }
+    }
+
+    let mut seen = std::collections::BTreeSet::new();
+    for name in &analyses.prints {
+        if !seen.insert(name.clone()) {
+            report.push(
+                Diagnostic::new(
+                    LintCode::DuplicateProbe,
+                    name.clone(),
+                    "printed more than once; duplicate traces shadow each other",
+                )
+                .with_span(span.clone()),
+            );
+        }
+        if circuit.find_node(name).is_none() {
+            report.push(
+                Diagnostic::new(
+                    LintCode::UnknownProbe,
+                    name.clone(),
+                    "print card names a node the deck never defines",
+                )
+                .with_span(span.clone()),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_deck_with_cards_is_clean() {
+        let (_, r) = lint_deck(
+            "V1 in 0 DC 1\nR1 in out 1k\nR2 out 0 1k\n.tran 1n 10n\n.print v(out)\n",
+            "deck",
+        )
+        .unwrap();
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn unparsable_deck_is_a_hard_error() {
+        assert!(lint_deck("Q1 a b c weird\n", "deck").is_err());
+    }
+}

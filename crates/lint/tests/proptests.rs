@@ -1,0 +1,146 @@
+//! Property test (opt-in, `--features proptests`): any randomly generated
+//! linear deck that passes the singular-topology checks (`E0103`
+//! voltage-source loops, `E0104` current-source cutsets) *and* has a DC
+//! path to ground everywhere (no `W0102`) must never return
+//! `SingularMatrixError` at the DC operating point.
+//!
+//! This is the contract that lets the flow executor treat a clean ERC
+//! report as a go/no-go: the only structurally singular DC topologies a
+//! linear R/C/L/V/I netlist can express are voltage-branch loops (duplicate
+//! MNA branch rows — gmin cannot save those), and the analyzer claims to
+//! find all of them statically.
+//!
+//! `W0102` joins the filter because it marks *numerically* singular cases,
+//! not just ill-conditioned ones: a multi-node island coupled internally by
+//! large conductances but tied to ground only through capacitors produces a
+//! Schur complement of ~2·gmin after the first elimination, and the
+//! cancellation `g + gmin → g` in f64 rounds that pivot to exactly zero
+//! when g/gmin exceeds 1/ε. A *single* floating node survives (its diagonal
+//! is gmin alone), which is why W0102 stays a warning rather than an error.
+//!
+//! The generator is a deterministic xorshift so failures replay by seed —
+//! no external proptest crate (the build environment is offline).
+#![cfg(feature = "proptests")]
+
+use lint::{lint_circuit, LintCode};
+use spice::circuit::{Circuit, NodeId, SourceWave};
+use spice::dcop::dcop;
+use spice::SpiceError;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Log-uniform positive value across typical component decades.
+    fn value(&mut self) -> f64 {
+        let exp = self.below(13) as i32 - 9; // 1e-9 ..= 1e3
+        let mant = 1.0 + (self.below(90) as f64) / 10.0; // 1.0 ..= 9.9
+        mant * 10f64.powi(exp)
+    }
+}
+
+fn random_circuit(rng: &mut XorShift) -> Circuit {
+    let mut c = Circuit::new();
+    let n_nodes = 2 + rng.below(4) as usize; // ground + 1..=4 internal
+    let nodes: Vec<NodeId> = (1..n_nodes).map(|i| c.node(&format!("n{i}"))).collect();
+    let pick = |rng: &mut XorShift, nodes: &[NodeId]| -> NodeId {
+        let k = rng.below(nodes.len() as u64 + 1) as usize;
+        if k == nodes.len() {
+            Circuit::gnd()
+        } else {
+            nodes[k]
+        }
+    };
+    let n_elems = 1 + rng.below(8) as usize;
+    for i in 0..n_elems {
+        let p = pick(rng, &nodes);
+        let n = pick(rng, &nodes);
+        match rng.below(5) {
+            0 => c.resistor(&format!("R{i}"), p, n, rng.value()),
+            1 => c.capacitor(&format!("C{i}"), p, n, rng.value()),
+            2 => c.inductor(&format!("L{i}"), p, n, rng.value()),
+            3 => c.vsource(
+                &format!("V{i}"),
+                p,
+                n,
+                SourceWave::Dc((rng.below(37) as f64) / 10.0 - 1.8),
+            ),
+            _ => c.isource(
+                &format!("I{i}"),
+                p,
+                n,
+                SourceWave::Dc((rng.below(21) as f64 - 10.0) * 1e-4),
+            ),
+        }
+    }
+    c
+}
+
+#[test]
+fn decks_passing_singular_topology_checks_never_singular_at_dc() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    let mut passed = 0usize;
+    let mut rejected = 0usize;
+    for case in 0..2000 {
+        let seed = rng.0;
+        let ckt = random_circuit(&mut rng);
+        let report = lint_circuit(&ckt, "prop");
+        if report.has(LintCode::VoltageSourceLoop)
+            || report.has(LintCode::CurrentSourceCutset)
+            || report.has(LintCode::NoDcPathToGround)
+        {
+            rejected += 1;
+            continue;
+        }
+        passed += 1;
+        match dcop(&ckt) {
+            Ok(_) => {}
+            Err(SpiceError::Singular { order, pivot, .. }) => panic!(
+                "case {case} (seed {seed:#x}): ERC-clean deck hit a singular matrix \
+                 (order {order}, pivot {pivot}):\n{}\n{}",
+                spice::netlist::write_deck(&ckt),
+                report.render()
+            ),
+            // Non-singular failures (if any) are outside this property.
+            Err(_) => {}
+        }
+    }
+    // The generator must exercise both sides of the filter.
+    assert!(passed > 200, "only {passed} clean cases generated");
+    assert!(
+        rejected > 100,
+        "only {rejected} singular-topology cases generated"
+    );
+}
+
+#[test]
+fn voltage_loops_found_by_lint_do_fail_dc() {
+    // Converse spot-check: the detector is not crying wolf — a deck it
+    // rejects for a V-loop with *inconsistent* values really is singular.
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    c.vsource("V1", a, Circuit::gnd(), SourceWave::Dc(1.0));
+    c.vsource("V2", a, Circuit::gnd(), SourceWave::Dc(2.0));
+    c.resistor("R1", a, Circuit::gnd(), 1e3);
+    assert!(lint_circuit(&c, "prop").has(LintCode::VoltageSourceLoop));
+    // The raw MNA system is singular; dcop's gmin/source-stepping homotopy
+    // may surface that as `Singular` or as a NaN-diverging Newton loop
+    // (`DcopDiverged`) — either way the solve must fail, which is exactly
+    // the failure mode the static E0103 check exists to pre-empt.
+    match dcop(&c) {
+        Err(SpiceError::Singular { .. }) | Err(SpiceError::DcopDiverged { .. }) => {}
+        other => panic!("parallel sources of different value must fail at DC, got {other:?}"),
+    }
+}

@@ -1,0 +1,119 @@
+//! Shared diagnostic primitives: severities and source spans.
+//!
+//! The static-analysis layer (`crates/lint`) and both simulation engines
+//! attach findings to *somewhere* — a deck line, a named device, a block
+//! port. This module owns the two vocabulary types every layer agrees on:
+//! [`Severity`] orders findings, [`SourceSpan`] points back into the
+//! artefact they came from. Keeping them here (rather than in the lint
+//! crate) lets low-level engines annotate their own errors without a
+//! dependency on the analyzer.
+
+use std::fmt;
+
+/// How serious a diagnostic finding is.
+///
+/// Ordered so `Error > Warning > Info` — `report.worst()` style queries
+/// can use `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: worth surfacing, never blocks anything.
+    Info,
+    /// Suspicious but simulatable; a deny-list may promote it.
+    Warning,
+    /// Provably broken (or nonphysical): simulation would fail or lie.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in rendered reports (`error`, `warning`, `info`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Where in a source artefact a diagnostic points.
+///
+/// Both fields are optional: circuits built through the API have no deck
+/// line, and synthetic artefacts (a block graph assembled in code) have no
+/// file-like name at all.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SourceSpan {
+    /// The artefact's name: a deck title, a graph name, a bench label.
+    pub artefact: Option<String>,
+    /// 1-based line number in a textual source, when one exists.
+    pub line: Option<usize>,
+}
+
+impl SourceSpan {
+    /// A span with neither artefact nor line — "somewhere in the input".
+    pub const UNKNOWN: SourceSpan = SourceSpan {
+        artefact: None,
+        line: None,
+    };
+
+    /// Span pointing at a line of a named artefact.
+    pub fn line_of(artefact: impl Into<String>, line: usize) -> Self {
+        SourceSpan {
+            artefact: Some(artefact.into()),
+            line: Some(line),
+        }
+    }
+
+    /// Span naming an artefact without a line (API-built structures).
+    pub fn artefact(name: impl Into<String>) -> Self {
+        SourceSpan {
+            artefact: Some(name.into()),
+            line: None,
+        }
+    }
+
+    /// Span with only a line number (anonymous deck text).
+    pub fn line(line: usize) -> Self {
+        SourceSpan {
+            artefact: None,
+            line: Some(line),
+        }
+    }
+}
+
+impl fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.artefact, self.line) {
+            (Some(a), Some(l)) => write!(f, "{a}:{l}"),
+            (Some(a), None) => f.write_str(a),
+            (None, Some(l)) => write!(f, "line {l}"),
+            (None, None) => f.write_str("<unknown>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::Error.max(Severity::Info), Severity::Error);
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+
+    #[test]
+    fn span_renders_every_shape() {
+        assert_eq!(SourceSpan::line_of("deck.cir", 7).to_string(), "deck.cir:7");
+        assert_eq!(SourceSpan::artefact("bench").to_string(), "bench");
+        assert_eq!(SourceSpan::line(3).to_string(), "line 3");
+        assert_eq!(SourceSpan::UNKNOWN.to_string(), "<unknown>");
+    }
+}

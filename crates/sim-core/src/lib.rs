@@ -14,20 +14,25 @@
 //! * [`perf`] — [`PerfCounters`]: steps, Newton iterations, LU
 //!   factorizations vs cached reuses, wall time,
 //! * [`time`] — [`SimTime`], the femtosecond-resolution instant/duration,
-//! * [`trace`] — [`Probe`] waveform recording and VCD/CSV export.
+//! * [`trace`] — [`Probe`] waveform recording and VCD/CSV export,
+//! * [`diag`] — [`Severity`] and [`SourceSpan`], the diagnostic vocabulary
+//!   shared with the static-analysis layer (`crates/lint`).
 //!
 //! The LU elimination here is the single implementation in the workspace;
 //! both engines consume it and their solutions are bit-identical to the
 //! pre-consolidation ones (see the workspace `golden_kernel` tests).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod diag;
 pub mod linalg;
 pub mod perf;
 pub mod time;
 pub mod trace;
 
+pub use diag::{Severity, SourceSpan};
 pub use linalg::{CMatrix, DMatrix, LuFactors, Matrix, SingularMatrixError};
 pub use perf::PerfCounters;
 pub use time::SimTime;

@@ -376,7 +376,7 @@ impl Circuit {
         self.models.iter().position(|(n, _)| *n == key)
     }
 
-    fn push(&mut self, name: &str, e: Element) {
+    pub(crate) fn push(&mut self, name: &str, e: Element) {
         let key = name.to_ascii_lowercase();
         self.element_lookup.insert(key.clone(), self.elements.len());
         self.elements.push((key, e));

@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -49,6 +50,7 @@ pub mod library;
 pub mod mna;
 pub mod mosfet;
 pub mod netlist;
+pub mod topology;
 pub mod tran;
 
 // The numeric substrate (dense matrices, LU with cached-factor reuse) and
@@ -64,4 +66,5 @@ pub use deck::run_deck;
 pub use error::SpiceError;
 pub use mosfet::{MosParams, MosType};
 pub use perf::PerfCounters;
+pub use topology::{DcCoupling, TerminalRole};
 pub use tran::{Method as TranMethod, TranOptions, TransientSimulator};

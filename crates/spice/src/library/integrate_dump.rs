@@ -378,16 +378,16 @@ mod tests {
             TransientSimulator::with_externals(tb.circuit.clone(), TranOptions::default(), ext)
                 .expect("op");
         // Differential step of 60 mV: integrate for 20 ns.
-        sim.set_external(tb.slot_inp, tb.input_cm + 0.03);
-        sim.set_external(tb.slot_inm, tb.input_cm - 0.03);
+        sim.set_external(tb.slot_inp, tb.input_cm + 0.03).unwrap();
+        sim.set_external(tb.slot_inm, tb.input_cm - 0.03).unwrap();
         for _ in 0..400 {
             sim.step(50e-12).unwrap();
         }
         let v_int = sim.voltage_diff(tb.ports.out_intp, tb.ports.out_intm);
         assert!(v_int > 0.05, "ramped up: {v_int}");
         // Hold: zero differential input, still integrating.
-        sim.set_external(tb.slot_inp, tb.input_cm);
-        sim.set_external(tb.slot_inm, tb.input_cm);
+        sim.set_external(tb.slot_inp, tb.input_cm).unwrap();
+        sim.set_external(tb.slot_inm, tb.input_cm).unwrap();
         for _ in 0..100 {
             sim.step(50e-12).unwrap();
         }
@@ -397,8 +397,8 @@ mod tests {
             "held: {v_hold} vs {v_int}"
         );
         // Dump.
-        sim.set_external(tb.slot_controlp, 0.0);
-        sim.set_external(tb.slot_controlm, 1.8);
+        sim.set_external(tb.slot_controlp, 0.0).unwrap();
+        sim.set_external(tb.slot_controlm, 1.8).unwrap();
         for _ in 0..200 {
             sim.step(50e-12).unwrap();
         }

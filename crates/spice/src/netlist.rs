@@ -248,7 +248,8 @@ pub fn parse_deck(deck: &str) -> Result<Circuit, SpiceError> {
     // First pass: model cards (so device lines can reference them).
     for (ln, text) in &lines {
         let tokens = retokenize(text);
-        if tokens[0].eq_ignore_ascii_case(".model") {
+        let Some(head) = tokens.first() else { continue };
+        if head.eq_ignore_ascii_case(".model") {
             if tokens.len() < 3 {
                 return Err(err(*ln, ".model needs a name and a type"));
             }
@@ -261,8 +262,14 @@ pub fn parse_deck(deck: &str) -> Result<Circuit, SpiceError> {
     for (ln, text) in &lines {
         let ln = *ln;
         let tokens = retokenize(text);
-        let name = tokens[0].clone();
-        let first = name.chars().next().expect("non-empty token");
+        let name = match tokens.first() {
+            Some(t) => t.clone(),
+            None => continue,
+        };
+        let first = match name.chars().next() {
+            Some(c) => c,
+            None => return Err(err(ln, "empty element name")),
+        };
         match first.to_ascii_uppercase() {
             '.' => {
                 // .model handled above; .end/.tran/.ac ignored (analyses are
@@ -553,7 +560,10 @@ pub fn write_deck(circuit: &Circuit) -> String {
                 node(*g),
                 node(*src),
                 node(*b),
-                circuit.models[*model].0
+                circuit
+                    .models
+                    .get(*model)
+                    .map_or("?unknown-model", |(n, _)| n.as_str())
             ),
         };
         let _ = writeln!(s, "{line}");

@@ -205,11 +205,24 @@ impl TransientSimulator {
     /// Sets an external (co-simulation) source value; takes effect on the
     /// next step.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `slot` was never allocated on the circuit.
-    pub fn set_external(&mut self, slot: usize, value: f64) {
-        self.externals[slot] = value;
+    /// Returns [`SpiceError::InvalidParameter`] if `slot` was never
+    /// allocated on the circuit (via [`Circuit::external_vsource`]).
+    pub fn set_external(&mut self, slot: usize, value: f64) -> Result<(), SpiceError> {
+        match self.externals.get_mut(slot) {
+            Some(v) => {
+                *v = value;
+                Ok(())
+            }
+            None => Err(SpiceError::InvalidParameter {
+                element: "external source".into(),
+                message: format!(
+                    "slot {slot} was never allocated (circuit has {} external slots)",
+                    self.externals.len()
+                ),
+            }),
+        }
     }
 
     /// The circuit being simulated.
@@ -406,9 +419,13 @@ mod tests {
         c.resistor("R2", b, Circuit::gnd(), 1e3);
         let mut sim = TransientSimulator::new(c, TranOptions::default()).unwrap();
         assert_eq!(sim.voltage(b), 0.0);
-        sim.set_external(slot, 2.0);
+        sim.set_external(slot, 2.0).unwrap();
         sim.step(1e-9).unwrap();
         assert!((sim.voltage(b) - 1.0).abs() < 1e-9);
+        assert!(
+            sim.set_external(99, 1.0).is_err(),
+            "unallocated slot is a reported error, not a panic"
+        );
     }
 
     #[test]

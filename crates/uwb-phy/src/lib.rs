@@ -24,6 +24,7 @@
 //! assert!(rx.energy() < tx.energy()); // path loss
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

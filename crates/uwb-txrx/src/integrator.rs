@@ -296,19 +296,25 @@ impl IntegratorBlock for CircuitIntegrator {
     fn set_control(&mut self, integrate: bool) {
         self.integrate = integrate;
         let vdd = 1.8;
-        if integrate {
-            self.sim.set_external(self.bench.slot_controlp, vdd);
-            self.sim.set_external(self.bench.slot_controlm, 0.0);
-        } else {
-            self.sim.set_external(self.bench.slot_controlp, 0.0);
-            self.sim.set_external(self.bench.slot_controlm, vdd);
-        }
+        // The testbench constructor allocated these slots itself, so the
+        // writes cannot fail.
+        let (vp, vm) = if integrate { (vdd, 0.0) } else { (0.0, vdd) };
+        self.sim
+            .set_external(self.bench.slot_controlp, vp)
+            .expect("testbench control slot");
+        self.sim
+            .set_external(self.bench.slot_controlm, vm)
+            .expect("testbench control slot");
     }
 
     fn step(&mut self, dt: f64, vin: f64) -> Result<f64, IntegratorError> {
         let cm = self.bench.input_cm;
-        self.sim.set_external(self.bench.slot_inp, cm + 0.5 * vin);
-        self.sim.set_external(self.bench.slot_inm, cm - 0.5 * vin);
+        self.sim
+            .set_external(self.bench.slot_inp, cm + 0.5 * vin)
+            .expect("testbench input slot");
+        self.sim
+            .set_external(self.bench.slot_inm, cm - 0.5 * vin)
+            .expect("testbench input slot");
         self.sim.step(dt)?;
         Ok(self.output())
     }

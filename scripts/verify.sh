@@ -11,6 +11,12 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== lint property tests (opt-in feature) =="
+cargo test -q -p lint --features proptests
+
+echo "== ERC self-check (library cells + flow partitions) =="
+cargo run --release --quiet --example erc_check -- --self-check
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -76,8 +76,8 @@ impl AnalogBlock for SpiceRcBlock {
     }
 
     fn step(&mut self, _t0: SimTime, dt: SimTime) -> Result<(), SolveError> {
-        self.sim.set_external(self.slot_vin, self.vin);
-        self.sim.set_external(self.slot_sel, self.sel);
+        self.sim.set_external(self.slot_vin, self.vin).unwrap();
+        self.sim.set_external(self.slot_sel, self.sel).unwrap();
         self.sim
             .step(dt.as_secs_f64())
             .map_err(|_| SolveError::NewtonDiverged {

@@ -1,0 +1,97 @@
+//! Regression: the pre-simulation ERC gate must reject a singular
+//! topology *before* the transient solver runs, so no
+//! `SpiceError::Singular` ever reaches the caller through the flow.
+
+use spice::circuit::{Circuit, SourceWave};
+use spice::library::integrate_dump_testbench;
+use spice::tran::TranOptions;
+use uwb_ams_core::erc::{checked_transient, ErcConfig, FlowError};
+use uwb_ams_core::flow::Phase;
+use uwb_ams_core::{check_phase, phase_report};
+
+/// The paper's Phase III testbench with the classic injected mistake: a
+/// second supply in parallel with VDD at a different voltage — a
+/// voltage-source loop, structurally singular at DC.
+fn doctored_bench() -> (Circuit, Vec<f64>) {
+    let bench = integrate_dump_testbench(&Default::default());
+    let mut circuit = bench.circuit;
+    let externals = vec![0.0; circuit.num_externals];
+    circuit.vsource("VDD2", bench.ports.vdd, Circuit::gnd(), SourceWave::Dc(1.5));
+    (circuit, externals)
+}
+
+#[test]
+fn injected_voltage_loop_is_denied_before_the_solver_runs() {
+    let (circuit, externals) = doctored_bench();
+    let err = checked_transient(
+        circuit,
+        TranOptions::default(),
+        externals,
+        &ErcConfig::default(),
+        "doctored I&D bench",
+    )
+    .expect_err("the gate must deny the doctored bench");
+
+    // The denial is a structured ERC report naming the offending element —
+    // not a numeric failure from three layers down.
+    match err {
+        FlowError::Erc { phase, report } => {
+            assert_eq!(phase, Phase::III);
+            assert!(
+                report.has(lint::LintCode::VoltageSourceLoop),
+                "{}",
+                report.render()
+            );
+            assert!(
+                report.render().contains("vdd2"),
+                "the closing branch is named: {}",
+                report.render()
+            );
+        }
+        FlowError::Receive(e) => panic!("solver error leaked past the gate: {e}"),
+    }
+}
+
+#[test]
+fn without_the_gate_the_same_deck_fails_inside_the_solver() {
+    // The counterfactual that justifies the gate's existence: bypassing it
+    // hands the singular topology straight to the DC solve, which fails
+    // with an opaque numeric error instead of a diagnostic.
+    let (circuit, externals) = doctored_bench();
+    let err = checked_transient(
+        circuit,
+        TranOptions::default(),
+        externals,
+        &ErcConfig::disabled(),
+        "doctored I&D bench",
+    )
+    .expect_err("a singular topology cannot have an operating point");
+    assert!(
+        matches!(err, FlowError::Receive(_)),
+        "with --no-erc the failure comes from the solver: {err}"
+    );
+}
+
+#[test]
+fn clean_bench_passes_the_gate_and_solves() {
+    let bench = integrate_dump_testbench(&Default::default());
+    let externals = vec![0.0; bench.circuit.num_externals];
+    let sim = checked_transient(
+        bench.circuit,
+        TranOptions::default(),
+        externals,
+        &ErcConfig::default(),
+        "I&D bench",
+    )
+    .expect("the shipped testbench is ERC-clean and solvable");
+    assert!(sim.time() >= 0.0);
+}
+
+#[test]
+fn all_flow_phases_pass_their_static_checks() {
+    for phase in Phase::ALL {
+        let report = phase_report(phase);
+        assert!(!report.has_errors(), "{phase}: {}", report.render());
+        check_phase(phase, &ErcConfig::default()).expect("gate passes");
+    }
+}
