@@ -62,6 +62,8 @@ pub use perf::PerfCounters;
 pub use scheduler::{AnalogBlock, BlockPortInfo, MixedSimulator, OdeBlock};
 pub use signal::{SignalId, Value};
 pub use sim::{ProcessCtx, ProcessId, Simulator};
+pub use sim_core::faultinject::{FaultKind, FaultSchedule, FaultSpec};
+pub use sim_core::rescue::{RescueAttempt, RescueReport, RescueRung};
 pub use solver::{ImplicitSolver, Method, SolveError, SolverOptions, TransientState};
 pub use time::SimTime;
 pub use trace::Probe;

@@ -11,7 +11,14 @@ use crate::signal::{SignalId, Value};
 use crate::sim::Simulator;
 use crate::solver::SolveError;
 use crate::time::SimTime;
+use sim_core::faultinject::{FaultKind, FaultSchedule};
+use sim_core::rescue::{RescueReport, RescueRung};
 use std::any::Any;
+
+/// Rail the [`FaultKind::SaturateOutput`] injector clamps published block
+/// outputs to, V. Deliberately well inside normal signal ranges so a
+/// saturation event is observable in tests.
+pub const FAULT_SATURATION_RAIL: f64 = 1.0;
 
 /// Static port metadata an [`AnalogBlock`] can expose so the pre-simulation
 /// rule checker (`crates/lint`) can reason about the scheduler graph without
@@ -105,6 +112,15 @@ pub struct MixedSimulator {
     now: SimTime,
     /// Total analog steps taken across all blocks (CPU-cost proxy).
     analog_steps: u64,
+    /// Lock-step iterations completed (the fault-injection step key).
+    macro_steps: u64,
+    /// Maximum timestep-cut recursion on a failing block step; 0 turns the
+    /// rescue ladder off and restores legacy fail-fast behaviour.
+    rescue_depth: usize,
+    /// Transcript of every rescue attempt.
+    rescue_report: RescueReport,
+    /// Armed deterministic fault schedule, if any.
+    faults: Option<FaultSchedule>,
 }
 
 impl std::fmt::Debug for MixedSimulator {
@@ -114,6 +130,7 @@ impl std::fmt::Debug for MixedSimulator {
             .field("dt", &self.dt)
             .field("blocks", &self.blocks.len())
             .field("analog_steps", &self.analog_steps)
+            .field("rescue_depth", &self.rescue_depth)
             .finish()
     }
 }
@@ -132,7 +149,35 @@ impl MixedSimulator {
             dt,
             now: SimTime::ZERO,
             analog_steps: 0,
+            macro_steps: 0,
+            rescue_depth: 3,
+            rescue_report: RescueReport::new(),
+            faults: None,
         }
+    }
+
+    /// Sets the maximum timestep-cut recursion used when a block step
+    /// fails. `0` disables the rescue ladder (legacy fail-fast).
+    pub fn set_rescue_depth(&mut self, depth: usize) {
+        self.rescue_depth = depth;
+    }
+
+    /// Transcript of every rescue attempt so far.
+    pub fn rescue_report(&self) -> &RescueReport {
+        &self.rescue_report
+    }
+
+    /// Arms a deterministic fault schedule keyed on lock-step iteration
+    /// indices. Scheduler-level kinds ([`FaultKind::SaturateOutput`],
+    /// [`FaultKind::StallEvent`]) and solver-level
+    /// [`FaultKind::NewtonDivergence`] are consumed here.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = Some(schedule);
+    }
+
+    /// The armed fault schedule, if any (to inspect fired counts).
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
     }
 
     /// Current lock-step time.
@@ -178,32 +223,127 @@ impl MixedSimulator {
 
     /// Advances the co-simulation to `stop` in lock-step.
     ///
+    /// A failing block step is retried on halved sub-steps up to
+    /// `rescue_depth` cuts (each recorded in the [`RescueReport`]) before
+    /// the failure is propagated.
+    ///
     /// # Errors
     ///
-    /// Stops at the first analog solver failure.
+    /// Stops at the first analog solver failure the rescue ladder cannot
+    /// absorb.
     pub fn run_until(&mut self, stop: SimTime) -> Result<(), SolveError> {
         while self.now < stop {
             let dt = self.dt.min(stop - self.now);
+            let injected = self.take_injected_fault();
             // 1. Digital catches up to the step start (events, delta cycles).
             self.digital.run_until(self.now);
             // 2. Analog blocks sample the settled digital state...
             for b in &mut self.blocks {
                 b.sample_inputs(&self.digital);
             }
-            // 3. ...advance...
-            for b in &mut self.blocks {
-                b.step(self.now, dt)?;
-                self.analog_steps += 1;
+            // 3. ...advance, with the rescue ladder absorbing failures...
+            let force_divergence = injected == Some(FaultKind::NewtonDivergence);
+            let now = self.now;
+            for i in 0..self.blocks.len() {
+                // Injection poisons only the first block's top-level
+                // attempt; the rescue retries see a healthy solver.
+                let poisoned = force_divergence && i == 0;
+                self.block_step_rescued(i, now, dt, poisoned)?;
             }
             self.now += dt;
-            // 4. ...and publish at the step end.
-            self.digital.run_until(self.now);
+            // 4. ...and publish at the step end. A stalled scheduler event
+            // defers the settle to the next lock-step iteration.
+            if injected != Some(FaultKind::StallEvent) {
+                self.digital.run_until(self.now);
+            }
             for b in &self.blocks {
                 b.publish(&mut self.digital);
             }
+            if injected == Some(FaultKind::SaturateOutput) {
+                self.saturate_block_outputs();
+            }
+            self.macro_steps += 1;
         }
         self.digital.run_until(stop);
         Ok(())
+    }
+
+    /// Steps block `i` over `[t0, t0 + dt]`, recursively halving on
+    /// failure up to `rescue_depth` cuts.
+    fn block_step_rescued(
+        &mut self,
+        i: usize,
+        t0: SimTime,
+        dt: SimTime,
+        poisoned: bool,
+    ) -> Result<(), SolveError> {
+        self.block_step_inner(i, t0, dt, self.rescue_depth, poisoned)
+    }
+
+    fn block_step_inner(
+        &mut self,
+        i: usize,
+        t0: SimTime,
+        dt: SimTime,
+        depth: usize,
+        poisoned: bool,
+    ) -> Result<(), SolveError> {
+        let result = if poisoned {
+            Err(SolveError::NewtonDiverged {
+                t: t0.as_secs_f64(),
+                residual: f64::INFINITY,
+            })
+        } else {
+            self.analog_steps += 1;
+            self.blocks[i].step(t0, dt)
+        };
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) if depth > 0 && dt > SimTime::from_fs(1) => {
+                let idx = self.rescue_report.record(
+                    RescueRung::TimestepCut,
+                    t0.as_secs_f64(),
+                    format!("block {i}: {dt} -> {} after: {e}", dt / 2),
+                );
+                let half = dt / 2;
+                self.block_step_inner(i, t0, half, depth - 1, false)?;
+                let out = self.block_step_inner(i, t0 + half, dt - half, depth - 1, false);
+                if out.is_ok() {
+                    self.rescue_report.mark_success(idx);
+                }
+                out
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes a fault armed for the current lock-step iteration.
+    fn take_injected_fault(&mut self) -> Option<FaultKind> {
+        let step = self.macro_steps;
+        self.faults.as_mut()?.take_matching(step, |k| {
+            matches!(
+                k,
+                FaultKind::NewtonDivergence | FaultKind::SaturateOutput | FaultKind::StallEvent
+            )
+        })
+    }
+
+    /// Clamps every self-describing block's published `Real` outputs to
+    /// `±`[`FAULT_SATURATION_RAIL`].
+    fn saturate_block_outputs(&mut self) {
+        let outputs: Vec<SignalId> = self
+            .blocks
+            .iter()
+            .filter_map(|b| b.port_info())
+            .flat_map(|info| info.outputs)
+            .collect();
+        for sig in outputs {
+            let v = self.digital.read(sig).as_real();
+            self.digital.force(
+                sig,
+                Value::Real(v.clamp(-FAULT_SATURATION_RAIL, FAULT_SATURATION_RAIL)),
+            );
+        }
     }
 }
 
@@ -440,6 +580,119 @@ mod tests {
         )));
         ms.run_until(SimTime::from_ns(10)).unwrap();
         assert_eq!(ms.now(), SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn injected_divergence_is_rescued_by_halved_block_steps() {
+        let mut ms = MixedSimulator::new(SimTime::from_ns(1));
+        let u = ms.digital.add_signal("u", 1.0f64);
+        let y = ms.digital.add_signal("y", 0.0f64);
+        ms.add_block(Box::new(OdeBlock::new(
+            FirstOrderLag {
+                tau: 50e-9,
+                gain: 1.0,
+            },
+            vec![u],
+            vec![(y, 0)],
+        )));
+        ms.set_fault_schedule(FaultSchedule::new(5).with_fault(3, FaultKind::NewtonDivergence));
+        ms.run_until(SimTime::from_ns(20)).expect("rescued");
+        assert!(ms.rescue_report().rescued(), "{}", ms.rescue_report());
+        assert!(ms.rescue_report().attempts_on(RescueRung::TimestepCut) >= 1);
+        assert_eq!(ms.fault_schedule().unwrap().fired(), 1);
+        // The run still lands at the right answer: only one 1 ns step was
+        // subdivided.
+        let expect = 1.0 - (-(20e-9) / 50e-9f64).exp();
+        let v = ms.digital.read(y).as_real();
+        assert!((v - expect).abs() < 0.01, "settling: {v} vs {expect}");
+    }
+
+    #[test]
+    fn zero_rescue_depth_propagates_injected_divergence() {
+        let mut ms = MixedSimulator::new(SimTime::from_ns(1));
+        let u = ms.digital.add_signal("u", 1.0f64);
+        let y = ms.digital.add_signal("y", 0.0f64);
+        ms.add_block(Box::new(OdeBlock::new(
+            FirstOrderLag {
+                tau: 50e-9,
+                gain: 1.0,
+            },
+            vec![u],
+            vec![(y, 0)],
+        )));
+        ms.set_rescue_depth(0);
+        ms.set_fault_schedule(FaultSchedule::new(5).with_fault(0, FaultKind::NewtonDivergence));
+        let err = ms.run_until(SimTime::from_ns(5)).unwrap_err();
+        assert!(matches!(err, SolveError::NewtonDiverged { .. }));
+        assert_eq!(ms.rescue_report().attempts(), 0);
+    }
+
+    #[test]
+    fn saturate_output_fault_clamps_published_signals() {
+        let mut ms = MixedSimulator::new(SimTime::from_ps(100));
+        let vin = ms.digital.add_signal("vin", 0.2f64);
+        let sel = ms.digital.add_signal("sel", true);
+        let hold = ms.digital.add_signal("hold", false);
+        let vout = ms.digital.add_signal("vout", 0.0f64);
+        ms.add_block(Box::new(OdeBlock::new(
+            IdealGatedIntegrator::new(1e9),
+            vec![vin, sel, hold],
+            vec![(vout, 0)],
+        )));
+        // At 50 ns the integrator is at 10 V; a saturation fault on the
+        // last iteration clamps the published value to the rail.
+        let last_step = 500 - 1;
+        ms.set_fault_schedule(
+            FaultSchedule::new(9).with_fault(last_step, FaultKind::SaturateOutput),
+        );
+        ms.run_until(SimTime::from_ns(50)).unwrap();
+        let v = ms.digital.read(vout).as_real();
+        assert!(
+            (v - FAULT_SATURATION_RAIL).abs() < 1e-12,
+            "clamped to the rail: {v}"
+        );
+        // The block's internal state is untouched — only the published
+        // digital view saturated.
+        assert_eq!(ms.fault_schedule().unwrap().fired(), 1);
+    }
+
+    #[test]
+    fn stall_event_fault_defers_the_settle_one_iteration() {
+        let mut ms = MixedSimulator::new(SimTime::from_ns(1));
+        let u = ms.digital.add_signal("u", 1.0f64);
+        let y = ms.digital.add_signal("y", 0.0f64);
+        ms.add_block(Box::new(OdeBlock::new(
+            FirstOrderLag {
+                tau: 50e-9,
+                gain: 1.0,
+            },
+            vec![u],
+            vec![(y, 0)],
+        )));
+        ms.set_fault_schedule(FaultSchedule::new(2).with_fault(1, FaultKind::StallEvent));
+        ms.run_until(SimTime::from_ns(10)).expect("stall is benign");
+        assert_eq!(ms.fault_schedule().unwrap().fired(), 1);
+        // Determinism: the same schedule on a fresh simulator reproduces
+        // the same trajectory bit for bit.
+        let run = |faulted: bool| {
+            let mut ms = MixedSimulator::new(SimTime::from_ns(1));
+            let u = ms.digital.add_signal("u", 1.0f64);
+            let y = ms.digital.add_signal("y", 0.0f64);
+            ms.add_block(Box::new(OdeBlock::new(
+                FirstOrderLag {
+                    tau: 50e-9,
+                    gain: 1.0,
+                },
+                vec![u],
+                vec![(y, 0)],
+            )));
+            if faulted {
+                ms.set_fault_schedule(FaultSchedule::new(2).with_fault(1, FaultKind::StallEvent));
+            }
+            ms.run_until(SimTime::from_ns(10)).unwrap();
+            ms.digital.read(y).as_real().to_bits()
+        };
+        assert_eq!(run(true), run(true), "same schedule, same bits");
     }
 
     #[test]

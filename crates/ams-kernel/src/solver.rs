@@ -333,8 +333,15 @@ impl ImplicitSolver {
             Ok(()) => Ok(()),
             Err(e) if max_depth == 0 => Err(e),
             Err(_) => {
+                // Every halving is a rescue attempt; it counts as a success
+                // once both half-width sub-steps cover the interval.
+                self.counters.rescue_attempts += 1;
                 self.step_adaptive(model, t, h / 2.0, max_depth - 1, u, state)?;
-                self.step_adaptive(model, t + h / 2.0, h / 2.0, max_depth - 1, u, state)
+                let out = self.step_adaptive(model, t + h / 2.0, h / 2.0, max_depth - 1, u, state);
+                if out.is_ok() {
+                    self.counters.rescue_successes += 1;
+                }
+                out
             }
         }
     }

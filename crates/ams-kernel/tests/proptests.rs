@@ -1,128 +1,211 @@
+//! Property tests (opt-in, `--features proptests`) for the kernel's
+//! invariants: `SimTime` arithmetic round-trips, LU solves of diagonally
+//! dominant systems, implicit-method stability of the first-order lag,
+//! and linearity/dump behaviour of the gated integrator.
+//!
+//! The generator is a deterministic xorshift so failures replay by seed —
+//! no external proptest crate (the build environment is offline).
 #![cfg(feature = "proptests")]
-// Gated behind the opt-in `proptests` feature: the offline build
-// environment cannot fetch the `proptest` crate. Enable with
-// `cargo test --features proptests` after vendoring proptest.
-
-//! Property-based tests for the kernel's invariants.
 
 use ams_kernel::analog::{FirstOrderLag, IdealGatedIntegrator};
 use ams_kernel::linalg::{solve, DMatrix};
 use ams_kernel::solver::{ImplicitSolver, Method, SolverOptions, TransientState};
 use ams_kernel::time::SimTime;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+struct XorShift(u64);
 
-    /// Addition/subtraction of times round-trips.
-    #[test]
-    fn time_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+}
+
+/// Addition/subtraction of times round-trips, and seconds→SimTime→seconds
+/// is tight for simulation-scale values.
+#[test]
+fn time_arithmetic_roundtrips() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..2000 {
+        let seed = rng.0;
+        let a = rng.below(u64::MAX / 4);
+        let b = rng.below(u64::MAX / 4);
         let ta = SimTime::from_fs(a);
         let tb = SimTime::from_fs(b);
-        prop_assert_eq!((ta + tb) - tb, ta);
-        prop_assert!(ta + tb >= ta.max(tb));
-    }
+        assert_eq!((ta + tb) - tb, ta, "case {case} (seed {seed:#x})");
+        assert!(ta + tb >= ta.max(tb), "case {case} (seed {seed:#x})");
 
-    /// Seconds→SimTime→seconds is tight for simulation-scale values.
-    #[test]
-    fn time_float_roundtrip(secs in 1e-12f64..1e-3) {
+        let secs = rng.range(-12.0, -3.0);
+        let secs = 10f64.powf(secs);
         let t = SimTime::from_secs_f64(secs);
         let back = t.as_secs_f64();
-        prop_assert!((back - secs).abs() <= 1e-15 + secs * 1e-12);
+        assert!(
+            (back - secs).abs() <= 1e-15 + secs * 1e-12,
+            "case {case} (seed {seed:#x}): {back} vs {secs}"
+        );
     }
+}
 
-    /// Division and remainder decompose a duration exactly.
-    #[test]
-    fn time_div_rem_decompose(total in 1u64..1_000_000_000, step in 1u64..1_000_000) {
+/// Division and remainder decompose a duration exactly.
+#[test]
+fn time_div_rem_decompose() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..2000 {
+        let seed = rng.0;
+        let total = 1 + rng.below(1_000_000_000);
+        let step = 1 + rng.below(1_000_000);
         let t = SimTime::from_fs(total);
         let s = SimTime::from_fs(step);
         let q = t / s;
         let r = t % s;
-        prop_assert_eq!(s * q + r, t);
-        prop_assert!(r < s);
+        assert_eq!(s * q + r, t, "case {case} (seed {seed:#x})");
+        assert!(r < s, "case {case} (seed {seed:#x})");
     }
+}
 
-    /// Diagonally dominant systems solve to small residuals.
-    #[test]
-    fn linalg_residual_small(
-        n in 2usize..6,
-        seed_vals in prop::collection::vec(-1.0f64..1.0, 36),
-        rhs in prop::collection::vec(-10.0f64..10.0, 6),
-    ) {
+/// Diagonally dominant systems solve to small residuals.
+#[test]
+fn linalg_residual_small() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..500 {
+        let seed = rng.0;
+        let n = 2 + rng.below(4) as usize;
         let mut a = DMatrix::zeros(n, n);
         for r in 0..n {
             let mut row_sum = 0.0;
             for c in 0..n {
                 if r != c {
-                    let v = seed_vals[r * 6 + c];
+                    let v = rng.range(-1.0, 1.0);
                     a[(r, c)] = v;
                     row_sum += v.abs();
                 }
             }
             a[(r, r)] = row_sum + 1.0; // strict dominance
         }
-        let b: Vec<f64> = rhs[..n].to_vec();
+        let b: Vec<f64> = (0..n).map(|_| rng.range(-10.0, 10.0)).collect();
         let x = solve(&a, &b).expect("dominant systems are nonsingular");
         let back = a.mul_vec(&x);
         for (bi, bb) in back.iter().zip(&b) {
-            prop_assert!((bi - bb).abs() < 1e-8, "residual {} vs {}", bi, bb);
+            assert!(
+                (bi - bb).abs() < 1e-8,
+                "case {case} (seed {seed:#x}): residual {bi} vs {bb}"
+            );
         }
     }
+}
 
-    /// The lag settles to `gain·u` regardless of step size (stability of
-    /// the implicit methods).
-    #[test]
-    fn lag_settles_for_any_step(
-        tau_exp in -8.0f64..-5.0,
-        h_rel in 0.01f64..2.0,
-        gain in 0.1f64..5.0,
-        method in prop::sample::select(vec![Method::BackwardEuler, Method::Trapezoidal]),
-    ) {
-        let tau = 10f64.powf(tau_exp);
-        let h = h_rel * tau;
+/// The lag settles to `gain·u` regardless of step size (stability of the
+/// implicit methods).
+#[test]
+fn lag_settles_for_any_step() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..200 {
+        let seed = rng.0;
+        let tau = 10f64.powf(rng.range(-8.0, -5.0));
+        let h = rng.range(0.01, 2.0) * tau;
+        let gain = rng.range(0.1, 5.0);
+        let method = if rng.below(2) == 0 {
+            Method::BackwardEuler
+        } else {
+            Method::Trapezoidal
+        };
         let model = FirstOrderLag { tau, gain };
-        let mut solver = ImplicitSolver::new(SolverOptions { method, ..Default::default() });
+        let mut solver = ImplicitSolver::new(SolverOptions {
+            method,
+            ..Default::default()
+        });
         let mut st = TransientState::from_model(&model);
         let steps = ((10.0 * tau / h).ceil() as usize).max(20);
         solver
             .run(&model, 0.0, h, steps, &mut st, |_| vec![1.0], |_, _| {})
             .expect("stable");
-        prop_assert!(
+        assert!(
             (st.x[0] - gain).abs() < 0.05 * gain,
-            "settled {} vs {}", st.x[0], gain
+            "case {case} (seed {seed:#x}): settled {} vs {gain} ({method:?})",
+            st.x[0]
         );
     }
+}
 
-    /// The gated integrator is linear in its input.
-    #[test]
-    fn integrator_linearity(vin in 0.001f64..0.2, k_exp in 6.0f64..9.0) {
-        let k = 10f64.powf(k_exp);
+/// The gated integrator is linear in its input.
+#[test]
+fn integrator_linearity() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..200 {
+        let seed = rng.0;
+        let vin = rng.range(0.001, 0.2);
+        let k = 10f64.powf(rng.range(6.0, 9.0));
         let run = |v: f64| {
             let model = IdealGatedIntegrator::new(k);
             let mut solver = ImplicitSolver::default();
             let mut st = TransientState::from_model(&model);
             solver
-                .run(&model, 0.0, 1e-10, 200, &mut st, |_| vec![v, 1.0, 0.0], |_, _| {})
+                .run(
+                    &model,
+                    0.0,
+                    1e-10,
+                    200,
+                    &mut st,
+                    |_| vec![v, 1.0, 0.0],
+                    |_, _| {},
+                )
                 .expect("run");
             st.x[0]
         };
         let y1 = run(vin);
         let y2 = run(2.0 * vin);
-        prop_assert!((y2 - 2.0 * y1).abs() < 1e-6 * y1.abs().max(1e-12));
+        assert!(
+            (y2 - 2.0 * y1).abs() < 1e-6 * y1.abs().max(1e-12),
+            "case {case} (seed {seed:#x}): {y2} vs 2×{y1}"
+        );
     }
+}
 
-    /// Dumping always drives the state to zero, from any accumulated value.
-    #[test]
-    fn dump_always_zeroes(vin in -0.5f64..0.5, n in 10usize..300) {
+/// Dumping always drives the state to zero, from any accumulated value.
+#[test]
+fn dump_always_zeroes() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..200 {
+        let seed = rng.0;
+        let vin = rng.range(-0.5, 0.5);
+        let n = 10 + rng.below(290) as usize;
         let model = IdealGatedIntegrator::new(1e8);
         let mut solver = ImplicitSolver::default();
         let mut st = TransientState::from_model(&model);
         solver
-            .run(&model, 0.0, 1e-10, n, &mut st, |_| vec![vin, 1.0, 0.0], |_, _| {})
+            .run(
+                &model,
+                0.0,
+                1e-10,
+                n,
+                &mut st,
+                |_| vec![vin, 1.0, 0.0],
+                |_, _| {},
+            )
             .expect("integrate");
         solver
             .step(&model, 0.0, 1e-10, &[vin, 0.0, 0.0], &mut st)
             .expect("dump");
-        prop_assert!(st.x[0].abs() < 1e-6);
+        assert!(
+            st.x[0].abs() < 1e-6,
+            "case {case} (seed {seed:#x}): residual {}",
+            st.x[0]
+        );
     }
 }

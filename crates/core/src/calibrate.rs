@@ -130,7 +130,7 @@ pub fn characterize_integrate_dump(
     f_stop: f64,
     points_per_decade: usize,
 ) -> Result<AcCharacterization, SpiceError> {
-    let tb = integrate_dump_testbench(params);
+    let tb = integrate_dump_testbench(params)?;
     let mut ext = vec![0.0; tb.circuit.num_externals];
     ext[tb.slot_inp] = tb.input_cm;
     ext[tb.slot_inm] = tb.input_cm;

@@ -186,7 +186,10 @@ pub fn phase_report(phase: Phase) -> Report {
     }
     report.extend(lint::lint_graph(&phase_block_graph(phase)));
     if phase == Phase::III {
-        let bench = spice::library::integrate_dump_testbench(&Default::default());
+        // The builtin parameter set is statically well-formed; a failure
+        // here would be a workspace bug, not a user input.
+        let bench = spice::library::integrate_dump_testbench(&Default::default())
+            .expect("builtin I&D testbench is well-formed");
         report.extend(lint_circuit(&bench.circuit, "integrate_dump testbench"));
     }
     report

@@ -134,6 +134,9 @@ pub struct PhaseReport {
     pub phase: Phase,
     /// Named scalar metrics.
     pub metrics: BTreeMap<String, f64>,
+    /// Non-fatal events demoted from failures — e.g. solver steps that
+    /// only completed via the convergence-rescue ladder.
+    pub warnings: Vec<String>,
     /// Wall time spent.
     pub wall: Duration,
 }
@@ -184,6 +187,7 @@ impl TopDownFlow {
         let payload = &self.scenario.payload;
         let start = Instant::now();
         let mut metrics = BTreeMap::new();
+        let mut warnings = Vec::new();
 
         match phase.fidelity() {
             None => {
@@ -224,11 +228,20 @@ impl TopDownFlow {
                     "newton_iterations".into(),
                     rx.integrator_newton_iterations() as f64,
                 );
+                let rescues = rx.integrator_rescue_events();
+                metrics.insert("rescue_events".into(), rescues as f64);
+                if rescues > 0 {
+                    warnings.push(format!(
+                        "{phase}: {rescues} solver step(s) completed only via the \
+                         convergence-rescue ladder"
+                    ));
+                }
             }
         }
         Ok(PhaseReport {
             phase,
             metrics,
+            warnings,
             wall: start.elapsed(),
         })
     }
@@ -282,6 +295,7 @@ impl TopDownFlow {
         Ok(PhaseReport {
             phase: Phase::IV,
             metrics,
+            warnings: Vec::new(),
             wall: start.elapsed(),
         })
     }

@@ -27,6 +27,11 @@ pub struct BerPoint {
     pub errors: u64,
     /// Bits simulated.
     pub bits: u64,
+    /// Solver steps at this point that only completed via the
+    /// convergence-rescue ladder. A point with `rescued > 0` finished —
+    /// the campaign demotes it to a warning instead of failing; campaigns
+    /// fail only when the ladder itself is exhausted.
+    pub rescued: u64,
 }
 
 impl BerPoint {
@@ -47,6 +52,9 @@ pub struct BerCurve {
     pub label: String,
     /// Measured points.
     pub points: Vec<BerPoint>,
+    /// One entry per rescued point: solver trouble that was absorbed by
+    /// the rescue ladder instead of failing the campaign.
+    pub warnings: Vec<String>,
 }
 
 impl BerCurve {
@@ -139,9 +147,21 @@ impl BerCampaign {
         let points = try_run_indexed(self.ebn0_db.len(), threads, |idx| {
             self.run_point(idx, &make_integrator)
         })?;
+        let warnings = points
+            .iter()
+            .filter(|p| p.rescued > 0)
+            .map(|p| {
+                format!(
+                    "{label} @ {} dB: {} solver step(s) completed only via the \
+                     convergence-rescue ladder",
+                    p.ebn0_db, p.rescued
+                )
+            })
+            .collect();
         Ok(BerCurve {
             label: label.to_string(),
             points,
+            warnings,
         })
     }
 
@@ -232,6 +252,7 @@ impl BerCampaign {
             ebn0_db: ebn0,
             errors,
             bits,
+            rescued: receiver.integrator_rescue_events(),
         })
     }
 }
@@ -636,6 +657,46 @@ mod tests {
             .run("x", || Ok(Box::new(IdealIntegrator::default())))
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn campaign_demotes_rescued_points_to_warnings() {
+        use spice::{FaultKind, FaultSchedule, RescuePolicy};
+        use uwb_txrx::integrator::CircuitIntegrator;
+        // An injected Newton divergence inside one sweep point must not fail
+        // the campaign: the rescue ladder absorbs it, the point is demoted
+        // to the warning channel and the curve still comes back complete.
+        let c = BerCampaign {
+            ebn0_db: vec![14.0],
+            bits_per_point: 8,
+            block_bits: 8,
+            ..Default::default()
+        };
+        let curve = c
+            .run("circuit", || {
+                let mut integ = CircuitIntegrator::with_defaults()?;
+                // Pin the policy explicitly so the test is independent of
+                // the UWB_AMS_RESCUE environment override.
+                integ
+                    .simulator_mut()
+                    .set_rescue_policy(RescuePolicy::default());
+                integ.simulator_mut().set_fault_schedule(
+                    FaultSchedule::new(7).with_fault(5, FaultKind::NewtonDivergence),
+                );
+                Ok(Box::new(integ))
+            })
+            .expect("campaign finishes despite the injected divergence");
+        assert_eq!(curve.points.len(), 1);
+        assert!(
+            curve.points[0].rescued >= 1,
+            "the injected fault must surface as a rescued count"
+        );
+        assert_eq!(curve.warnings.len(), 1, "{:?}", curve.warnings);
+        assert!(
+            curve.warnings[0].contains("convergence-rescue ladder"),
+            "{}",
+            curve.warnings[0]
+        );
     }
 
     #[test]

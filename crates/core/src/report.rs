@@ -217,6 +217,14 @@ impl PerfReport {
             ));
             s.push_str(&format!("\n      \"lu_reuses\": {},", c.lu_reuses));
             s.push_str(&format!(
+                "\n      \"rescue_attempts\": {},",
+                c.rescue_attempts
+            ));
+            s.push_str(&format!(
+                "\n      \"rescue_successes\": {},",
+                c.rescue_successes
+            ));
+            s.push_str(&format!(
                 "\n      \"steps_per_s\": {},",
                 json_f64(c.steps_per_second())
             ));
@@ -303,6 +311,8 @@ mod tests {
         assert!(json.contains("\"speedup\": 3.25"), "{json}");
         assert!(json.contains("\"steps\": 100"), "{json}");
         assert!(json.contains("\"lu_reuse_ratio\": 0.99"), "{json}");
+        assert!(json.contains("\"rescue_attempts\": 0"), "{json}");
+        assert!(json.contains("\"rescue_successes\": 0"), "{json}");
         assert!(json.contains("\"wall_s\": 0.05"), "{json}");
         // Balanced braces/brackets — a cheap well-formedness check.
         let opens = json.matches('{').count();

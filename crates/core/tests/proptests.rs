@@ -1,84 +1,139 @@
+//! Property tests (opt-in, `--features proptests`) for the methodology
+//! engine: the Phase IV two-pole fitter recovers random responses,
+//! interface compatibility is order-insensitive, refinement plans keep
+//! their census/netlist invariants, and report tables/series render
+//! shape-stably.
+//!
+//! The generator is a deterministic xorshift so failures replay by seed —
+//! no external proptest crate (the build environment is offline).
 #![cfg(feature = "proptests")]
-// Gated behind the opt-in `proptests` feature: the offline build
-// environment cannot fetch the `proptest` crate. Enable with
-// `cargo test --features proptests` after vendoring proptest.
 
-//! Property-based tests for the methodology engine.
-
-use proptest::prelude::*;
 use uwb_ams_core::calibrate::fit_two_pole;
 use uwb_ams_core::plan::RefinementPlan;
 use uwb_ams_core::report::{Series, Table};
 use uwb_ams_core::substitute::{BlockInterface, PortKind, PortSpec};
 use uwb_txrx::integrator::Fidelity;
 
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+}
+
 fn two_pole_db(gain_db: f64, f1: f64, f2: f64, f: f64) -> f64 {
     gain_db - 10.0 * (1.0 + (f / f1).powi(2)).log10() - 10.0 * (1.0 + (f / f2).powi(2)).log10()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The Phase IV fitter recovers randomly-drawn two-pole responses.
-    #[test]
-    fn fit_recovers_random_two_pole(
-        gain_db in 5.0f64..35.0,
-        f1_exp in 5.0f64..6.8,
-        sep in 2.0f64..4.0, // decades between the poles
-    ) {
-        let f1 = 10f64.powf(f1_exp);
-        let f2 = f1 * 10f64.powf(sep);
+/// The Phase IV fitter recovers randomly-drawn two-pole responses.
+#[test]
+fn fit_recovers_random_two_pole() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..60 {
+        let seed = rng.0;
+        let gain_db = rng.range(5.0, 35.0);
+        let f1 = 10f64.powf(rng.range(5.0, 6.8));
+        let f2 = f1 * 10f64.powf(rng.range(2.0, 4.0));
         let freqs: Vec<f64> = (0..=140)
             .map(|i| 1e4 * 10f64.powf(7.0 * i as f64 / 140.0))
             .collect();
-        let mag: Vec<f64> = freqs.iter().map(|&f| two_pole_db(gain_db, f1, f2, f)).collect();
+        let mag: Vec<f64> = freqs
+            .iter()
+            .map(|&f| two_pole_db(gain_db, f1, f2, f))
+            .collect();
         let fit = fit_two_pole(&freqs, &mag);
-        prop_assert!((fit.gain_db - gain_db).abs() < 0.5, "gain {} vs {}", fit.gain_db, gain_db);
-        prop_assert!((fit.f_pole1 / f1).ln().abs() < 0.15, "f1 {} vs {}", fit.f_pole1, f1);
-        prop_assert!((fit.f_pole2 / f2).ln().abs() < 0.3, "f2 {} vs {}", fit.f_pole2, f2);
-        prop_assert!(fit.rms_error_db < 0.5);
+        assert!(
+            (fit.gain_db - gain_db).abs() < 0.5,
+            "case {case} (seed {seed:#x}): gain {} vs {gain_db}",
+            fit.gain_db
+        );
+        assert!(
+            (fit.f_pole1 / f1).ln().abs() < 0.15,
+            "case {case} (seed {seed:#x}): f1 {} vs {f1}",
+            fit.f_pole1
+        );
+        assert!(
+            (fit.f_pole2 / f2).ln().abs() < 0.3,
+            "case {case} (seed {seed:#x}): f2 {} vs {f2}",
+            fit.f_pole2
+        );
+        assert!(fit.rms_error_db < 0.5, "case {case} (seed {seed:#x})");
     }
+}
 
-    /// Interface compatibility is symmetric and reflexive under shuffles.
-    #[test]
-    fn interface_compatibility_is_order_insensitive(perm in prop::sample::subsequence(
-        vec![0usize, 1, 2, 3, 4], 5)
-    ) {
-        let kinds = [
-            PortKind::AnalogIn,
-            PortKind::AnalogOut,
-            PortKind::DigitalIn,
-            PortKind::DigitalOut,
-            PortKind::Supply,
-        ];
+/// Interface compatibility is symmetric under any port permutation.
+#[test]
+fn interface_compatibility_is_order_insensitive() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    let kinds = [
+        PortKind::AnalogIn,
+        PortKind::AnalogOut,
+        PortKind::DigitalIn,
+        PortKind::DigitalOut,
+        PortKind::Supply,
+    ];
+    for case in 0..500 {
+        let seed = rng.0;
         let base = BlockInterface::new(
             "blk",
-            (0..5).map(|i| PortSpec::new(&format!("p{i}"), kinds[i])).collect(),
+            (0..5)
+                .map(|i| PortSpec::new(&format!("p{i}"), kinds[i]))
+                .collect(),
         );
-        // Any permutation of the same port set stays compatible both ways.
-        let mut order: Vec<usize> = perm.clone();
-        for i in 0..5 {
-            if !order.contains(&i) {
-                order.push(i);
-            }
+        // Fisher-Yates shuffle of the same port set.
+        let mut order: Vec<usize> = (0..5).collect();
+        for i in (1..5).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            order.swap(i, j);
         }
         let shuffled = BlockInterface::new(
             "blk2",
-            order.iter().map(|&i| PortSpec::new(&format!("p{i}"), kinds[i])).collect(),
+            order
+                .iter()
+                .map(|&i| PortSpec::new(&format!("p{i}"), kinds[i]))
+                .collect(),
         );
-        prop_assert!(base.compatible_with(&shuffled).is_ok());
-        prop_assert!(shuffled.compatible_with(&base).is_ok());
+        assert!(
+            base.compatible_with(&shuffled).is_ok(),
+            "case {case} (seed {seed:#x}): {order:?}"
+        );
+        assert!(
+            shuffled.compatible_with(&base).is_ok(),
+            "case {case} (seed {seed:#x}): {order:?}"
+        );
     }
+}
 
-    /// Refinement plans: setting any subset of blocks to any fidelities,
-    /// the census always sums to the block count, and the completion
-    /// sequence always ends with no ideal blocks while never holding two
-    /// netlists at once.
-    #[test]
-    fn plan_invariants(assignments in prop::collection::vec(0u8..3, 8)) {
+/// Refinement plans: setting any subset of blocks to any fidelities, the
+/// census always sums to the block count, and the completion sequence
+/// never holds two netlists at once.
+#[test]
+fn plan_invariants() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    let mut saw_circuit = 0usize;
+    for case in 0..200 {
+        let seed = rng.0;
         let mut plan = RefinementPlan::all_ideal("random");
-        for (block, &a) in uwb_ams_core::plan::BLOCKS.iter().zip(&assignments) {
-            let f = match a {
+        for block in uwb_ams_core::plan::BLOCKS.iter() {
+            let f = match rng.below(3) {
                 0 => Fidelity::Ideal,
                 1 => Fidelity::Behavioral,
                 _ => Fidelity::Circuit,
@@ -86,25 +141,55 @@ proptest! {
             plan.set(block, f);
         }
         let (i, b, c) = plan.census();
-        prop_assert_eq!(i + b + c, 8);
+        assert_eq!(i + b + c, 8, "case {case} (seed {seed:#x})");
+        if c > 0 {
+            saw_circuit += 1;
+        }
         // Completion from the behavioural-ised plan (clear extra netlists
         // first, as the discipline demands).
         let mut start = plan.clone();
-        for (block, f) in plan.iter().map(|(b, f)| (b.to_string(), f)).collect::<Vec<_>>() {
+        for (block, f) in plan
+            .iter()
+            .map(|(b, f)| (b.to_string(), f))
+            .collect::<Vec<_>>()
+        {
             if f == Fidelity::Circuit {
                 start.set(&block, Fidelity::Behavioral);
             }
         }
         for step in start.completion_sequence() {
-            prop_assert!(step.obeys_single_netlist_rule());
+            assert!(
+                step.obeys_single_netlist_rule(),
+                "case {case} (seed {seed:#x})"
+            );
         }
     }
+    // The generator must actually exercise plans holding netlists.
+    assert!(saw_circuit > 100, "only {saw_circuit} plans with netlists");
+}
 
-    /// Tables render every row and CSV round-trips the cell count.
-    #[test]
-    fn table_rendering_is_total(rows in prop::collection::vec(
-        prop::collection::vec("[a-z0-9]{1,8}", 3..4), 0..6)
-    ) {
+/// Tables render every row and CSV round-trips the cell count.
+#[test]
+fn table_rendering_is_total() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..300 {
+        let seed = rng.0;
+        let n_rows = rng.below(6) as usize;
+        let rows: Vec<Vec<String>> = (0..n_rows)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        let len = 1 + rng.below(8) as usize;
+                        (0..len)
+                            .map(|_| {
+                                let k = rng.below(36);
+                                char::from_digit(k as u32, 36).expect("base-36 digit")
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
         let mut t = Table::new("t", &["a", "b", "c"]);
         for r in &rows {
             t.push_row(r.clone());
@@ -112,16 +197,29 @@ proptest! {
         let text = t.to_string();
         for r in &rows {
             for cell in r {
-                prop_assert!(text.contains(cell.as_str()));
+                assert!(
+                    text.contains(cell.as_str()),
+                    "case {case} (seed {seed:#x}): missing {cell:?}"
+                );
             }
         }
         let csv = t.to_csv();
-        prop_assert_eq!(csv.lines().count(), rows.len() + 1);
+        assert_eq!(
+            csv.lines().count(),
+            rows.len() + 1,
+            "case {case} (seed {seed:#x})"
+        );
     }
+}
 
-    /// Series CSV merging keeps x-grid length and column counts coherent.
-    #[test]
-    fn series_merge_is_shape_stable(n in 1usize..20, k in 1usize..4) {
+/// Series CSV merging keeps x-grid length and column counts coherent.
+#[test]
+fn series_merge_is_shape_stable() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..300 {
+        let seed = rng.0;
+        let n = 1 + rng.below(19) as usize;
+        let k = 1 + rng.below(3) as usize;
         let series: Vec<Series> = (0..k)
             .map(|j| {
                 Series::new(
@@ -134,7 +232,11 @@ proptest! {
         let csv = Series::merge_csv(&refs);
         let mut lines = csv.lines();
         let header = lines.next().expect("header");
-        prop_assert_eq!(header.split(',').count(), k + 1);
-        prop_assert_eq!(lines.count(), n);
+        assert_eq!(
+            header.split(',').count(),
+            k + 1,
+            "case {case} (seed {seed:#x})"
+        );
+        assert_eq!(lines.count(), n, "case {case} (seed {seed:#x})");
     }
 }

@@ -384,7 +384,8 @@ mod tests {
     fn integrate_dump_testbench_passes_erc() {
         // The paper's Phase III cell must be Error-free out of the box —
         // this is the invariant the verify.sh self-check enforces.
-        let tb = spice::library::integrate_dump_testbench(&Default::default());
+        let tb = spice::library::integrate_dump_testbench(&Default::default())
+            .expect("builtin bench is well-formed");
         let r = lint_circuit(&tb.circuit, "integrate-dump-bench");
         assert!(!r.has_errors(), "{}", r.render());
     }

@@ -16,7 +16,11 @@
 //! * [`time`] — [`SimTime`], the femtosecond-resolution instant/duration,
 //! * [`trace`] — [`Probe`] waveform recording and VCD/CSV export,
 //! * [`diag`] — [`Severity`] and [`SourceSpan`], the diagnostic vocabulary
-//!   shared with the static-analysis layer (`crates/lint`).
+//!   shared with the static-analysis layer (`crates/lint`),
+//! * [`rescue`] — [`RescueReport`]/[`RescueRung`], the engine-agnostic
+//!   transcript of the convergence-rescue ladder,
+//! * [`faultinject`] — [`FaultSchedule`], deterministic seed-driven fault
+//!   injection that makes every rescue rung exercisable from tests.
 //!
 //! The LU elimination here is the single implementation in the workspace;
 //! both engines consume it and their solutions are bit-identical to the
@@ -27,13 +31,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod diag;
+pub mod faultinject;
 pub mod linalg;
 pub mod perf;
+pub mod rescue;
 pub mod time;
 pub mod trace;
 
 pub use diag::{Severity, SourceSpan};
-pub use linalg::{CMatrix, DMatrix, LuFactors, Matrix, SingularMatrixError};
+pub use faultinject::{waveform_checksum, FaultKind, FaultSchedule, FaultSpec};
+pub use linalg::{CMatrix, DMatrix, LuFactors, Matrix, NumericFault, SingularMatrixError};
 pub use perf::PerfCounters;
+pub use rescue::{RescueAttempt, RescueReport, RescueRung};
 pub use time::SimTime;
 pub use trace::Probe;

@@ -166,6 +166,78 @@ impl std::fmt::Display for SingularMatrixError {
 
 impl std::error::Error for SingularMatrixError {}
 
+/// Structured report of the first NaN/Inf found by the numeric guards:
+/// which operand went non-finite, and exactly where.
+///
+/// Without these guards a poisoned entry sails through partial pivoting
+/// (every NaN comparison is false) and only surfaces steps later as an
+/// unrelated-looking [`SingularMatrixError`]; the guard pins the original
+/// provenance instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumericFault {
+    /// `true` when the offending value was NaN; `false` for ±∞.
+    pub nan: bool,
+    /// Row (or vector index) of the first non-finite entry.
+    pub row: usize,
+    /// Column of the first non-finite entry; `None` when the operand was a
+    /// vector (right-hand side or solution).
+    pub col: Option<usize>,
+    /// Which operand was poisoned: `"matrix"`, `"rhs"` or `"solution"`.
+    pub stage: &'static str,
+}
+
+impl std::fmt::Display for NumericFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = if self.nan { "NaN" } else { "non-finite value" };
+        match self.col {
+            Some(col) => write!(f, "{what} in {} entry ({}, {col})", self.stage, self.row),
+            None => write!(f, "{what} in {} entry {}", self.stage, self.row),
+        }
+    }
+}
+
+impl std::error::Error for NumericFault {}
+
+/// Scans a matrix for the first non-finite entry (row-major order).
+///
+/// # Errors
+///
+/// Returns a [`NumericFault`] with `stage = "matrix"` naming the first
+/// poisoned entry.
+pub fn check_finite_matrix(a: &DMatrix) -> Result<(), NumericFault> {
+    for (i, v) in a.data.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(NumericFault {
+                nan: v.is_nan(),
+                row: i / a.cols,
+                col: Some(i % a.cols),
+                stage: "matrix",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Scans a vector for the first non-finite entry.
+///
+/// # Errors
+///
+/// Returns a [`NumericFault`] (with `col = None`) naming the first
+/// poisoned entry and the caller-supplied `stage` label.
+pub fn check_finite_vec(v: &[f64], stage: &'static str) -> Result<(), NumericFault> {
+    for (i, x) in v.iter().enumerate() {
+        if !x.is_finite() {
+            return Err(NumericFault {
+                nan: x.is_nan(),
+                row: i,
+                col: None,
+                stage,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Solves `A x = b` in place by Gaussian elimination with partial pivoting.
 ///
 /// `a` is destroyed; `b` is overwritten with the solution. This is the one
@@ -630,6 +702,37 @@ mod tests {
         assert!((mag - 1.0 / 2f64.sqrt()).abs() < 1e-9, "mag = {mag}");
         let phase = b[0].arg().to_degrees();
         assert!((phase + 45.0).abs() < 1e-6, "phase = {phase}");
+    }
+
+    #[test]
+    fn finite_guard_locates_matrix_poison() {
+        let mut a = DMatrix::zeros(3, 3);
+        a[(1, 2)] = f64::NAN;
+        let fault = check_finite_matrix(&a).unwrap_err();
+        assert_eq!(
+            fault,
+            NumericFault {
+                nan: true,
+                row: 1,
+                col: Some(2),
+                stage: "matrix",
+            }
+        );
+        assert!(fault.to_string().contains("(1, 2)"), "{fault}");
+        a[(1, 2)] = f64::INFINITY;
+        let fault = check_finite_matrix(&a).unwrap_err();
+        assert!(!fault.nan);
+        assert!(check_finite_matrix(&DMatrix::identity(4)).is_ok());
+    }
+
+    #[test]
+    fn finite_guard_locates_vector_poison() {
+        assert!(check_finite_vec(&[1.0, 2.0], "rhs").is_ok());
+        let fault = check_finite_vec(&[0.0, f64::NEG_INFINITY], "rhs").unwrap_err();
+        assert_eq!(fault.row, 1);
+        assert_eq!(fault.col, None);
+        assert_eq!(fault.stage, "rhs");
+        assert!(fault.to_string().contains("rhs entry 1"), "{fault}");
     }
 
     #[test]

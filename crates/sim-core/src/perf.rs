@@ -22,6 +22,11 @@ pub struct PerfCounters {
     pub lu_factorizations: u64,
     /// Linear solves that reused a cached factorization.
     pub lu_reuses: u64,
+    /// Rescue-ladder attempts (timestep cuts, homotopy rungs, adaptive
+    /// sub-steps) entered after a solver failure.
+    pub rescue_attempts: u64,
+    /// Rescue attempts that recovered the failing step or operating point.
+    pub rescue_successes: u64,
     /// Wall-clock time spent inside `step()` (transient only).
     pub wall: Duration,
 }
@@ -38,6 +43,8 @@ impl PerfCounters {
         self.newton_iterations += other.newton_iterations;
         self.lu_factorizations += other.lu_factorizations;
         self.lu_reuses += other.lu_reuses;
+        self.rescue_attempts += other.rescue_attempts;
+        self.rescue_successes += other.rescue_successes;
         self.wall += other.wall;
     }
 
@@ -66,12 +73,14 @@ impl std::fmt::Display for PerfCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} steps, {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {:.3} s wall",
+            "{} steps, {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {}/{} rescues, {:.3} s wall",
             self.steps,
             self.newton_iterations,
             self.lu_factorizations,
             self.lu_reuses,
             self.reuse_ratio() * 100.0,
+            self.rescue_successes,
+            self.rescue_attempts,
             self.wall.as_secs_f64()
         )
     }
@@ -88,6 +97,8 @@ mod tests {
             newton_iterations: 2,
             lu_factorizations: 3,
             lu_reuses: 4,
+            rescue_attempts: 5,
+            rescue_successes: 6,
             wall: Duration::from_millis(10),
         };
         let b = PerfCounters {
@@ -95,6 +106,8 @@ mod tests {
             newton_iterations: 20,
             lu_factorizations: 30,
             lu_reuses: 40,
+            rescue_attempts: 50,
+            rescue_successes: 60,
             wall: Duration::from_millis(100),
         };
         a.merge(&b);
@@ -102,6 +115,8 @@ mod tests {
         assert_eq!(a.newton_iterations, 22);
         assert_eq!(a.lu_factorizations, 33);
         assert_eq!(a.lu_reuses, 44);
+        assert_eq!(a.rescue_attempts, 55);
+        assert_eq!(a.rescue_successes, 66);
         assert_eq!(a.wall, Duration::from_millis(110));
     }
 

@@ -519,6 +519,10 @@ impl Circuit {
 
     /// Adds a MOSFET referencing a registered model by name.
     ///
+    /// Geometry is deliberately *not* validated here: the static ERC
+    /// layer (lint `E0107`) reports non-physical W/L on a constructed
+    /// circuit, which requires such devices to be representable.
+    ///
     /// # Errors
     ///
     /// Returns [`SpiceError::UnknownModel`] if the model was never added.

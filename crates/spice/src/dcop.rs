@@ -22,6 +22,13 @@ pub struct NewtonOptions {
     /// construction — reuse only triggers on bit-identical matrices, so
     /// solutions are identical with the flag on or off.
     pub reuse_lu: bool,
+    /// Scan each assembled system for NaN/Inf *before* factorizing and
+    /// report a structured [`SpiceError::Numeric`] with row/column
+    /// provenance instead of letting the poison surface steps later as an
+    /// unrelated-looking singular matrix. Off by default: the legacy error
+    /// taxonomy is part of the bit-exact golden contract; the rescue
+    /// policy switches it on (see [`crate::rescue::RescuePolicy`]).
+    pub numeric_guard: bool,
 }
 
 impl Default for NewtonOptions {
@@ -32,6 +39,7 @@ impl Default for NewtonOptions {
             reltol: 1e-3,
             max_step: 0.5,
             reuse_lu: true,
+            numeric_guard: false,
         }
     }
 }
@@ -99,6 +107,16 @@ pub(crate) fn newton_solve(
     for _ in 0..opts.max_iter {
         counters.newton_iterations += 1;
         assemble(circuit, layout, &x, mode, &params, &mut ws.mat, &mut ws.rhs);
+        if opts.numeric_guard {
+            if let Err(fault) = sim_core::linalg::check_finite_matrix(&ws.mat)
+                .and_then(|()| sim_core::linalg::check_finite_vec(&ws.rhs, "rhs"))
+            {
+                return Err(SpiceError::Numeric {
+                    analysis: "dcop",
+                    fault,
+                });
+            }
+        }
         if opts.reuse_lu && ws.lu_valid && ws.mat.data() == &ws.a_cached[..] {
             counters.lu_reuses += 1;
         } else {

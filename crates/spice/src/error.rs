@@ -28,6 +28,14 @@ pub enum SpiceError {
         /// Time of the failing step in seconds.
         t: f64,
     },
+    /// A numeric guard caught a NaN/Inf before it reached the linear
+    /// solver (see [`sim_core::linalg::NumericFault`] for the provenance).
+    Numeric {
+        /// Analysis in which it occurred ("dcop", "tran", "ac").
+        analysis: &'static str,
+        /// Which operand went non-finite, and where.
+        fault: sim_core::linalg::NumericFault,
+    },
     /// A netlist line could not be parsed.
     Parse {
         /// 1-based line number in the deck.
@@ -74,6 +82,9 @@ impl fmt::Display for SpiceError {
             SpiceError::TranDiverged { t } => {
                 write!(f, "transient newton diverged at t = {t:.4e} s")
             }
+            SpiceError::Numeric { analysis, fault } => {
+                write!(f, "numeric fault during {analysis}: {fault}")
+            }
             SpiceError::Parse { line, message } => {
                 write!(f, "netlist parse error at line {line}: {message}")
             }
@@ -112,5 +123,17 @@ mod tests {
         assert!(e.to_string().contains("ac"));
         assert!(e.to_string().contains("order 5"));
         assert!(e.to_string().contains("column 3"));
+        let e = SpiceError::Numeric {
+            analysis: "tran",
+            fault: sim_core::linalg::NumericFault {
+                nan: true,
+                row: 2,
+                col: Some(1),
+                stage: "matrix",
+            },
+        };
+        assert!(e.to_string().contains("tran"), "{e}");
+        assert!(e.to_string().contains("NaN"), "{e}");
+        assert!(e.to_string().contains("(2, 1)"), "{e}");
     }
 }

@@ -50,6 +50,7 @@ pub mod library;
 pub mod mna;
 pub mod mosfet;
 pub mod netlist;
+pub mod rescue;
 pub mod topology;
 pub mod tran;
 
@@ -66,5 +67,8 @@ pub use deck::run_deck;
 pub use error::SpiceError;
 pub use mosfet::{MosParams, MosType};
 pub use perf::PerfCounters;
+pub use rescue::{dcop_rescue, dcop_rescue_injected, RescuePolicy};
+pub use sim_core::faultinject::{waveform_checksum, FaultKind, FaultSchedule, FaultSpec};
+pub use sim_core::rescue::{RescueAttempt, RescueReport, RescueRung};
 pub use topology::{DcCoupling, TerminalRole};
 pub use tran::{Method as TranMethod, TranOptions, TransientSimulator};

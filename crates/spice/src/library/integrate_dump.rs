@@ -23,6 +23,7 @@
 //! quiet); `Controlp` low / `Controlm` high dumps the accumulated charge.
 
 use crate::circuit::{Circuit, NodeId, SourceWave};
+use crate::error::SpiceError;
 use crate::mosfet::MosParams;
 
 /// Geometry and value parameters of the I&D cell.
@@ -102,11 +103,17 @@ pub struct IntegrateDumpPorts {
 /// The caller is responsible for driving `vdd`, both inputs and both
 /// control rails (see [`integrate_dump_testbench`] for a self-contained
 /// bench).
+///
+/// # Errors
+///
+/// [`SpiceError::InvalidParameter`] when a geometry parameter makes a
+/// device unbuildable (e.g. non-positive `w_sf`); the first offending
+/// device is named in the error.
 pub fn integrate_dump(
     ckt: &mut Circuit,
     prefix: &str,
     params: &IntegrateDumpParams,
-) -> IntegrateDumpPorts {
+) -> Result<IntegrateDumpPorts, SpiceError> {
     let p = params;
     let gnd = Circuit::gnd();
     let n = |ckt: &mut Circuit, s: &str| ckt.node(&format!("{prefix}{s}"));
@@ -132,9 +139,26 @@ pub fn integrate_dump(
     let outp = n(ckt, "out_intp");
     let outm = n(ckt, "out_intm");
 
-    let m = |ckt: &mut Circuit, name: &str, d, g, s, b, model: &str, w: f64, l: f64| {
-        ckt.mosfet(&format!("{prefix}{name}"), d, g, s, b, model, w, l)
-            .expect("models registered above");
+    // Collect the first device-construction failure instead of panicking;
+    // the whole builder reports it once all wiring code has run.
+    let mut first_err: Option<SpiceError> = None;
+    let mut m = |ckt: &mut Circuit, name: &str, d, g, s, b, model: &str, w: f64, l: f64| {
+        if first_err.is_some() {
+            return;
+        }
+        // Geometry sanity lives here, not in `Circuit::mosfet`: the builder
+        // must stay permissive so the static ERC layer (lint E0107) can see
+        // and report non-physical devices on a *constructed* circuit.
+        if !(w.is_finite() && w > 0.0 && l.is_finite() && l > 0.0) {
+            first_err = Some(SpiceError::InvalidParameter {
+                element: format!("{prefix}{name}"),
+                message: format!("W/L must be positive and finite (got W={w:.3e}, L={l:.3e})"),
+            });
+            return;
+        }
+        if let Err(e) = ckt.mosfet(&format!("{prefix}{name}"), d, g, s, b, model, w, l) {
+            first_err = Some(e);
+        }
     };
 
     // ---- Bias network 1: NMOS reference (stacked diodes from a resistor).
@@ -251,7 +275,10 @@ pub fn integrate_dump(
     // ---- Integration capacitor.
     ckt.capacitor(&format!("{prefix}CINT"), outp, outm, p.c_int);
 
-    IntegrateDumpPorts {
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(IntegrateDumpPorts {
         inp,
         inm,
         controlp: ctlp,
@@ -259,7 +286,7 @@ pub fn integrate_dump(
         out_intp: outp,
         out_intm: outm,
         vdd,
-    }
+    })
 }
 
 /// A self-contained I&D bench: supply, externally-driven differential
@@ -284,9 +311,16 @@ pub struct IntegrateDumpTestbench {
 
 /// Builds [`IntegrateDumpTestbench`] with AC-capable differential inputs
 /// (`+0.5` on `inp`, `−0.5` on `inm`, so `Voutd/Vind` is read directly).
-pub fn integrate_dump_testbench(params: &IntegrateDumpParams) -> IntegrateDumpTestbench {
+///
+/// # Errors
+///
+/// Propagates [`SpiceError::InvalidParameter`] from [`integrate_dump`]
+/// when the supplied geometry makes a device unbuildable.
+pub fn integrate_dump_testbench(
+    params: &IntegrateDumpParams,
+) -> Result<IntegrateDumpTestbench, SpiceError> {
     let mut ckt = Circuit::new();
-    let ports = integrate_dump(&mut ckt, "id_", params);
+    let ports = integrate_dump(&mut ckt, "id_", params)?;
     ckt.vsource("VDD", ports.vdd, Circuit::gnd(), SourceWave::Dc(params.vdd));
     // Differential inputs: external large-signal drive + AC stimulus.
     let inp_i = ckt.node("drv_inp");
@@ -298,7 +332,7 @@ pub fn integrate_dump_testbench(params: &IntegrateDumpParams) -> IntegrateDumpTe
     ckt.vsource_ac("VACM", ports.inm, inm_i, SourceWave::Dc(0.0), -0.5);
     let slot_controlp = ckt.external_vsource("VCTLP", ports.controlp, Circuit::gnd());
     let slot_controlm = ckt.external_vsource("VCTLM", ports.controlm, Circuit::gnd());
-    IntegrateDumpTestbench {
+    Ok(IntegrateDumpTestbench {
         circuit: ckt,
         ports,
         slot_inp,
@@ -306,7 +340,7 @@ pub fn integrate_dump_testbench(params: &IntegrateDumpParams) -> IntegrateDumpTe
         slot_controlp,
         slot_controlm,
         input_cm: 1.05,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -318,6 +352,7 @@ mod tests {
 
     fn bench() -> IntegrateDumpTestbench {
         integrate_dump_testbench(&IntegrateDumpParams::default())
+            .expect("builtin I&D parameters are well-formed")
     }
 
     /// External vector: inputs at CM, integrating.
@@ -337,15 +372,30 @@ mod tests {
     }
 
     #[test]
-    fn dc_operating_point_is_sane() {
+    fn dc_operating_point_is_sane() -> Result<(), SpiceError> {
         let tb = bench();
         let ext = ext_integrate(&tb);
-        let op = dcop_with(&tb.circuit, &ext).expect("op converges");
+        let op = dcop_with(&tb.circuit, &ext)?;
         let vop = op.voltage(tb.ports.out_intp);
         let vom = op.voltage(tb.ports.out_intm);
         // Outputs sit inside the rails and nearly balanced.
         assert!(vop > 0.2 && vop < 1.6, "out_intp = {vop}");
         assert!((vop - vom).abs() < 0.05, "balance: {vop} vs {vom}");
+        Ok(())
+    }
+
+    #[test]
+    fn bad_geometry_surfaces_as_invalid_parameter() {
+        let params = IntegrateDumpParams {
+            w_sf: -1e-6,
+            ..IntegrateDumpParams::default()
+        };
+        match integrate_dump_testbench(&params) {
+            Err(SpiceError::InvalidParameter { element, .. }) => {
+                assert!(element.starts_with("id_"), "names the device: {element}");
+            }
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
     }
 
     #[test]

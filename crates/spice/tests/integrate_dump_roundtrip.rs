@@ -9,7 +9,7 @@ use spice::netlist::{parse_deck, write_deck};
 
 #[test]
 fn thirty_one_transistor_cell_round_trips_through_deck_text() {
-    let tb = integrate_dump_testbench(&IntegrateDumpParams::default());
+    let tb = integrate_dump_testbench(&IntegrateDumpParams::default()).expect("builtin bench");
     let mut ext = vec![0.0; tb.circuit.num_externals];
     ext[tb.slot_inp] = tb.input_cm;
     ext[tb.slot_inm] = tb.input_cm;

@@ -1,49 +1,90 @@
+//! Property tests (opt-in, `--features proptests`) on the circuit
+//! simulator's invariants: resistor-ladder monotonicity, the divider
+//! formula, engineering-notation parsing, Level-1 MOSFET continuity and
+//! antisymmetry, KCL on branch currents and PULSE waveform bounds.
+//!
+//! The generator is a deterministic xorshift so failures replay by seed —
+//! no external proptest crate (the build environment is offline).
 #![cfg(feature = "proptests")]
-// Gated behind the opt-in `proptests` feature: the offline build
-// environment cannot fetch the `proptest` crate. Enable with
-// `cargo test --features proptests` after vendoring proptest.
 
-//! Property-based tests on the circuit simulator's invariants.
-
-use proptest::prelude::*;
 use spice::circuit::{Circuit, SourceWave};
 use spice::dcop::dcop;
 use spice::mosfet::{eval_mosfet, MosParams};
 use spice::netlist::parse_value;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+struct XorShift(u64);
 
-    /// In a resistor ladder from V to ground, node voltages are monotone
-    /// non-increasing and bounded by the rails.
-    #[test]
-    fn ladder_voltages_monotone(
-        v_src in 0.1f64..10.0,
-        rs in prop::collection::vec(10.0f64..1e6, 2..8),
-    ) {
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in [0, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// Log-uniform across [lo, hi] (both positive).
+    fn log_range(&mut self, lo: f64, hi: f64) -> f64 {
+        (self.range(lo.ln(), hi.ln())).exp()
+    }
+}
+
+/// In a resistor ladder from V to ground, node voltages are monotone
+/// non-increasing and bounded by the rails.
+#[test]
+fn ladder_voltages_monotone() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..300 {
+        let seed = rng.0;
+        let v_src = rng.range(0.1, 10.0);
+        let n_rungs = 2 + rng.below(6) as usize;
         let mut c = Circuit::new();
         let top = c.node("n0");
         c.vsource("V1", top, Circuit::gnd(), SourceWave::Dc(v_src));
         let mut prev = top;
-        for (i, &r) in rs.iter().enumerate() {
+        for i in 0..n_rungs {
             let n = c.node(&format!("n{}", i + 1));
-            c.resistor(&format!("R{i}"), prev, n, r);
+            c.resistor(&format!("R{i}"), prev, n, rng.log_range(10.0, 1e6));
             prev = n;
         }
         c.resistor("RL", prev, Circuit::gnd(), 1e3);
         let op = dcop(&c).expect("ladders converge");
         let mut last = v_src + 1e-9;
-        for i in 0..=rs.len() {
+        for i in 0..=n_rungs {
             let v = op.voltage(c.find_node(&format!("n{i}")).expect("node"));
-            prop_assert!(v <= last + 1e-9, "monotone at n{}: {} > {}", i, v, last);
-            prop_assert!(v >= -1e-9);
+            assert!(
+                v <= last + 1e-9,
+                "case {case} (seed {seed:#x}): monotone at n{i}: {v} > {last}"
+            );
+            assert!(v >= -1e-9, "case {case} (seed {seed:#x}): below ground");
             last = v;
         }
     }
+}
 
-    /// Two-resistor divider matches the analytic ratio.
-    #[test]
-    fn divider_matches_formula(v in 0.01f64..100.0, r1 in 1.0f64..1e6, r2 in 1.0f64..1e6) {
+/// Two-resistor divider matches the analytic ratio.
+#[test]
+fn divider_matches_formula() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..500 {
+        let seed = rng.0;
+        let v = rng.log_range(0.01, 100.0);
+        let r1 = rng.log_range(1.0, 1e6);
+        let r2 = rng.log_range(1.0, 1e6);
         let mut c = Circuit::new();
         let a = c.node("a");
         let b = c.node("b");
@@ -52,65 +93,110 @@ proptest! {
         c.resistor("R2", b, Circuit::gnd(), r2);
         let op = dcop(&c).expect("converges");
         let expect = v * r2 / (r1 + r2);
-        prop_assert!((op.voltage(b) - expect).abs() < 1e-6 * v.abs() + 1e-9);
+        assert!(
+            (op.voltage(b) - expect).abs() < 1e-6 * v.abs() + 1e-9,
+            "case {case} (seed {seed:#x}): {} vs {expect}",
+            op.voltage(b)
+        );
     }
+}
 
-    /// Engineering-notation parser inverts formatting for plain numbers.
-    #[test]
-    fn parse_value_roundtrip(mant in 0.001f64..999.0, exp in -12i32..9) {
+/// Engineering-notation parser inverts formatting for plain numbers, and
+/// suffix parsing scales consistently with the plain form.
+#[test]
+fn parse_value_roundtrip_and_suffixes() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..500 {
+        let seed = rng.0;
+        let mant = rng.range(0.001, 999.0);
+        let exp = rng.below(21) as i32 - 12; // -12 ..= 8
         let v = mant * 10f64.powi(exp);
         let s = format!("{v:e}");
         let parsed = parse_value(&s).expect("parses");
-        prop_assert!((parsed - v).abs() <= 1e-12 * v.abs());
-    }
+        assert!(
+            (parsed - v).abs() <= 1e-12 * v.abs(),
+            "case {case} (seed {seed:#x}): {parsed} vs {v} from {s:?}"
+        );
 
-    /// Suffix parsing scales correctly against the plain form.
-    #[test]
-    fn parse_value_suffix_consistency(mant in 0.1f64..100.0) {
-        for (suffix, scale) in [("k", 1e3), ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12), ("meg", 1e6)] {
-            let with_suffix = parse_value(&format!("{mant}{suffix}")).expect("parses");
-            prop_assert!((with_suffix - mant * scale).abs() <= 1e-9 * with_suffix.abs());
+        let m = rng.range(0.1, 100.0);
+        for (suffix, scale) in [
+            ("k", 1e3),
+            ("m", 1e-3),
+            ("u", 1e-6),
+            ("n", 1e-9),
+            ("p", 1e-12),
+            ("meg", 1e6),
+        ] {
+            let with_suffix = parse_value(&format!("{m}{suffix}")).expect("parses");
+            assert!(
+                (with_suffix - m * scale).abs() <= 1e-9 * with_suffix.abs(),
+                "case {case} (seed {seed:#x}): {m}{suffix}"
+            );
         }
     }
+}
 
-    /// Level-1 drain current is continuous across the triode/saturation
-    /// boundary and monotone in vgs in saturation.
-    #[test]
-    fn mosfet_continuity_and_monotonicity(
-        w in 1e-6f64..50e-6,
-        l in 0.18e-6f64..2e-6,
-        vgs in 0.5f64..1.8,
-    ) {
+/// Level-1 drain current is continuous across the triode/saturation
+/// boundary and monotone in vgs in saturation.
+#[test]
+fn mosfet_continuity_and_monotonicity() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..500 {
+        let seed = rng.0;
+        let w = rng.log_range(1e-6, 50e-6);
+        let l = rng.log_range(0.18e-6, 2e-6);
+        let vgs = rng.range(0.5, 1.8);
         let p = MosParams::nmos_018();
         let vdsat = vgs - p.vt0;
         let below = eval_mosfet(&p, w, l, vgs, vdsat - 1e-9, 0.0, 0.0).0.ids;
         let above = eval_mosfet(&p, w, l, vgs, vdsat + 1e-9, 0.0, 0.0).0.ids;
-        prop_assert!((below - above).abs() < 1e-6 * above.abs().max(1e-12));
+        assert!(
+            (below - above).abs() < 1e-6 * above.abs().max(1e-12),
+            "case {case} (seed {seed:#x}): kink at vdsat: {below} vs {above}"
+        );
 
         let i1 = eval_mosfet(&p, w, l, vgs, 1.5, 0.0, 0.0).0.ids;
         let i2 = eval_mosfet(&p, w, l, vgs + 0.05, 1.5, 0.0, 0.0).0.ids;
-        prop_assert!(i2 > i1, "gm positive");
+        assert!(i2 > i1, "case {case} (seed {seed:#x}): gm positive");
     }
+}
 
-    /// Source/drain swap antisymmetry: reversing the channel reverses the
-    /// current exactly.
-    #[test]
-    fn mosfet_swap_antisymmetry(
-        vg in 0.6f64..1.8,
-        vd in 0.0f64..1.2,
-        vs in 0.0f64..1.2,
-    ) {
+/// Source/drain swap antisymmetry: reversing the channel reverses the
+/// current exactly.
+#[test]
+fn mosfet_swap_antisymmetry() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    let mut conducting = 0usize;
+    for case in 0..500 {
+        let seed = rng.0;
+        let vg = rng.range(0.6, 1.8);
+        let vd = rng.range(0.0, 1.2);
+        let vs = rng.range(0.0, 1.2);
         let p = MosParams::nmos_018();
         let fwd = eval_mosfet(&p, 10e-6, 1e-6, vg, vd, vs, 0.0).0.ids;
         let rev = eval_mosfet(&p, 10e-6, 1e-6, vg, vs, vd, 0.0).0.ids;
-        prop_assert!((fwd + rev).abs() < 1e-9 * fwd.abs().max(1e-15),
-            "fwd {} rev {}", fwd, rev);
+        assert!(
+            (fwd + rev).abs() < 1e-9 * fwd.abs().max(1e-15),
+            "case {case} (seed {seed:#x}): fwd {fwd} rev {rev}"
+        );
+        if fwd.abs() > 1e-12 {
+            conducting += 1;
+        }
     }
+    // The generator must actually exercise a conducting channel, not just
+    // the trivially-antisymmetric cutoff region.
+    assert!(conducting > 100, "only {conducting} conducting cases");
+}
 
-    /// KCL at the output node of a divider: source branch current equals
-    /// the load current.
-    #[test]
-    fn branch_current_satisfies_kcl(v in 0.1f64..10.0, r in 100.0f64..1e5) {
+/// KCL at the output node of a one-resistor load: the source branch
+/// current equals the load current (up to the gmin path to ground).
+#[test]
+fn branch_current_satisfies_kcl() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..500 {
+        let seed = rng.0;
+        let v = rng.log_range(0.1, 10.0);
+        let r = rng.log_range(100.0, 1e5);
         let mut c = Circuit::new();
         let a = c.node("a");
         c.vsource("V1", a, Circuit::gnd(), SourceWave::Dc(v));
@@ -121,21 +207,38 @@ proptest! {
         let layout = op.layout();
         let ib = op.x[layout.size() - 1];
         let tol = 1e-9 * (v / r).abs() + 1.1e-12 * v.abs() + 1e-14;
-        prop_assert!((ib + v / r).abs() < tol, "ib {} vs {}", ib, -v / r);
+        assert!(
+            (ib + v / r).abs() < tol,
+            "case {case} (seed {seed:#x}): ib {ib} vs {}",
+            -v / r
+        );
     }
+}
 
-    /// PULSE waveforms stay within [min(v1,v2), max(v1,v2)].
-    #[test]
-    fn pulse_bounded(
-        v1 in -5.0f64..5.0,
-        v2 in -5.0f64..5.0,
-        t in 0.0f64..100e-9,
-    ) {
+/// PULSE waveforms stay within [min(v1,v2), max(v1,v2)].
+#[test]
+fn pulse_bounded() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..2000 {
+        let seed = rng.0;
+        let v1 = rng.range(-5.0, 5.0);
+        let v2 = rng.range(-5.0, 5.0);
+        let t = rng.range(0.0, 100e-9);
         let w = SourceWave::Pulse {
-            v1, v2,
-            delay: 5e-9, rise: 1e-9, fall: 1e-9, width: 10e-9, period: 30e-9,
+            v1,
+            v2,
+            delay: 5e-9,
+            rise: 1e-9,
+            fall: 1e-9,
+            width: 10e-9,
+            period: 30e-9,
         };
         let val = w.value_at(t, &[]);
-        prop_assert!(val >= v1.min(v2) - 1e-12 && val <= v1.max(v2) + 1e-12);
+        assert!(
+            val >= v1.min(v2) - 1e-12 && val <= v1.max(v2) + 1e-12,
+            "case {case} (seed {seed:#x}): {val} outside [{}, {}]",
+            v1.min(v2),
+            v1.max(v2)
+        );
     }
 }

@@ -96,6 +96,13 @@ pub trait IntegratorBlock {
 
     /// Cumulative Newton iterations — the CPU-cost proxy behind Table 1.
     fn newton_iterations(&self) -> u64;
+
+    /// Successful convergence rescues absorbed so far (timestep cuts, DC
+    /// homotopy escalations). Zero for implementations without a rescue
+    /// ladder; the flow layer demotes nonzero counts to warnings.
+    fn rescue_events(&self) -> u64 {
+        0
+    }
 }
 
 /// Default ideal/behavioural integration constant `K` (1/s), matched to the
@@ -255,7 +262,7 @@ impl CircuitIntegrator {
     ///
     /// Propagates DC convergence failures.
     pub fn new(params: &IntegrateDumpParams) -> Result<Self, IntegratorError> {
-        let bench = integrate_dump_testbench(params);
+        let bench = integrate_dump_testbench(params)?;
         let mut externals = vec![0.0; bench.circuit.num_externals];
         externals[bench.slot_inp] = bench.input_cm;
         externals[bench.slot_inm] = bench.input_cm;
@@ -285,6 +292,11 @@ impl CircuitIntegrator {
     /// Access to the underlying transistor-level simulator (probing).
     pub fn simulator(&self) -> &TransientSimulator {
         &self.sim
+    }
+
+    /// Mutable access to the simulator (arming fault-injection schedules).
+    pub fn simulator_mut(&mut self) -> &mut TransientSimulator {
+        &mut self.sim
     }
 }
 
@@ -326,6 +338,10 @@ impl IntegratorBlock for CircuitIntegrator {
 
     fn newton_iterations(&self) -> u64 {
         self.sim.newton_iterations()
+    }
+
+    fn rescue_events(&self) -> u64 {
+        self.sim.rescue_events()
     }
 }
 

@@ -391,6 +391,12 @@ impl Receiver {
         self.integrator.newton_iterations()
     }
 
+    /// Successful convergence rescues inside the I&D block (zero for
+    /// fidelities without a rescue ladder).
+    pub fn integrator_rescue_events(&self) -> u64 {
+        self.integrator.rescue_events()
+    }
+
     /// Advances `n` samples with the given integrate control, returning the
     /// integrator output after the last sample.
     fn advance(

@@ -1,51 +1,94 @@
+//! Property tests (opt-in, `--features proptests`) on the transceiver
+//! blocks: ADC monotonicity and mid-tread reconstruction error, VGA
+//! dB-gain/code consistency, ranging-counter quantisation bounds and the
+//! ideal integrator's exact Riemann accumulation.
+//!
+//! The generator is a deterministic xorshift so failures replay by seed —
+//! no external proptest crate (the build environment is offline).
 #![cfg(feature = "proptests")]
-// Gated behind the opt-in `proptests` feature: the offline build
-// environment cannot fetch the `proptest` crate. Enable with
-// `cargo test --features proptests` after vendoring proptest.
 
-//! Property-based tests on the transceiver blocks.
-
-use proptest::prelude::*;
 use uwb_txrx::adc::Adc;
 use uwb_txrx::counter::RangingCounter;
 use uwb_txrx::frontend::{Vga, VgaConfig};
 use uwb_txrx::integrator::{IdealIntegrator, IntegratorBlock};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+struct XorShift(u64);
 
-    /// ADC codes are monotone in the input and bounded by the code range.
-    #[test]
-    fn adc_monotone_and_bounded(
-        bits in 1u32..12,
-        fs in 0.001f64..10.0,
-        v1 in -1.0f64..20.0,
-        v2 in -1.0f64..20.0,
-    ) {
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+}
+
+/// ADC codes are monotone in the input and bounded by the code range.
+#[test]
+fn adc_monotone_and_bounded() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..1000 {
+        let seed = rng.0;
+        let bits = 1 + rng.below(11) as u32;
+        let fs = rng.range(0.001, 10.0);
+        let v1 = rng.range(-1.0, 20.0);
+        let v2 = rng.range(-1.0, 20.0);
         let adc = Adc::new(bits, fs);
         let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
         let c_lo = adc.sample(lo);
         let c_hi = adc.sample(hi);
-        prop_assert!(c_lo <= c_hi);
-        prop_assert!(c_lo >= 0 && c_hi <= adc.max_code());
+        assert!(
+            c_lo <= c_hi,
+            "case {case} (seed {seed:#x}): {c_lo} > {c_hi}"
+        );
+        assert!(
+            c_lo >= 0 && c_hi <= adc.max_code(),
+            "case {case} (seed {seed:#x}): out of range"
+        );
     }
+}
 
-    /// Mid-tread reconstruction is within half an LSB inside the range.
-    #[test]
-    fn adc_reconstruction_error_bounded(bits in 2u32..10, v_frac in 0.0f64..0.999) {
+/// Mid-tread reconstruction is within half an LSB inside the range.
+#[test]
+fn adc_reconstruction_error_bounded() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..1000 {
+        let seed = rng.0;
+        let bits = 2 + rng.below(8) as u32;
+        let v = rng.range(0.0, 0.999);
         let adc = Adc::new(bits, 1.0);
-        let v = v_frac;
         let back = adc.to_voltage(adc.sample(v));
-        prop_assert!((back - v).abs() <= adc.lsb() * 0.5 + 1e-12);
+        assert!(
+            (back - v).abs() <= adc.lsb() * 0.5 + 1e-12,
+            "case {case} (seed {seed:#x}): {back} vs {v}"
+        );
     }
+}
 
-    /// The VGA gain matches its code exactly in dB, for any config.
-    #[test]
-    fn vga_gain_matches_code(
-        step in 0.5f64..6.0,
-        max_code in 1i32..40,
-        code in -5i32..50,
-    ) {
+/// The VGA gain matches its code exactly in dB, for any config.
+#[test]
+fn vga_gain_matches_code() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    let mut clamped_cases = 0usize;
+    for case in 0..1000 {
+        let seed = rng.0;
+        let step = rng.range(0.5, 6.0);
+        let max_code = 1 + rng.below(39) as i32;
+        let code = rng.below(55) as i32 - 5;
         let cfg = VgaConfig {
             min_gain_db: 0.0,
             step_db: step,
@@ -55,39 +98,63 @@ proptest! {
         let mut vga = Vga::new(&cfg);
         vga.set_code(code);
         let clamped = code.clamp(0, max_code);
-        prop_assert_eq!(vga.code(), clamped);
+        if clamped != code {
+            clamped_cases += 1;
+        }
+        assert_eq!(vga.code(), clamped, "case {case} (seed {seed:#x})");
         let expect = 10f64.powf(step * clamped as f64 / 20.0);
         let out = vga.process(0.001);
-        prop_assert!((out - 0.001 * expect).abs() < 1e-12 * expect.max(1.0));
+        assert!(
+            (out - 0.001 * expect).abs() < 1e-12 * expect.max(1.0),
+            "case {case} (seed {seed:#x}): {out} vs {}",
+            0.001 * expect
+        );
     }
+    // The generator must hit both the in-range and the clamped code paths.
+    assert!(clamped_cases > 100, "only {clamped_cases} clamped cases");
+}
 
-    /// Counter quantisation error is bounded by half a period.
-    #[test]
-    fn counter_quantisation_bound(f_exp in 7.0f64..10.0, t in 0.0f64..1e-3) {
-        let c = RangingCounter::new(10f64.powf(f_exp));
-        prop_assert!((c.quantize(t) - t).abs() <= 0.5 * c.period() + 1e-15);
+/// Counter quantisation error is bounded by half a period.
+#[test]
+fn counter_quantisation_bound() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..2000 {
+        let seed = rng.0;
+        let f = 10f64.powf(rng.range(7.0, 10.0));
+        let t = rng.range(0.0, 1e-3);
+        let c = RangingCounter::new(f);
+        assert!(
+            (c.quantize(t) - t).abs() <= 0.5 * c.period() + 1e-15,
+            "case {case} (seed {seed:#x}): f {f} t {t}"
+        );
     }
+}
 
-    /// The ideal integrator accumulates the exact Riemann area for
-    /// arbitrary piecewise-constant inputs.
-    #[test]
-    fn ideal_integrator_accumulates_area(
-        segments in prop::collection::vec((-0.2f64..0.2, 1usize..40), 1..8),
-    ) {
+/// The ideal integrator accumulates the exact Riemann area for arbitrary
+/// piecewise-constant inputs.
+#[test]
+fn ideal_integrator_accumulates_area() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..300 {
+        let seed = rng.0;
         let k = 1e8;
         let dt = 1e-10;
         let mut intg = IdealIntegrator::new(k);
         let mut area = 0.0;
-        for &(v, n) in &segments {
+        let n_segments = 1 + rng.below(7) as usize;
+        for _ in 0..n_segments {
+            let v = rng.range(-0.2, 0.2);
+            let n = 1 + rng.below(39) as usize;
             for _ in 0..n {
                 intg.step(dt, v).expect("step");
                 area += v * dt;
             }
         }
         let expect = k * area;
-        prop_assert!(
+        assert!(
             (intg.output() - expect).abs() < 1e-6 * expect.abs().max(1e-9),
-            "got {}, expected {}", intg.output(), expect
+            "case {case} (seed {seed:#x}): got {}, expected {expect}",
+            intg.output()
         );
     }
 }

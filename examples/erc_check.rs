@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Every artefact the flow depends on, linted statically.
     let mut failed = false;
-    let bench = integrate_dump_testbench(&Default::default());
+    let bench = integrate_dump_testbench(&Default::default()).expect("builtin bench");
     let artefacts = [
         ("integrate_dump testbench (31-T cell)", bench.circuit),
         ("cmos_inverter", cmos_inverter(0.0).0),
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The demo half: inject the classic mistake — a second supply in
     // parallel with VDD at a different voltage — and watch the gate catch
     // it *before* the transient solver would have hit a singular matrix.
-    let bench = integrate_dump_testbench(&Default::default());
+    let bench = integrate_dump_testbench(&Default::default()).expect("builtin bench");
     let mut broken = bench.circuit;
     broken.vsource("VDD2", bench.ports.vdd, Circuit::gnd(), SourceWave::Dc(1.5));
     let report = lint_circuit(&broken, "testbench + conflicting supply");

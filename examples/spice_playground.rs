@@ -44,7 +44,7 @@ M1 out in 0 0 nch W=10u L=1u
     println!("inverter after 2 ns: V(out) = {:.3} V", sim.voltage(vout));
 
     // 3. The paper's I&D cell at a glance.
-    let tb = spice::library::integrate_dump_testbench(&Default::default());
+    let tb = spice::library::integrate_dump_testbench(&Default::default()).expect("builtin bench");
     println!(
         "\nintegrate & dump cell: {} transistors, {} circuit nodes",
         tb.circuit.transistor_count(),

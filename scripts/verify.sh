@@ -11,8 +11,16 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
-echo "== lint property tests (opt-in feature) =="
-cargo test -q -p lint --features proptests
+echo "== property tests (opt-in feature, fixed seeds) =="
+for crate in lint spice ams-kernel uwb-ams-core uwb-phy uwb-txrx; do
+    cargo test -q -p "$crate" --features proptests --test proptests
+done
+
+echo "== fault-injection smoke (golden fault matrix) =="
+cargo test -q --test fault_matrix
+
+echo "== rescue-off bit-exactness (golden vectors + cosimulation) =="
+UWB_AMS_RESCUE=off cargo test -q --test golden_kernel --test cosimulation
 
 echo "== ERC self-check (library cells + flow partitions) =="
 cargo run --release --quiet --example erc_check -- --self-check

@@ -13,7 +13,7 @@ use uwb_ams_core::{check_phase, phase_report};
 /// second supply in parallel with VDD at a different voltage — a
 /// voltage-source loop, structurally singular at DC.
 fn doctored_bench() -> (Circuit, Vec<f64>) {
-    let bench = integrate_dump_testbench(&Default::default());
+    let bench = integrate_dump_testbench(&Default::default()).expect("builtin bench");
     let mut circuit = bench.circuit;
     let externals = vec![0.0; circuit.num_externals];
     circuit.vsource("VDD2", bench.ports.vdd, Circuit::gnd(), SourceWave::Dc(1.5));
@@ -74,7 +74,7 @@ fn without_the_gate_the_same_deck_fails_inside_the_solver() {
 
 #[test]
 fn clean_bench_passes_the_gate_and_solves() {
-    let bench = integrate_dump_testbench(&Default::default());
+    let bench = integrate_dump_testbench(&Default::default()).expect("builtin bench");
     let externals = vec![0.0; bench.circuit.num_externals];
     let sim = checked_transient(
         bench.circuit,
