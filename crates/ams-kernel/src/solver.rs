@@ -8,6 +8,7 @@
 use crate::analog::AnalogModel;
 use crate::linalg::{DMatrix, LuFactors};
 use crate::perf::PerfCounters;
+use sim_core::sparse::{NumericLu, RefactorOutcome, SolverKind, SparseMatrix, SymbolicLu};
 use std::fmt;
 use std::time::Instant;
 
@@ -36,6 +37,13 @@ pub struct SolverOptions {
     /// is byte-identical to the last one factored. Bit-exact by
     /// construction; disable to force a factorization per Newton iteration.
     pub reuse_lu: bool,
+    /// Linear-solver backend. The finite-difference Jacobian is always
+    /// assembled densely; on the sparse path it is converted to CSC and
+    /// factored through the split symbolic/numeric LU, with the symbolic
+    /// analysis pinned across steps. `Auto` decides once per solver from
+    /// the first Jacobian's size and fill. Defaults to the
+    /// `UWB_AMS_SOLVER` environment override.
+    pub solver: SolverKind,
 }
 
 impl Default for SolverOptions {
@@ -47,6 +55,7 @@ impl Default for SolverOptions {
             tol: 1e-6,
             fd_eps: 1e-7,
             reuse_lu: true,
+            solver: SolverKind::from_env(),
         }
     }
 }
@@ -140,8 +149,13 @@ pub struct ImplicitSolver {
     lu: LuFactors,
     /// Raw bytes of the last factored Jacobian, for the reuse compare.
     jac_cached: Vec<f64>,
-    /// Whether `lu`/`jac_cached` hold a valid factorization.
+    /// Whether the active backend's factors match `jac_cached`.
     lu_valid: bool,
+    /// Sticky backend decision, made at the first factorization (so one
+    /// solver never mixes dense and sparse factor caches).
+    sparse_backend: Option<bool>,
+    /// Sparse symbolic pattern + numeric factors (sparse backend only).
+    sparse: Option<(SymbolicLu, NumericLu<f64>)>,
 }
 
 impl ImplicitSolver {
@@ -266,16 +280,57 @@ impl ImplicitSolver {
                 self.jac_cached.clear();
                 self.jac_cached.extend_from_slice(jac.data());
                 self.counters.lu_factorizations += 1;
-                match self.lu.factorize(&jac) {
-                    Ok(()) => self.lu_valid = true,
-                    Err(_) => {
-                        self.lu_valid = false;
-                        return Err(SolveError::SingularJacobian { t: t_new });
+                if self.sparse_backend.is_none() {
+                    let nnz = jac.data().iter().filter(|v| **v != 0.0).count() + n;
+                    self.sparse_backend = Some(self.options.solver.picks_sparse(n, nnz));
+                }
+                if self.sparse_backend == Some(true) {
+                    let sjac = SparseMatrix::from_dense(&jac);
+                    let mut refactored = false;
+                    if let Some((sym, num)) = self.sparse.as_mut() {
+                        if sym.order() == n {
+                            match sym.refactor(&sjac, num) {
+                                RefactorOutcome::Refactored => {
+                                    self.counters.numeric_refactors += 1;
+                                    refactored = true;
+                                }
+                                RefactorOutcome::Stale => {
+                                    self.counters.pattern_fallbacks += 1;
+                                }
+                            }
+                        }
+                    }
+                    if !refactored {
+                        self.counters.symbolic_analyses += 1;
+                        match SymbolicLu::analyze(&sjac) {
+                            Ok(pair) => self.sparse = Some(pair),
+                            Err(_) => {
+                                self.sparse = None;
+                                self.lu_valid = false;
+                                return Err(SolveError::SingularJacobian { t: t_new });
+                            }
+                        }
+                    }
+                    self.lu_valid = true;
+                } else {
+                    match self.lu.factorize(&jac) {
+                        Ok(()) => self.lu_valid = true,
+                        Err(_) => {
+                            self.lu_valid = false;
+                            return Err(SolveError::SingularJacobian { t: t_new });
+                        }
                     }
                 }
             }
             let mut delta: Vec<f64> = r.iter().map(|v| -v).collect();
-            self.lu.solve(&mut delta);
+            if self.sparse_backend == Some(true) {
+                match self.sparse.as_ref() {
+                    Some((sym, num)) => sym.solve(num, &mut delta),
+                    None => return Err(SolveError::SingularJacobian { t: t_new }),
+                }
+            } else {
+                self.lu.solve(&mut delta);
+            }
             let mut step_norm = 0.0f64;
             for i in 0..n {
                 x[i] += delta[i];
@@ -664,6 +719,51 @@ mod tests {
 
         // The reuse path must be bit-identical to refactoring every time.
         assert_eq!(fast_bits, slow_bits);
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_on_two_pole_model() {
+        let model = TwoPoleGatedModel::from_db_and_hz(21.8, 0.8e6, 5.9e9);
+        let run = |kind| {
+            let mut solver = ImplicitSolver::new(SolverOptions {
+                solver: kind,
+                ..Default::default()
+            });
+            let mut st = TransientState::from_model(&model);
+            solver
+                .run(
+                    &model,
+                    0.0,
+                    1e-9,
+                    500,
+                    &mut st,
+                    |t| vec![0.01 * (t * 1e7).sin(), 1.0, 0.0],
+                    |_, _| {},
+                )
+                .unwrap();
+            (st.x.clone(), *solver.counters())
+        };
+        let (dense_x, dense_c) = run(SolverKind::Dense);
+        let (sparse_x, sparse_c) = run(SolverKind::Sparse);
+        for (a, b) in dense_x.iter().zip(&sparse_x) {
+            assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                "dense {a} vs sparse {b}"
+            );
+        }
+        assert_eq!(dense_c.symbolic_analyses, 0);
+        assert!(sparse_c.symbolic_analyses >= 1, "{sparse_c}");
+        // The Jacobian pattern is fixed, so after the first analysis every
+        // new Jacobian refactors on the pinned pattern.
+        assert!(sparse_c.numeric_refactors >= 1, "{sparse_c}");
+        // Each non-reused factorization is either a pinned-pattern
+        // refactor or a fresh analysis (a fallback re-analyzes in the
+        // same pass).
+        assert_eq!(
+            sparse_c.lu_factorizations,
+            sparse_c.symbolic_analyses + sparse_c.numeric_refactors,
+            "{sparse_c}"
+        );
     }
 
     #[test]

@@ -17,17 +17,28 @@
 //!    the shared `sim-core` LU cache kicks in. Both engines report the
 //!    same [`PerfCounters`] type, so the phases land in one report.
 //!
+//! 4. **Sparse vs dense scaling** — transients of tiled N×I&D arrays on
+//!    the dense LU and on the sparse symbolic/numeric-split LU
+//!    (`UWB_AMS_SOLVER` forced per run), with matching waveforms
+//!    asserted and the speedup recorded per size.
+//! 5. **Monte-Carlo warm start** — the I&D mismatch campaign with
+//!    warm-start chains on vs off; `warm_start_hits` and the Newton
+//!    iteration ratio land in the report.
+//!
 //! `UWB_AMS_BENCH=full` raises the campaign to fig6's full 2000
-//! bits/point.
+//! bits/point; `--quick` shrinks everything to a smoke run (and skips
+//! the campaign-scaling phase).
 
 use ams_kernel::analog::IdealGatedIntegrator;
 use ams_kernel::solver::{ImplicitSolver, SolverOptions, TransientState};
-use spice::circuit::{Circuit, SourceWave};
+use spice::circuit::{Circuit, NodeId, SourceWave};
+use spice::library::{integrate_dump, IntegrateDumpParams};
 use spice::tran::{TranOptions, TransientSimulator};
-use spice::PerfCounters;
+use spice::{PerfCounters, SolverKind};
 use std::time::Instant;
 use uwb_ams_core::executor::worker_threads;
 use uwb_ams_core::metrics::BerCampaign;
+use uwb_ams_core::montecarlo::IdMismatchCampaign;
 use uwb_ams_core::report::{PerfPhase, PerfReport};
 use uwb_txrx::integrator::{build_integrator, Fidelity};
 
@@ -180,17 +191,212 @@ fn ams_replay_fast_path() -> Vec<PerfPhase> {
     ]
 }
 
+/// Builds an `n_tiles`-instance Integrate & Dump array (each tile is the
+/// paper's 31-transistor core plus its drive sources); returns the
+/// circuit and one output probe per tile.
+fn tiled_id_array(n_tiles: usize) -> (Circuit, Vec<NodeId>) {
+    let params = IntegrateDumpParams::default();
+    let mut ckt = Circuit::new();
+    let mut probes = Vec::with_capacity(n_tiles);
+    for t in 0..n_tiles {
+        let ports =
+            integrate_dump(&mut ckt, &format!("t{t}_"), &params).expect("builtin I&D geometry");
+        ckt.vsource(
+            &format!("VDD{t}"),
+            ports.vdd,
+            Circuit::gnd(),
+            SourceWave::Dc(params.vdd),
+        );
+        // Differential step on the inputs so every tile integrates.
+        ckt.vsource(
+            &format!("VIP{t}"),
+            ports.inp,
+            Circuit::gnd(),
+            SourceWave::Pulse {
+                v1: 1.05,
+                v2: 1.15,
+                delay: 0.1e-9,
+                rise: 50e-12,
+                fall: 50e-12,
+                width: 2e-9,
+                period: 0.0,
+            },
+        );
+        ckt.vsource(
+            &format!("VIM{t}"),
+            ports.inm,
+            Circuit::gnd(),
+            SourceWave::Dc(1.05),
+        );
+        ckt.vsource(
+            &format!("VCP{t}"),
+            ports.controlp,
+            Circuit::gnd(),
+            SourceWave::Dc(params.vdd),
+        );
+        ckt.vsource(
+            &format!("VCM{t}"),
+            ports.controlm,
+            Circuit::gnd(),
+            SourceWave::Dc(0.0),
+        );
+        probes.push(ports.out_intp);
+    }
+    (ckt, probes)
+}
+
+/// One transient of the tiled array on the chosen linear-solver backend;
+/// returns the final probe voltages and the counters.
+fn run_tiled_tran(
+    n_tiles: usize,
+    kind: SolverKind,
+    t_end: f64,
+    dt: f64,
+) -> (Vec<f64>, PerfCounters) {
+    let (ckt, probes) = tiled_id_array(n_tiles);
+    let mut opts = TranOptions::default();
+    opts.newton.solver = kind;
+    let mut sim = TransientSimulator::new(ckt, opts).expect("tiled I&D dcop");
+    let mut finals = vec![0.0; probes.len()];
+    sim.run_until(t_end, dt, |s| {
+        for (i, p) in probes.iter().enumerate() {
+            finals[i] = s.voltage(*p);
+        }
+    })
+    .expect("tiled I&D tran");
+    (finals, *sim.counters())
+}
+
+/// Sparse vs dense transient scaling over tiled I&D arrays; two phases
+/// (dense/sparse) per size.
+fn sparse_vs_dense_scaling(quick: bool) -> Vec<PerfPhase> {
+    let sizes: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let (t_end, dt) = if quick {
+        (0.5e-9, 10e-12)
+    } else {
+        (1e-9, 10e-12)
+    };
+    println!("sparse vs dense transient (tiled I&D arrays, dt = {dt:.0e} s):");
+    let mut phases = Vec::new();
+    for &n in sizes {
+        let (vd, cd) = run_tiled_tran(n, SolverKind::Dense, t_end, dt);
+        let (vs, cs) = run_tiled_tran(n, SolverKind::Sparse, t_end, dt);
+        for (a, b) in vd.iter().zip(&vs) {
+            assert!(
+                (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                "sparse and dense transients diverged at {n} tile(s): {a} vs {b}"
+            );
+        }
+        assert!(
+            cs.symbolic_analyses >= 1 && cs.numeric_refactors >= 1,
+            "sparse transient must analyze once and refactor on the pinned pattern: {cs}"
+        );
+        let speedup = cd.wall.as_secs_f64() / cs.wall.as_secs_f64();
+        println!("  {n} tile(s): dense {cd}");
+        println!("  {n} tile(s): sparse {cs}");
+        println!("  -> sparse speedup {speedup:.2}x (matching waveforms)");
+        phases.push(
+            PerfPhase::from_counters(&format!("tran_dense_{n}x_id"), cd).with("tiles", n as f64),
+        );
+        phases.push(
+            PerfPhase::from_counters(&format!("tran_sparse_{n}x_id"), cs)
+                .with("tiles", n as f64)
+                .with("speedup_vs_dense", speedup),
+        );
+    }
+    phases
+}
+
+/// Monte-Carlo DC campaign with warm-start chains on vs off (off =
+/// one-point streams, so every point cold-starts); returns two phases.
+fn mc_warm_start(quick: bool) -> Vec<PerfPhase> {
+    let points = if quick { 8 } else { 24 };
+    let streams = 4;
+    let base = IdMismatchCampaign {
+        points,
+        streams,
+        ..IdMismatchCampaign::default()
+    };
+    println!("Monte-Carlo dcop warm start (I&D mismatch, {points} points, {streams} chains):");
+
+    let t0 = Instant::now();
+    let cold = IdMismatchCampaign {
+        streams: points, // one point per chain: no warm starts possible
+        ..base
+    }
+    .run()
+    .expect("cold MC campaign");
+    let cold_wall = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let warm = base.run().expect("warm MC campaign");
+    let warm_wall = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        cold.counters.warm_start_hits, 0,
+        "one-point chains cannot warm-start"
+    );
+    assert!(
+        warm.counters.warm_start_hits >= (points - streams) as u64,
+        "every non-leading point should warm-start: {}",
+        warm.counters
+    );
+    // Same perturbed circuits either way, but a warm start converges
+    // along a different path than the cold homotopy ladder, so the two
+    // operating points only agree to Newton tolerance — not bit-exactly.
+    for (c, w) in cold.points.iter().zip(&warm.points) {
+        assert!(
+            (c.metric - w.metric).abs() < 1e-4,
+            "warm-started point {} drifted: {} vs {}",
+            w.index,
+            c.metric,
+            w.metric
+        );
+    }
+    let iter_ratio =
+        cold.counters.newton_iterations as f64 / warm.counters.newton_iterations.max(1) as f64;
+    println!("  cold: {}", cold.counters);
+    println!("  warm: {}", warm.counters);
+    println!(
+        "  -> {:.2}x fewer Newton iterations, output level spread std {:.3} mV",
+        iter_ratio,
+        warm.metric_std() * 1e3
+    );
+    let mut cold_phase = PerfPhase::from_counters("mc_dcop_cold", cold.counters);
+    cold_phase.wall_s = cold_wall;
+    let mut warm_phase = PerfPhase::from_counters("mc_dcop_warm", warm.counters);
+    warm_phase.wall_s = warm_wall;
+    vec![
+        cold_phase.with("points", points as f64),
+        warm_phase
+            .with("points", points as f64)
+            .with("newton_iter_ratio", iter_ratio)
+            .with("output_level_std_v", warm.metric_std()),
+    ]
+}
+
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let full = std::env::var("UWB_AMS_BENCH").as_deref() == Ok("full");
     println!("=== Performance: parallel campaigns + both engines' LU fast paths ===\n");
     let mut report = PerfReport::new();
-    for phase in campaign_scaling(full) {
-        report.push(phase);
+    if quick {
+        println!("(--quick: skipping the fig6 campaign-scaling phase)\n");
+    } else {
+        for phase in campaign_scaling(full) {
+            report.push(phase);
+        }
     }
     for phase in transient_fast_path() {
         report.push(phase);
     }
     for phase in ams_replay_fast_path() {
+        report.push(phase);
+    }
+    for phase in sparse_vs_dense_scaling(quick) {
+        report.push(phase);
+    }
+    for phase in mc_warm_start(quick) {
         report.push(phase);
     }
     let path = uwb_ams_bench::write_result("BENCH_perf.json", &report.to_json());

@@ -15,6 +15,9 @@
 //! * [`metrics`] — the system-level campaigns behind the paper's
 //!   evaluation: BER curves (Fig 6), TWR statistics (Table 2) and CPU-time
 //!   accounting (Table 1),
+//! * [`montecarlo`] — Monte-Carlo DC campaigns whose points warm-start
+//!   Newton from the previous point's converged operating point, in
+//!   fixed per-stream chains so results stay bit-stable in parallel,
 //! * [`executor`] — the deterministic parallel sweep engine the campaigns
 //!   run on (per-point RNG streams; bit-identical at any thread count),
 //! * [`report`] — paper-shaped tables and series.
@@ -40,6 +43,7 @@ pub mod erc;
 pub mod executor;
 pub mod flow;
 pub mod metrics;
+pub mod montecarlo;
 pub mod plan;
 pub mod report;
 pub mod substitute;
@@ -51,6 +55,7 @@ pub use erc::{
 pub use executor::{run_indexed, stream_seed, try_run_indexed, worker_threads};
 pub use flow::{FlowScenario, Phase, PhaseReport, TopDownFlow};
 pub use metrics::{BerCampaign, BerCurve, CpuTimeCampaign, CpuTimeRow, TwrRow};
+pub use montecarlo::{IdMismatchCampaign, McDcCampaign, McDcPoint, McDcResult, McSample};
 pub use plan::RefinementPlan;
 pub use report::{PerfPhase, PerfReport, Series, Table};
 pub use substitute::{BlockInterface, BlockSlot, PortKind, PortSpec, SubstituteError};

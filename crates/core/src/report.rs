@@ -217,6 +217,22 @@ impl PerfReport {
             ));
             s.push_str(&format!("\n      \"lu_reuses\": {},", c.lu_reuses));
             s.push_str(&format!(
+                "\n      \"symbolic_analyses\": {},",
+                c.symbolic_analyses
+            ));
+            s.push_str(&format!(
+                "\n      \"numeric_refactors\": {},",
+                c.numeric_refactors
+            ));
+            s.push_str(&format!(
+                "\n      \"pattern_fallbacks\": {},",
+                c.pattern_fallbacks
+            ));
+            s.push_str(&format!(
+                "\n      \"warm_start_hits\": {},",
+                c.warm_start_hits
+            ));
+            s.push_str(&format!(
                 "\n      \"rescue_attempts\": {},",
                 c.rescue_attempts
             ));
@@ -229,8 +245,12 @@ impl PerfReport {
                 json_f64(c.steps_per_second())
             ));
             s.push_str(&format!(
-                "\n      \"lu_reuse_ratio\": {}",
+                "\n      \"lu_reuse_ratio\": {},",
                 json_f64(c.reuse_ratio())
+            ));
+            s.push_str(&format!(
+                "\n      \"refactor_ratio\": {}",
+                json_f64(c.refactor_ratio())
             ));
             for (k, v) in &p.extra {
                 s.push_str(&format!(",\n      {}: {}", json_string(k), json_f64(*v)));
@@ -304,6 +324,9 @@ mod tests {
         counters.steps = 100;
         counters.lu_factorizations = 1;
         counters.lu_reuses = 99;
+        counters.symbolic_analyses = 1;
+        counters.numeric_refactors = 3;
+        counters.warm_start_hits = 2;
         counters.wall = std::time::Duration::from_millis(50);
         r.push(PerfPhase::from_counters("tran_fast_path", counters));
         let json = r.to_json();
@@ -311,6 +334,11 @@ mod tests {
         assert!(json.contains("\"speedup\": 3.25"), "{json}");
         assert!(json.contains("\"steps\": 100"), "{json}");
         assert!(json.contains("\"lu_reuse_ratio\": 0.99"), "{json}");
+        assert!(json.contains("\"symbolic_analyses\": 1"), "{json}");
+        assert!(json.contains("\"numeric_refactors\": 3"), "{json}");
+        assert!(json.contains("\"pattern_fallbacks\": 0"), "{json}");
+        assert!(json.contains("\"warm_start_hits\": 2"), "{json}");
+        assert!(json.contains("\"refactor_ratio\": 0.75"), "{json}");
         assert!(json.contains("\"rescue_attempts\": 0"), "{json}");
         assert!(json.contains("\"rescue_successes\": 0"), "{json}");
         assert!(json.contains("\"wall_s\": 0.05"), "{json}");

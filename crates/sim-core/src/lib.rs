@@ -11,6 +11,10 @@
 //!   matrices, partial-pivot LU with reusable cached factors
 //!   ([`LuFactors`]), and [`SingularMatrixError`] reporting where
 //!   elimination broke down,
+//! * [`sparse`] — CSC [`SparseMatrix`] assembled from triplet stamps,
+//!   fill-reducing ordering, and the split symbolic/numeric LU
+//!   ([`SymbolicLu`] / [`NumericLu`]) that large MNA systems route
+//!   through (selected per engine by [`SolverKind`]),
 //! * [`perf`] — [`PerfCounters`]: steps, Newton iterations, LU
 //!   factorizations vs cached reuses, wall time,
 //! * [`time`] — [`SimTime`], the femtosecond-resolution instant/duration,
@@ -35,6 +39,7 @@ pub mod faultinject;
 pub mod linalg;
 pub mod perf;
 pub mod rescue;
+pub mod sparse;
 pub mod time;
 pub mod trace;
 
@@ -43,5 +48,6 @@ pub use faultinject::{waveform_checksum, FaultKind, FaultSchedule, FaultSpec};
 pub use linalg::{CMatrix, DMatrix, LuFactors, Matrix, NumericFault, SingularMatrixError};
 pub use perf::PerfCounters;
 pub use rescue::{RescueAttempt, RescueReport, RescueRung};
+pub use sparse::{NumericLu, RefactorOutcome, SolverKind, SparseMatrix, SymbolicLu};
 pub use time::SimTime;
 pub use trace::Probe;

@@ -22,6 +22,18 @@ pub struct PerfCounters {
     pub lu_factorizations: u64,
     /// Linear solves that reused a cached factorization.
     pub lu_reuses: u64,
+    /// Sparse symbolic analyses (full fill-reducing + pivoting pass; once
+    /// per circuit topology on the sparse path).
+    pub symbolic_analyses: u64,
+    /// Sparse numeric refactorizations on a pinned pattern/pivot order.
+    pub numeric_refactors: u64,
+    /// Sparse refactors abandoned because a pinned pivot degraded (each
+    /// one triggers a fresh symbolic analysis).
+    pub pattern_fallbacks: u64,
+    /// Monte-Carlo DC solves that converged from a warm start (the
+    /// previous point's operating point) without entering the homotopy
+    /// ladder.
+    pub warm_start_hits: u64,
     /// Rescue-ladder attempts (timestep cuts, homotopy rungs, adaptive
     /// sub-steps) entered after a solver failure.
     pub rescue_attempts: u64,
@@ -43,6 +55,10 @@ impl PerfCounters {
         self.newton_iterations += other.newton_iterations;
         self.lu_factorizations += other.lu_factorizations;
         self.lu_reuses += other.lu_reuses;
+        self.symbolic_analyses += other.symbolic_analyses;
+        self.numeric_refactors += other.numeric_refactors;
+        self.pattern_fallbacks += other.pattern_fallbacks;
+        self.warm_start_hits += other.warm_start_hits;
         self.rescue_attempts += other.rescue_attempts;
         self.rescue_successes += other.rescue_successes;
         self.wall += other.wall;
@@ -67,18 +83,33 @@ impl PerfCounters {
             0.0
         }
     }
+
+    /// Fraction of sparse factorizations served by a pinned-pattern
+    /// numeric refactor instead of a full symbolic analysis.
+    pub fn refactor_ratio(&self) -> f64 {
+        let total = self.symbolic_analyses + self.numeric_refactors;
+        if total > 0 {
+            self.numeric_refactors as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 impl std::fmt::Display for PerfCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} steps, {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {}/{} rescues, {:.3} s wall",
+            "{} steps, {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {} symbolic / {} refactors / {} fallbacks, {} warm starts, {}/{} rescues, {:.3} s wall",
             self.steps,
             self.newton_iterations,
             self.lu_factorizations,
             self.lu_reuses,
             self.reuse_ratio() * 100.0,
+            self.symbolic_analyses,
+            self.numeric_refactors,
+            self.pattern_fallbacks,
+            self.warm_start_hits,
             self.rescue_successes,
             self.rescue_attempts,
             self.wall.as_secs_f64()
@@ -97,6 +128,10 @@ mod tests {
             newton_iterations: 2,
             lu_factorizations: 3,
             lu_reuses: 4,
+            symbolic_analyses: 5,
+            numeric_refactors: 6,
+            pattern_fallbacks: 7,
+            warm_start_hits: 8,
             rescue_attempts: 5,
             rescue_successes: 6,
             wall: Duration::from_millis(10),
@@ -106,6 +141,10 @@ mod tests {
             newton_iterations: 20,
             lu_factorizations: 30,
             lu_reuses: 40,
+            symbolic_analyses: 50,
+            numeric_refactors: 60,
+            pattern_fallbacks: 70,
+            warm_start_hits: 80,
             rescue_attempts: 50,
             rescue_successes: 60,
             wall: Duration::from_millis(100),
@@ -115,6 +154,10 @@ mod tests {
         assert_eq!(a.newton_iterations, 22);
         assert_eq!(a.lu_factorizations, 33);
         assert_eq!(a.lu_reuses, 44);
+        assert_eq!(a.symbolic_analyses, 55);
+        assert_eq!(a.numeric_refactors, 66);
+        assert_eq!(a.pattern_fallbacks, 77);
+        assert_eq!(a.warm_start_hits, 88);
         assert_eq!(a.rescue_attempts, 55);
         assert_eq!(a.rescue_successes, 66);
         assert_eq!(a.wall, Duration::from_millis(110));
@@ -133,7 +176,23 @@ mod tests {
         assert!((c.reuse_ratio() - 0.998).abs() < 1e-9);
         assert_eq!(PerfCounters::default().steps_per_second(), 0.0);
         assert_eq!(PerfCounters::default().reuse_ratio(), 0.0);
+        assert_eq!(PerfCounters::default().refactor_ratio(), 0.0);
         let s = c.to_string();
         assert!(s.contains("500 steps"), "{s}");
+    }
+
+    #[test]
+    fn refactor_ratio_counts_sparse_work() {
+        let c = PerfCounters {
+            symbolic_analyses: 1,
+            numeric_refactors: 3,
+            pattern_fallbacks: 1,
+            warm_start_hits: 2,
+            ..Default::default()
+        };
+        assert!((c.refactor_ratio() - 0.75).abs() < 1e-12);
+        let s = c.to_string();
+        assert!(s.contains("3 refactors"), "{s}");
+        assert!(s.contains("2 warm starts"), "{s}");
     }
 }

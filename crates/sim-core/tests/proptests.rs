@@ -1,0 +1,211 @@
+//! Property tests (opt-in, `--features proptests`) on the sparse LU:
+//! random diagonally-dominant triplet systems must solve identically —
+//! to backward-stable tolerance — under the dense LU, a fresh sparse
+//! symbolic analysis, and a sparse numeric refactorization on the pinned
+//! pattern after perturbing the values.
+//!
+//! The generator is a deterministic xorshift so failures replay by seed —
+//! no external proptest crate (the build environment is offline).
+#![cfg(feature = "proptests")]
+
+use sim_core::linalg::DMatrix;
+use sim_core::sparse::{min_degree_order, RefactorOutcome, SparseMatrix, SymbolicLu};
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in [0, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+}
+
+/// A random diagonally-dominant sparse system as a triplet list: every
+/// diagonal present, a few off-diagonals per row, row sums strictly
+/// dominated by the diagonal.
+fn random_system(rng: &mut XorShift, n: usize) -> (Vec<(usize, usize, f64)>, Vec<f64>) {
+    let mut triplets = Vec::new();
+    let mut row_sum = vec![0.0; n];
+    for r in 0..n {
+        let offdiag = rng.below(4) as usize;
+        for _ in 0..offdiag {
+            let c = rng.below(n as u64) as usize;
+            if c == r {
+                continue;
+            }
+            let v = rng.range(-1.0, 1.0);
+            row_sum[r] += v.abs();
+            triplets.push((r, c, v));
+        }
+    }
+    for r in 0..n {
+        triplets.push((r, r, row_sum[r] + rng.range(1.0, 3.0)));
+    }
+    let b: Vec<f64> = (0..n).map(|_| rng.range(-2.0, 2.0)).collect();
+    (triplets, b)
+}
+
+/// Stamps `triplets` (with `scale` applied to off-diagonals) into `m`.
+fn stamp(m: &mut SparseMatrix<f64>, triplets: &[(usize, usize, f64)], scale: f64) {
+    m.begin_assembly();
+    for &(r, c, v) in triplets {
+        m.add(r, c, if r == c { v } else { v * scale });
+    }
+    m.finish_assembly();
+}
+
+fn dense_of(triplets: &[(usize, usize, f64)], n: usize, scale: f64) -> DMatrix {
+    let mut d = DMatrix::square(n);
+    for &(r, c, v) in triplets {
+        d.add(r, c, if r == c { v } else { v * scale });
+    }
+    d
+}
+
+fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str, seed: u64) {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let scale = y.abs().max(1.0);
+        assert!(
+            (x - y).abs() <= tol * scale,
+            "seed {seed:#x}: {what}[{i}]: {x} vs {y}"
+        );
+    }
+}
+
+/// Dense LU, fresh sparse analysis and refactor-after-perturbation all
+/// agree on random diagonally-dominant systems.
+#[test]
+fn sparse_paths_agree_with_dense_on_random_systems() {
+    let mut rng = XorShift(0x5eed_cafe_f00d_0001);
+    for _case in 0..200 {
+        let seed = rng.0;
+        let n = 2 + rng.below(30) as usize;
+        let (triplets, b) = random_system(&mut rng, n);
+
+        // Dense reference.
+        let dense = dense_of(&triplets, n, 1.0);
+        let x_dense = sim_core::linalg::solve(&dense, &b).expect("dominant system is solvable");
+
+        // Fresh sparse analysis (the full-pivot symbolic+numeric path).
+        let mut m = SparseMatrix::new(n);
+        stamp(&mut m, &triplets, 1.0);
+        let (sym, mut num) = SymbolicLu::analyze(&m).expect("dominant system is solvable");
+        let mut x_sparse = b.clone();
+        sym.solve(&num, &mut x_sparse);
+        assert_close(&x_sparse, &x_dense, 1e-10, "sparse vs dense", seed);
+
+        // Perturb every off-diagonal by a common factor (the pattern is
+        // unchanged), refactor on the pinned pattern, and compare against
+        // a dense solve of the perturbed system.
+        let scale = rng.range(0.5, 1.5);
+        stamp(&mut m, &triplets, scale);
+        match sym.refactor(&m, &mut num) {
+            RefactorOutcome::Refactored => {}
+            RefactorOutcome::Stale => {
+                panic!("seed {seed:#x}: same-pattern perturbation must refactor")
+            }
+        }
+        let perturbed = dense_of(&triplets, n, scale);
+        let x_pdense =
+            sim_core::linalg::solve(&perturbed, &b).expect("dominant system stays solvable");
+        let mut x_refact = b.clone();
+        sym.solve(&num, &mut x_refact);
+        assert_close(&x_refact, &x_pdense, 1e-10, "refactor vs dense", seed);
+
+        // Residual check on the refactored solve: ||Ax - b|| small.
+        let ax = m.mul_vec(&x_refact);
+        for (i, (axi, bi)) in ax.iter().zip(&b).enumerate() {
+            assert!(
+                (axi - bi).abs() <= 1e-9 * bi.abs().max(1.0),
+                "seed {seed:#x}: residual[{i}] = {}",
+                axi - bi
+            );
+        }
+    }
+}
+
+/// The min-degree ordering is always a permutation of 0..n.
+#[test]
+fn min_degree_order_is_a_permutation() {
+    let mut rng = XorShift(0xbead_5eed_0000_0002);
+    for _case in 0..200 {
+        let seed = rng.0;
+        let n = 1 + rng.below(40) as usize;
+        let (triplets, _) = random_system(&mut rng, n);
+        let mut m = SparseMatrix::new(n);
+        stamp(&mut m, &triplets, 1.0);
+        let perm = min_degree_order(n, m.col_ptr(), m.row_idx());
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            assert!(p < n && !seen[p], "seed {seed:#x}: not a permutation");
+            seen[p] = true;
+        }
+        assert_eq!(perm.len(), n, "seed {seed:#x}: wrong length");
+    }
+}
+
+/// Re-stamping a diverging triplet sequence recompiles the structure and
+/// still solves correctly (the unlock path).
+#[test]
+fn structure_change_recompiles_and_solves() {
+    let mut rng = XorShift(0xfeed_0000_dead_0003);
+    for _case in 0..100 {
+        let seed = rng.0;
+        let n = 3 + rng.below(20) as usize;
+        let (triplets, b) = random_system(&mut rng, n);
+        let mut m = SparseMatrix::new(n);
+        stamp(&mut m, &triplets, 1.0);
+        let (sym, mut num) = SymbolicLu::analyze(&m).expect("solvable");
+
+        // Add one extra off-diagonal entry: the locked structure must
+        // recompile and the old symbolic pattern must refuse to refactor
+        // (or keep working if the new entry lands inside the factor
+        // pattern — either way the fresh analysis must be right).
+        let r = rng.below(n as u64) as usize;
+        let c = (r + 1 + rng.below((n - 1) as u64) as usize) % n;
+        let mut extended = triplets.clone();
+        extended.push((r, c, 1e-3));
+        // Re-add the dominance margin the new entry consumed.
+        extended.push((r, r, 1e-3));
+        m.begin_assembly();
+        for &(rr, cc, v) in &extended {
+            m.add(rr, cc, v);
+        }
+        let recompiled = m.finish_assembly();
+        assert!(recompiled, "seed {seed:#x}: new entry must recompile");
+
+        let outcome = sym.refactor(&m, &mut num);
+        let x_fresh = {
+            let (sym2, num2) = SymbolicLu::analyze(&m).expect("still solvable");
+            let mut x = b.clone();
+            sym2.solve(&num2, &mut x);
+            x
+        };
+        if let RefactorOutcome::Refactored = outcome {
+            // Entry happened to fit the old factor pattern: answers must
+            // still match the fresh analysis.
+            let mut x = b.clone();
+            sym.solve(&num, &mut x);
+            assert_close(&x, &x_fresh, 1e-9, "in-pattern refactor", seed);
+        }
+        let x_dense = sim_core::linalg::solve(&m.to_dense(), &b).expect("solvable");
+        assert_close(&x_fresh, &x_dense, 1e-10, "recompiled vs dense", seed);
+    }
+}

@@ -8,9 +8,11 @@ use crate::circuit::{Circuit, Element, NodeId};
 use crate::dcop::{dcop_with, DcSolution};
 use crate::error::SpiceError;
 use crate::linalg::CMatrix;
-use crate::mna::{switch_conductance, MnaLayout};
+use crate::mna::{estimate_nnz, switch_conductance, MnaLayout};
 use crate::mosfet::eval_mosfet;
+use crate::perf::PerfCounters;
 use num_complex::Complex64;
+use sim_core::sparse::{NumericLu, RefactorOutcome, SolverKind, SparseMatrix, SymbolicLu};
 
 /// Result of an AC sweep: one complex solution vector per frequency.
 #[derive(Debug, Clone)]
@@ -18,12 +20,21 @@ pub struct AcSweep {
     freqs: Vec<f64>,
     solutions: Vec<Vec<Complex64>>,
     layout: MnaLayout,
+    counters: PerfCounters,
 }
 
 impl AcSweep {
     /// The sweep frequencies, Hz.
     pub fn freqs(&self) -> &[f64] {
         &self.freqs
+    }
+
+    /// Linear-solve work done across the sweep (one factorization per
+    /// frequency on the dense path; on the sparse path the symbolic
+    /// analysis is shared and later frequencies show as
+    /// `numeric_refactors`).
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
     }
 
     /// Complex node voltage at sweep point `i`.
@@ -114,7 +125,8 @@ pub fn ac_analysis(
     ac_analysis_at(circuit, &op, freqs)
 }
 
-/// AC sweep around an already-computed operating point.
+/// AC sweep around an already-computed operating point, with the solver
+/// backend taken from the `UWB_AMS_SOLVER` environment override.
 ///
 /// # Errors
 ///
@@ -124,17 +136,60 @@ pub fn ac_analysis_at(
     op: &DcSolution,
     freqs: &[f64],
 ) -> Result<AcSweep, SpiceError> {
-    let layout = MnaLayout::new(circuit);
-    let n = layout.size();
+    ac_analysis_at_with(circuit, op, freqs, SolverKind::from_env())
+}
+
+/// A complex matrix that AC stamps accumulate into — the complex twin of
+/// [`crate::mna::Stamp`], implemented by the dense [`CMatrix`] and the
+/// triplet-logging [`SparseMatrix<Complex64>`].
+trait AcStamp {
+    fn add_re(&mut self, r: usize, c: usize, v: f64);
+    fn add_im(&mut self, r: usize, c: usize, v: f64);
+}
+
+impl AcStamp for CMatrix {
+    fn add_re(&mut self, r: usize, c: usize, v: f64) {
+        CMatrix::add_re(self, r, c, v);
+    }
+    fn add_im(&mut self, r: usize, c: usize, v: f64) {
+        CMatrix::add_im(self, r, c, v);
+    }
+}
+
+impl AcStamp for SparseMatrix<Complex64> {
+    fn add_re(&mut self, r: usize, c: usize, v: f64) {
+        self.add(r, c, Complex64::new(v, 0.0));
+    }
+    fn add_im(&mut self, r: usize, c: usize, v: f64) {
+        self.add(r, c, Complex64::new(0.0, v));
+    }
+}
+
+/// Stamps the small-signal system at angular frequency `omega` around the
+/// operating point `op` into `mat`/`rhs`. The stamp *sequence* depends
+/// only on the circuit, so on the sparse path every frequency replays the
+/// same locked triplet structure.
+fn assemble_ac<M: AcStamp>(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    op: &DcSolution,
+    omega: f64,
+    mat: &mut M,
+    rhs: &mut [Complex64],
+) -> Result<(), SpiceError> {
     let v_at = |node: NodeId| layout.voltage(&op.x, node);
-    let mut solutions = Vec::with_capacity(freqs.len());
-
-    for &f in freqs {
-        let omega = 2.0 * std::f64::consts::PI * f;
-        let mut mat = CMatrix::zeros(n);
-        let mut rhs = vec![Complex64::new(0.0, 0.0); n];
-
-        let stamp_g = |mat: &mut CMatrix, p: NodeId, nn: NodeId, g: f64| {
+    let branch = |idx: usize, name: &str| {
+        layout
+            .branch_unknown(idx)
+            .ok_or_else(|| SpiceError::InvalidParameter {
+                element: name.to_string(),
+                message: "voltage-defined element has no branch unknown in the MNA layout \
+                          (layout computed for a different circuit?)"
+                    .to_string(),
+            })
+    };
+    {
+        let stamp_g = |mat: &mut M, p: NodeId, nn: NodeId, g: f64| {
             let up = layout.node_unknown(p);
             let un = layout.node_unknown(nn);
             if let Some(i) = up {
@@ -148,7 +203,7 @@ pub fn ac_analysis_at(
                 mat.add_re(j, i, -g);
             }
         };
-        let stamp_c = |mat: &mut CMatrix, p: NodeId, nn: NodeId, c: f64| {
+        let stamp_c = |mat: &mut M, p: NodeId, nn: NodeId, c: f64| {
             let b = omega * c;
             let up = layout.node_unknown(p);
             let un = layout.node_unknown(nn);
@@ -164,7 +219,7 @@ pub fn ac_analysis_at(
             }
         };
         // Transconductance stamp: I(p→n) += gm · v(cp).
-        let stamp_gm = |mat: &mut CMatrix, p: NodeId, nn: NodeId, ctrl: NodeId, gm: f64| {
+        let stamp_gm = |mat: &mut M, p: NodeId, nn: NodeId, ctrl: NodeId, gm: f64| {
             if let Some(col) = layout.node_unknown(ctrl) {
                 if let Some(i) = layout.node_unknown(p) {
                     mat.add_re(i, col, gm);
@@ -175,14 +230,14 @@ pub fn ac_analysis_at(
             }
         };
 
-        for (idx, (_name, e)) in circuit.elements().iter().enumerate() {
+        for (idx, (name, e)) in circuit.elements().iter().enumerate() {
             match e {
-                Element::Resistor { p, n: nn, r } => stamp_g(&mut mat, *p, *nn, 1.0 / r),
-                Element::Capacitor { p, n: nn, c, .. } => stamp_c(&mut mat, *p, *nn, *c),
+                Element::Resistor { p, n: nn, r } => stamp_g(mat, *p, *nn, 1.0 / r),
+                Element::Capacitor { p, n: nn, c, .. } => stamp_c(mat, *p, *nn, *c),
                 Element::Vsource {
                     p, n: nn, ac_mag, ..
                 } => {
-                    let ib = layout.branch_unknown(idx).expect("vsource branch");
+                    let ib = branch(idx, name)?;
                     if let Some(i) = layout.node_unknown(*p) {
                         mat.add_re(i, ib, 1.0);
                         mat.add_re(ib, i, 1.0);
@@ -210,7 +265,7 @@ pub fn ac_analysis_at(
                     cn,
                     gain,
                 } => {
-                    let ib = layout.branch_unknown(idx).expect("vcvs branch");
+                    let ib = branch(idx, name)?;
                     if let Some(i) = layout.node_unknown(*p) {
                         mat.add_re(i, ib, 1.0);
                         mat.add_re(ib, i, 1.0);
@@ -233,8 +288,8 @@ pub fn ac_analysis_at(
                     cn,
                     gm,
                 } => {
-                    stamp_gm(&mut mat, *p, *nn, *cp, *gm);
-                    stamp_gm(&mut mat, *p, *nn, *cn, -*gm);
+                    stamp_gm(mat, *p, *nn, *cp, *gm);
+                    stamp_gm(mat, *p, *nn, *cn, -*gm);
                 }
                 Element::Switch {
                     p,
@@ -248,15 +303,15 @@ pub fn ac_analysis_at(
                 } => {
                     let vc = v_at(*cp) - v_at(*cn);
                     let g = switch_conductance(vc, *ron, *roff, *vt, *vs);
-                    stamp_g(&mut mat, *p, *nn, g);
+                    stamp_g(mat, *p, *nn, g);
                 }
                 Element::Diode { p, n: nn, is, nf } => {
                     let v = v_at(*p) - v_at(*nn);
                     let (_, g) = crate::mna::diode_iv(*is, *nf, v);
-                    stamp_g(&mut mat, *p, *nn, g + 1e-12);
+                    stamp_g(mat, *p, *nn, g + 1e-12);
                 }
                 Element::Inductor { p, n: nn, l } => {
-                    let ib = layout.branch_unknown(idx).expect("inductor branch");
+                    let ib = branch(idx, name)?;
                     if let Some(i) = layout.node_unknown(*p) {
                         mat.add_re(i, ib, 1.0);
                         mat.add_re(ib, i, 1.0);
@@ -286,41 +341,114 @@ pub fn ac_analysis_at(
                     let gd = (ids(vg, vd + h, vs_, vb) - ids(vg, vd - h, vs_, vb)) / (2.0 * h);
                     let gs = (ids(vg, vd, vs_ + h, vb) - ids(vg, vd, vs_ - h, vb)) / (2.0 * h);
                     let gb = (ids(vg, vd, vs_, vb + h) - ids(vg, vd, vs_, vb - h)) / (2.0 * h);
-                    stamp_gm(&mut mat, *d, *s, *g, gg);
-                    stamp_gm(&mut mat, *d, *s, *d, gd);
-                    stamp_gm(&mut mat, *d, *s, *s, gs);
-                    stamp_gm(&mut mat, *d, *s, *b, gb);
+                    stamp_gm(mat, *d, *s, *g, gg);
+                    stamp_gm(mat, *d, *s, *d, gd);
+                    stamp_gm(mat, *d, *s, *s, gs);
+                    stamp_gm(mat, *d, *s, *b, gb);
                     // Small-signal capacitances at the OP.
                     let (ev, _) = eval_mosfet(pm, *w, *l, vg, vd, vs_, vb);
-                    stamp_c(&mut mat, *g, *s, ev.cgs);
-                    stamp_c(&mut mat, *g, *d, ev.cgd);
-                    stamp_c(&mut mat, *g, *b, ev.cgb);
+                    stamp_c(mat, *g, *s, ev.cgs);
+                    stamp_c(mat, *g, *d, ev.cgd);
+                    stamp_c(mat, *g, *b, ev.cgb);
                     let cj = pm.cj * w * 0.5e-6;
-                    stamp_c(&mut mat, *d, *b, cj);
-                    stamp_c(&mut mat, *s, *b, cj);
+                    stamp_c(mat, *d, *b, cj);
+                    stamp_c(mat, *s, *b, cj);
                     // Same gmin floor as the large-signal assembly.
-                    stamp_g(&mut mat, *d, *b, 1e-12);
-                    stamp_g(&mut mat, *s, *b, 1e-12);
-                    stamp_g(&mut mat, *d, *s, 1e-12);
+                    stamp_g(mat, *d, *b, 1e-12);
+                    stamp_g(mat, *s, *b, 1e-12);
+                    stamp_g(mat, *d, *s, 1e-12);
                 }
             }
         }
         for node in 1..layout.n_nodes() {
             mat.add_re(node - 1, node - 1, 1e-12);
         }
-        let mut sol = rhs;
-        mat.solve_in_place(&mut sol)
-            .map_err(|e| SpiceError::Singular {
-                analysis: "ac",
-                order: e.order,
-                pivot: e.pivot,
-            })?;
-        solutions.push(sol);
+    }
+    Ok(())
+}
+
+/// [`ac_analysis_at`] with an explicit solver backend. The dense path is
+/// unchanged vs history (fresh [`CMatrix`] + full factorization per
+/// frequency); the sparse path assembles one locked triplet structure,
+/// runs the symbolic analysis at the first frequency and numerically
+/// refactors on the pinned pattern for every later one (a stale pivot
+/// falls back to a fresh analysis).
+///
+/// # Errors
+///
+/// [`SpiceError::Singular`] if the complex MNA matrix cannot be factored.
+pub fn ac_analysis_at_with(
+    circuit: &Circuit,
+    op: &DcSolution,
+    freqs: &[f64],
+    solver: SolverKind,
+) -> Result<AcSweep, SpiceError> {
+    let layout = MnaLayout::new(circuit);
+    let n = layout.size();
+    let mut solutions = Vec::with_capacity(freqs.len());
+    let mut counters = PerfCounters::new();
+
+    if solver.picks_sparse(n, estimate_nnz(circuit, &layout)) {
+        let mut mat: SparseMatrix<Complex64> = SparseMatrix::new(n);
+        let mut factors: Option<(SymbolicLu, NumericLu<Complex64>)> = None;
+        for &f in freqs {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            let mut rhs = vec![Complex64::new(0.0, 0.0); n];
+            mat.begin_assembly();
+            assemble_ac(circuit, &layout, op, omega, &mut mat, &mut rhs)?;
+            if mat.finish_assembly() {
+                factors = None;
+            }
+            let need_analyze = match factors.as_mut() {
+                Some((sym, num)) => match sym.refactor(&mat, num) {
+                    RefactorOutcome::Refactored => {
+                        counters.numeric_refactors += 1;
+                        counters.lu_factorizations += 1;
+                        false
+                    }
+                    RefactorOutcome::Stale => {
+                        counters.pattern_fallbacks += 1;
+                        true
+                    }
+                },
+                None => true,
+            };
+            if need_analyze {
+                counters.symbolic_analyses += 1;
+                counters.lu_factorizations += 1;
+                factors = Some(SymbolicLu::analyze(&mat).map_err(|e| SpiceError::Singular {
+                    analysis: "ac",
+                    order: e.order,
+                    pivot: e.pivot,
+                })?);
+            }
+            if let Some((sym, num)) = factors.as_ref() {
+                sym.solve(num, &mut rhs);
+            }
+            solutions.push(rhs);
+        }
+    } else {
+        for &f in freqs {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            let mut mat = CMatrix::zeros(n);
+            let mut rhs = vec![Complex64::new(0.0, 0.0); n];
+            assemble_ac(circuit, &layout, op, omega, &mut mat, &mut rhs)?;
+            counters.lu_factorizations += 1;
+            let mut sol = rhs;
+            mat.solve_in_place(&mut sol)
+                .map_err(|e| SpiceError::Singular {
+                    analysis: "ac",
+                    order: e.order,
+                    pivot: e.pivot,
+                })?;
+            solutions.push(sol);
+        }
     }
     Ok(AcSweep {
         freqs: freqs.to_vec(),
         solutions,
         layout,
+        counters,
     })
 }
 
@@ -386,6 +514,54 @@ mod tests {
         assert!(g[0] > 10.0, "LF gain {}", g[0]);
         // Gain must roll off at high frequency.
         assert!(*g.last().unwrap() < g[0] - 20.0, "rolled off");
+    }
+
+    #[test]
+    fn sparse_ac_matches_dense_and_shares_the_symbolic_analysis() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vi = c.node("in");
+        let vo = c.node("out");
+        c.add_model("nch", MosParams::nmos_018());
+        c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
+        c.vsource_ac("VIN", vi, Circuit::gnd(), SourceWave::Dc(0.6), 1.0);
+        c.resistor("RL", vdd, vo, 20e3);
+        c.capacitor("CL", vo, Circuit::gnd(), 1e-12);
+        c.mosfet(
+            "M1",
+            vo,
+            vi,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            "nch",
+            10e-6,
+            1e-6,
+        )
+        .unwrap();
+        let freqs = log_sweep(1e3, 1e9, 3);
+        let op = dcop_with(&c, &[]).unwrap();
+        let dense = ac_analysis_at_with(&c, &op, &freqs, SolverKind::Dense).unwrap();
+        let sparse = ac_analysis_at_with(&c, &op, &freqs, SolverKind::Sparse).unwrap();
+        for (i, _) in freqs.iter().enumerate() {
+            let (a, b) = (dense.voltage(i, vo), sparse.voltage(i, vo));
+            assert!(
+                (a - b).norm() <= 1e-9 * b.norm().max(1.0),
+                "freq {i}: dense {a:?} vs sparse {b:?}"
+            );
+        }
+        // Dense: one full factorization per frequency, no sparse work.
+        assert_eq!(dense.counters().lu_factorizations, freqs.len() as u64);
+        assert_eq!(dense.counters().symbolic_analyses, 0);
+        // Sparse: every frequency is either the shared symbolic analysis
+        // (at least the first) or a pinned-pattern numeric refactor.
+        let sc = sparse.counters();
+        assert!(sc.symbolic_analyses >= 1, "{sc}");
+        assert!(sc.numeric_refactors >= 1, "{sc}");
+        assert_eq!(
+            sc.symbolic_analyses + sc.numeric_refactors,
+            freqs.len() as u64,
+            "{sc}"
+        );
     }
 
     #[test]

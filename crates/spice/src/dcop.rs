@@ -3,8 +3,9 @@
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
 use crate::linalg::{LuFactors, Matrix};
-use crate::mna::{assemble, AssembleMode, AssembleParams, MnaLayout};
+use crate::mna::{assemble, estimate_nnz, AssembleMode, AssembleParams, MnaLayout};
 use crate::perf::PerfCounters;
+use sim_core::sparse::{NumericLu, RefactorOutcome, SolverKind, SparseMatrix, SymbolicLu};
 
 /// Newton iteration controls.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +30,12 @@ pub struct NewtonOptions {
     /// taxonomy is part of the bit-exact golden contract; the rescue
     /// policy switches it on (see [`crate::rescue::RescuePolicy`]).
     pub numeric_guard: bool,
+    /// Linear-solver backend: dense kernel, sparse symbolic/numeric LU, or
+    /// the size/density heuristic. Defaults to the `UWB_AMS_SOLVER`
+    /// environment override (`auto` when unset), under which every
+    /// single-instance netlist in the workspace stays on the dense kernel
+    /// — bit-exact vs the pre-sparse history.
+    pub solver: SolverKind,
 }
 
 impl Default for NewtonOptions {
@@ -40,6 +47,7 @@ impl Default for NewtonOptions {
             max_step: 0.5,
             reuse_lu: true,
             numeric_guard: false,
+            solver: SolverKind::from_env(),
         }
     }
 }
@@ -51,25 +59,80 @@ impl Default for NewtonOptions {
 /// iteration and can carry a factorization across iterations and steps.
 #[derive(Debug, Clone)]
 pub(crate) struct NewtonWorkspace {
-    mat: Matrix,
     rhs: Vec<f64>,
     x_new: Vec<f64>,
-    lu: LuFactors,
-    /// Raw copy of the matrix the cached `lu` factors.
-    a_cached: Vec<f64>,
-    lu_valid: bool,
+    backend: Backend,
+}
+
+/// The linear-solver half of a [`NewtonWorkspace`]: dense matrix + cached
+/// partial-pivot LU (the legacy path, bit-exact vs history) or triplet
+/// sparse matrix + split symbolic/numeric LU.
+#[derive(Debug, Clone)]
+enum Backend {
+    Dense {
+        mat: Matrix,
+        lu: LuFactors,
+        /// Raw copy of the matrix the cached `lu` factors.
+        a_cached: Vec<f64>,
+        lu_valid: bool,
+    },
+    Sparse {
+        mat: SparseMatrix<f64>,
+        /// Symbolic pattern + pinned-pattern numeric factors; `None` until
+        /// the first analysis (or after a structural recompile). Boxed so
+        /// the enum stays close to the dense variant in size.
+        factors: Option<Box<(SymbolicLu, NumericLu<f64>)>>,
+        /// Raw copy of the CSC values the cached factors eliminate —
+        /// the sparse twin of the dense byte-compare reuse test.
+        vals_cached: Vec<f64>,
+        cache_valid: bool,
+    },
 }
 
 impl NewtonWorkspace {
+    /// Dense-backend workspace (the legacy constructor; rescue rungs and
+    /// small circuits use it directly).
     pub(crate) fn new(n: usize) -> Self {
         NewtonWorkspace {
-            mat: Matrix::square(n),
             rhs: vec![0.0; n],
             x_new: vec![0.0; n],
-            lu: LuFactors::new(n),
-            a_cached: vec![0.0; n * n],
-            lu_valid: false,
+            backend: Backend::Dense {
+                mat: Matrix::square(n),
+                lu: LuFactors::new(n),
+                a_cached: vec![0.0; n * n],
+                lu_valid: false,
+            },
         }
+    }
+
+    /// Sparse-backend workspace.
+    pub(crate) fn sparse(n: usize) -> Self {
+        NewtonWorkspace {
+            rhs: vec![0.0; n],
+            x_new: vec![0.0; n],
+            backend: Backend::Sparse {
+                mat: SparseMatrix::new(n),
+                factors: None,
+                vals_cached: Vec::new(),
+                cache_valid: false,
+            },
+        }
+    }
+
+    /// Picks the backend for `circuit` from `kind` and the stamp-footprint
+    /// density estimate.
+    pub(crate) fn for_circuit(circuit: &Circuit, layout: &MnaLayout, kind: SolverKind) -> Self {
+        if kind.picks_sparse(layout.size(), estimate_nnz(circuit, layout)) {
+            Self::sparse(layout.size())
+        } else {
+            Self::new(layout.size())
+        }
+    }
+
+    /// `true` when this workspace routes solves through the sparse kernel.
+    #[cfg(test)]
+    pub(crate) fn is_sparse(&self) -> bool {
+        matches!(self.backend, Backend::Sparse { .. })
     }
 }
 
@@ -104,53 +167,144 @@ pub(crate) fn newton_solve(
     let n_volt = layout.n_nodes() - 1;
     let mut last_delta = f64::INFINITY;
     let linear = circuit.is_linear();
+    let NewtonWorkspace {
+        rhs,
+        x_new,
+        backend,
+    } = ws;
     for _ in 0..opts.max_iter {
         counters.newton_iterations += 1;
-        assemble(circuit, layout, &x, mode, &params, &mut ws.mat, &mut ws.rhs);
-        if opts.numeric_guard {
-            if let Err(fault) = sim_core::linalg::check_finite_matrix(&ws.mat)
-                .and_then(|()| sim_core::linalg::check_finite_vec(&ws.rhs, "rhs"))
-            {
-                return Err(SpiceError::Numeric {
-                    analysis: "dcop",
-                    fault,
-                });
+        match backend {
+            Backend::Dense {
+                mat,
+                lu,
+                a_cached,
+                lu_valid,
+            } => {
+                assemble(circuit, layout, &x, mode, &params, mat, rhs)?;
+                if opts.numeric_guard {
+                    if let Err(fault) = sim_core::linalg::check_finite_matrix(mat)
+                        .and_then(|()| sim_core::linalg::check_finite_vec(rhs, "rhs"))
+                    {
+                        return Err(SpiceError::Numeric {
+                            analysis: "dcop",
+                            fault,
+                        });
+                    }
+                }
+                if opts.reuse_lu && *lu_valid && mat.data() == &a_cached[..] {
+                    counters.lu_reuses += 1;
+                } else {
+                    a_cached.copy_from_slice(mat.data());
+                    counters.lu_factorizations += 1;
+                    match lu.factorize(mat) {
+                        Ok(()) => *lu_valid = true,
+                        Err(e) => {
+                            *lu_valid = false;
+                            return Err(SpiceError::Singular {
+                                analysis: "dcop",
+                                order: e.order,
+                                pivot: e.pivot,
+                            });
+                        }
+                    }
+                }
+                x_new.copy_from_slice(rhs);
+                lu.solve(x_new);
             }
-        }
-        if opts.reuse_lu && ws.lu_valid && ws.mat.data() == &ws.a_cached[..] {
-            counters.lu_reuses += 1;
-        } else {
-            ws.a_cached.copy_from_slice(ws.mat.data());
-            counters.lu_factorizations += 1;
-            match ws.lu.factorize(&ws.mat) {
-                Ok(()) => ws.lu_valid = true,
-                Err(e) => {
-                    ws.lu_valid = false;
-                    return Err(SpiceError::Singular {
-                        analysis: "dcop",
-                        order: e.order,
-                        pivot: e.pivot,
-                    });
+            Backend::Sparse {
+                mat,
+                factors,
+                vals_cached,
+                cache_valid,
+            } => {
+                assemble(circuit, layout, &x, mode, &params, mat, rhs)?;
+                if mat.finish_assembly() {
+                    // Stamp sequence diverged: the CSC structure was
+                    // recompiled, so the pinned pattern and value cache
+                    // are both meaningless.
+                    *factors = None;
+                    *cache_valid = false;
+                }
+                if opts.numeric_guard {
+                    if let Err(fault) = mat
+                        .check_finite()
+                        .and_then(|()| sim_core::linalg::check_finite_vec(rhs, "rhs"))
+                    {
+                        return Err(SpiceError::Numeric {
+                            analysis: "dcop",
+                            fault,
+                        });
+                    }
+                }
+                let reuse = opts.reuse_lu
+                    && *cache_valid
+                    && factors.is_some()
+                    && mat.values() == &vals_cached[..];
+                if reuse {
+                    counters.lu_reuses += 1;
+                } else {
+                    vals_cached.clear();
+                    vals_cached.extend_from_slice(mat.values());
+                    *cache_valid = true;
+                    let mut refactored = false;
+                    if let Some((sym, num)) = factors.as_deref_mut() {
+                        match sym.refactor(mat, num) {
+                            RefactorOutcome::Refactored => {
+                                counters.numeric_refactors += 1;
+                                counters.lu_factorizations += 1;
+                                refactored = true;
+                            }
+                            RefactorOutcome::Stale => {
+                                counters.pattern_fallbacks += 1;
+                            }
+                        }
+                    }
+                    if !refactored {
+                        counters.symbolic_analyses += 1;
+                        counters.lu_factorizations += 1;
+                        match SymbolicLu::analyze(mat) {
+                            Ok(pair) => *factors = Some(Box::new(pair)),
+                            Err(e) => {
+                                *factors = None;
+                                *cache_valid = false;
+                                return Err(SpiceError::Singular {
+                                    analysis: "dcop",
+                                    order: e.order,
+                                    pivot: e.pivot,
+                                });
+                            }
+                        }
+                    }
+                }
+                x_new.copy_from_slice(rhs);
+                match factors.as_deref() {
+                    Some((sym, num)) => sym.solve(num, x_new),
+                    None => {
+                        return Err(SpiceError::Singular {
+                            analysis: "dcop",
+                            order: n,
+                            pivot: n,
+                        })
+                    }
                 }
             }
         }
-        ws.x_new.copy_from_slice(&ws.rhs);
-        ws.lu.solve(&mut ws.x_new);
         if linear {
             // Affine system: the solve is exact — accept undamped.
-            if ws.x_new.iter().any(|v| !v.is_finite()) {
+            if x_new.iter().any(|v| !v.is_finite()) {
                 return Err(SpiceError::Singular {
                     analysis: "dcop",
                     order: n,
                     pivot: n,
                 });
             }
-            x.copy_from_slice(&ws.x_new);
+            x.copy_from_slice(x_new);
             return Ok(x);
         }
         // Damping: clamp the largest node-voltage update.
         let mut max_dv = 0.0f64;
-        for (xn, xv) in ws.x_new.iter().zip(x.iter()).take(n_volt) {
+        for (xn, xv) in x_new.iter().zip(x.iter()).take(n_volt) {
             max_dv = max_dv.max((xn - xv).abs());
         }
         let scale = if max_dv > opts.max_step {
@@ -160,7 +314,7 @@ pub(crate) fn newton_solve(
         };
         let mut converged = scale == 1.0;
         for (i, xv) in x.iter_mut().enumerate() {
-            let delta = (ws.x_new[i] - *xv) * scale;
+            let delta = (x_new[i] - *xv) * scale;
             *xv += delta;
             if i < n_volt && delta.abs() > opts.vntol + opts.reltol * xv.abs() {
                 converged = false;
@@ -291,11 +445,65 @@ pub(crate) const GMIN_FINAL: f64 = 1e-12;
 /// [`SpiceError::DcopDiverged`] if every homotopy fails, or
 /// [`SpiceError::Singular`] for structurally defective circuits.
 pub fn dcop_with(circuit: &Circuit, externals: &[f64]) -> Result<DcSolution, SpiceError> {
+    dcop_impl(circuit, externals, &NewtonOptions::default(), None)
+}
+
+/// [`dcop_with`] seeded by a warm-start guess — typically the previous
+/// Monte-Carlo point's converged operating point. A stage-0 Newton solve
+/// runs directly from `guess`; when it converges (the common case for
+/// small parameter perturbations) the whole homotopy ladder is skipped and
+/// `warm_start_hits` is incremented. On any stage-0 failure the standard
+/// cold-start strategy runs unchanged, so results never depend on the
+/// guess being good.
+///
+/// # Errors
+///
+/// See [`dcop_with`].
+pub fn dcop_with_guess(
+    circuit: &Circuit,
+    externals: &[f64],
+    guess: &[f64],
+) -> Result<DcSolution, SpiceError> {
+    dcop_impl(circuit, externals, &NewtonOptions::default(), Some(guess))
+}
+
+pub(crate) fn dcop_impl(
+    circuit: &Circuit,
+    externals: &[f64],
+    opts: &NewtonOptions,
+    guess: Option<&[f64]>,
+) -> Result<DcSolution, SpiceError> {
     let layout = MnaLayout::new(circuit);
-    let opts = NewtonOptions::default();
     let x0 = vec![0.0; layout.size()];
-    let mut ws = NewtonWorkspace::new(layout.size());
+    let mut ws = NewtonWorkspace::for_circuit(circuit, &layout, opts.solver);
     let mut counters = PerfCounters::new();
+
+    // Stage 0: warm start from the caller's guess (Monte-Carlo chains).
+    if let Some(g) = guess {
+        if g.len() == layout.size() {
+            if let Ok(x) = newton_solve(
+                circuit,
+                &layout,
+                g,
+                AssembleMode::Dc,
+                0.0,
+                externals,
+                GMIN_FINAL,
+                1.0,
+                opts,
+                &mut ws,
+                &mut counters,
+            ) {
+                counters.warm_start_hits += 1;
+                return Ok(DcSolution {
+                    x,
+                    layout,
+                    iterations: counters.newton_iterations as usize,
+                    counters,
+                });
+            }
+        }
+    }
 
     // Stage 1: direct.
     if let Ok(x) = newton_solve(
@@ -307,7 +515,7 @@ pub fn dcop_with(circuit: &Circuit, externals: &[f64]) -> Result<DcSolution, Spi
         externals,
         GMIN_FINAL,
         1.0,
-        &opts,
+        opts,
         &mut ws,
         &mut counters,
     ) {
@@ -333,7 +541,7 @@ pub fn dcop_with(circuit: &Circuit, externals: &[f64]) -> Result<DcSolution, Spi
             externals,
             gmin,
             1.0,
-            &opts,
+            opts,
             &mut ws,
             &mut counters,
         ) {
@@ -366,7 +574,7 @@ pub fn dcop_with(circuit: &Circuit, externals: &[f64]) -> Result<DcSolution, Spi
             externals,
             1e-9,
             scale,
-            &opts,
+            opts,
             &mut ws,
             &mut counters,
         )
@@ -384,7 +592,7 @@ pub fn dcop_with(circuit: &Circuit, externals: &[f64]) -> Result<DcSolution, Spi
         externals,
         GMIN_FINAL,
         1.0,
-        &opts,
+        opts,
         &mut ws,
         &mut counters,
     )?;
@@ -579,6 +787,94 @@ mod tests {
             "v = {}",
             op.voltage(dst)
         );
+    }
+
+    fn cmos_inverter(vin: f64) -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vi = c.node("in");
+        let vo = c.node("out");
+        c.add_model("nch", MosParams::nmos_018());
+        c.add_model("pch", MosParams::pmos_018());
+        c.vsource("VDD", vdd, Circuit::gnd(), SourceWave::Dc(1.8));
+        c.vsource("VIN", vi, Circuit::gnd(), SourceWave::Dc(vin));
+        c.mosfet(
+            "MN",
+            vo,
+            vi,
+            Circuit::gnd(),
+            Circuit::gnd(),
+            "nch",
+            2e-6,
+            0.18e-6,
+        )
+        .unwrap();
+        c.mosfet("MP", vo, vi, vdd, vdd, "pch", 6e-6, 0.18e-6)
+            .unwrap();
+        (c, vo)
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_operating_point() {
+        let (c, vo) = cmos_inverter(0.9);
+        let solve = |kind| {
+            dcop_impl(
+                &c,
+                &[],
+                &NewtonOptions {
+                    solver: kind,
+                    ..NewtonOptions::default()
+                },
+                None,
+            )
+            .unwrap()
+        };
+        let dense = solve(SolverKind::Dense);
+        let sparse = solve(SolverKind::Sparse);
+        // One symbolic analysis, every later Newton iteration a numeric
+        // refactor on the pinned pattern.
+        assert!(
+            sparse.counters.symbolic_analyses >= 1,
+            "{}",
+            sparse.counters
+        );
+        assert!(
+            sparse.counters.numeric_refactors >= 1,
+            "{}",
+            sparse.counters
+        );
+        assert_eq!(dense.counters.symbolic_analyses, 0);
+        let layout = dense.layout();
+        for node in 0..layout.n_nodes() {
+            let (a, b) = (dense.voltage(NodeId(node)), sparse.voltage(NodeId(node)));
+            assert!((a - b).abs() < 1e-9, "node {node}: dense {a} vs sparse {b}");
+        }
+        assert!((dense.voltage(vo) - sparse.voltage(vo)).abs() < 1e-9);
+        // Backend selection: explicit sparse forces it, auto keeps this
+        // tiny circuit dense.
+        let layout = MnaLayout::new(&c);
+        assert!(NewtonWorkspace::for_circuit(&c, &layout, SolverKind::Sparse).is_sparse());
+        assert!(!NewtonWorkspace::for_circuit(&c, &layout, SolverKind::Auto).is_sparse());
+        assert!(!NewtonWorkspace::for_circuit(&c, &layout, SolverKind::Dense).is_sparse());
+    }
+
+    #[test]
+    fn warm_start_from_converged_op_is_counted_and_cheap() {
+        let (c, vo) = cmos_inverter(0.9);
+        let cold = dcop(&c).unwrap();
+        let warm = dcop_with_guess(&c, &[], &cold.x).unwrap();
+        assert_eq!(warm.counters.warm_start_hits, 1, "{}", warm.counters);
+        assert!(
+            warm.counters.newton_iterations <= cold.counters.newton_iterations,
+            "warm {} vs cold {}",
+            warm.counters.newton_iterations,
+            cold.counters.newton_iterations
+        );
+        assert!((warm.voltage(vo) - cold.voltage(vo)).abs() < 1e-9);
+        // A wrong-length guess is ignored, not an error.
+        let fallback = dcop_with_guess(&c, &[], &[0.0]).unwrap();
+        assert_eq!(fallback.counters.warm_start_hits, 0);
+        assert!((fallback.voltage(vo) - cold.voltage(vo)).abs() < 1e-12);
     }
 
     #[test]

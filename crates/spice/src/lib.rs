@@ -60,9 +60,9 @@ pub mod tran;
 // working.
 pub use sim_core::{linalg, perf};
 
-pub use ac::{ac_analysis, log_sweep, AcSweep};
+pub use ac::{ac_analysis, ac_analysis_at, ac_analysis_at_with, log_sweep, AcSweep};
 pub use circuit::{Circuit, Element, NodeId, SourceWave};
-pub use dcop::{dcop, dcop_with, DcSolution, NewtonOptions};
+pub use dcop::{dcop, dcop_with, dcop_with_guess, DcSolution, NewtonOptions};
 pub use deck::run_deck;
 pub use error::SpiceError;
 pub use mosfet::{MosParams, MosType};
@@ -70,5 +70,6 @@ pub use perf::PerfCounters;
 pub use rescue::{dcop_rescue, dcop_rescue_injected, RescuePolicy};
 pub use sim_core::faultinject::{waveform_checksum, FaultKind, FaultSchedule, FaultSpec};
 pub use sim_core::rescue::{RescueAttempt, RescueReport, RescueRung};
+pub use sim_core::sparse::SolverKind;
 pub use topology::{DcCoupling, TerminalRole};
 pub use tran::{Method as TranMethod, TranOptions, TransientSimulator};

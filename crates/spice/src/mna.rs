@@ -6,8 +6,10 @@
 //! devices as Backward-Euler companions around the previous time point.
 
 use crate::circuit::{Circuit, Element, NodeId};
+use crate::error::SpiceError;
 use crate::linalg::Matrix;
 use crate::mosfet::eval_mosfet;
+use sim_core::sparse::SparseMatrix;
 use std::collections::HashMap;
 
 /// Finite-difference step for device linearisation, volts.
@@ -109,6 +111,66 @@ pub struct AssembleParams<'a> {
     pub source_scale: f64,
 }
 
+/// A real matrix that MNA stamps accumulate into — implemented by the
+/// dense [`Matrix`] and the triplet-logging [`SparseMatrix`], so one
+/// assembly routine serves both solver backends.
+pub trait Stamp {
+    /// Prepares the matrix for a fresh assembly pass (dense: zero out;
+    /// sparse: rewind the triplet log).
+    fn reset(&mut self);
+    /// Accumulates `v` at `(row, col)`.
+    fn add(&mut self, row: usize, col: usize, v: f64);
+    /// Matrix order.
+    fn order(&self) -> usize;
+}
+
+impl Stamp for Matrix {
+    fn reset(&mut self) {
+        self.clear();
+    }
+    fn add(&mut self, row: usize, col: usize, v: f64) {
+        Matrix::add(self, row, col, v);
+    }
+    fn order(&self) -> usize {
+        Matrix::order(self)
+    }
+}
+
+impl Stamp for SparseMatrix<f64> {
+    fn reset(&mut self) {
+        self.begin_assembly();
+    }
+    fn add(&mut self, row: usize, col: usize, v: f64) {
+        SparseMatrix::add(self, row, col, v);
+    }
+    fn order(&self) -> usize {
+        SparseMatrix::order(self)
+    }
+}
+
+/// Upper-bound estimate of the assembled MNA nonzero count, from element
+/// stamp footprints plus the gmin diagonal. Feeds the sparse/dense
+/// heuristic (`SolverKind::picks_sparse`) without assembling anything.
+pub fn estimate_nnz(circuit: &Circuit, layout: &MnaLayout) -> usize {
+    let mut nnz = layout.size();
+    for (_, e) in circuit.elements() {
+        nnz += match e {
+            // Ids linearization (2 rows × 4 deps) + three gmin floors +
+            // five Meyer/junction companions in transient.
+            Element::Mosfet { .. } => 44,
+            // Linearized current over 4 dependency nodes.
+            Element::Switch { .. } => 16,
+            Element::Diode { .. } => 8,
+            Element::Resistor { .. } | Element::Capacitor { .. } => 4,
+            // Branch row/column couple + companion diagonal.
+            Element::Vsource { .. } | Element::Vcvs { .. } | Element::Inductor { .. } => 8,
+            Element::Isource { .. } => 0,
+            Element::Vccs { .. } => 4,
+        };
+    }
+    nnz
+}
+
 /// Smooth switch conductance: log-space blend between on and off.
 pub(crate) fn switch_conductance(vc: f64, ron: f64, roff: f64, vt: f64, vs: f64) -> f64 {
     let s = 1.0 / (1.0 + (-(vc - vt) / vs).exp());
@@ -143,7 +205,7 @@ pub(crate) fn diode_iv(is: f64, nf: f64, v: f64) -> (f64, f64) {
 }
 
 /// Stamps a conductance `g` between nodes `p` and `n`.
-fn stamp_conductance(layout: &MnaLayout, mat: &mut Matrix, p: NodeId, n: NodeId, g: f64) {
+fn stamp_conductance<M: Stamp>(layout: &MnaLayout, mat: &mut M, p: NodeId, n: NodeId, g: f64) {
     let up = layout.node_unknown(p);
     let un = layout.node_unknown(n);
     if let Some(i) = up {
@@ -162,9 +224,9 @@ fn stamp_conductance(layout: &MnaLayout, mat: &mut Matrix, p: NodeId, n: NodeId,
 ///
 /// `deps` pairs each dependency node with ∂I/∂V of that node.
 #[allow(clippy::too_many_arguments)]
-fn stamp_linearized_current(
+fn stamp_linearized_current<M: Stamp>(
     layout: &MnaLayout,
-    mat: &mut Matrix,
+    mat: &mut M,
     rhs: &mut [f64],
     p: NodeId,
     n: NodeId,
@@ -196,9 +258,9 @@ fn stamp_linearized_current(
 
 /// Stamps a BE companion for a capacitor `c` between `p` and `n`.
 #[allow(clippy::too_many_arguments)]
-fn stamp_capacitor_be(
+fn stamp_capacitor_be<M: Stamp>(
     layout: &MnaLayout,
-    mat: &mut Matrix,
+    mat: &mut M,
     rhs: &mut [f64],
     p: NodeId,
     n: NodeId,
@@ -218,31 +280,47 @@ fn stamp_capacitor_be(
 }
 
 /// Assembles the linearised MNA system `mat · x_new = rhs` around the
-/// Newton candidate `x`.
+/// Newton candidate `x`, into any [`Stamp`] backend.
+///
+/// # Errors
+///
+/// [`SpiceError::InvalidParameter`] when a voltage-defined element
+/// (vsource, VCVS, inductor) has no branch unknown in `layout` — i.e. the
+/// layout was computed for a different circuit.
 ///
 /// # Panics
 ///
 /// Panics if `mat`/`rhs` dimensions disagree with `layout`.
 #[allow(clippy::too_many_lines)]
-pub fn assemble(
+pub fn assemble<M: Stamp>(
     circuit: &Circuit,
     layout: &MnaLayout,
     x: &[f64],
     mode: AssembleMode<'_>,
     params: &AssembleParams<'_>,
-    mat: &mut Matrix,
+    mat: &mut M,
     rhs: &mut [f64],
-) {
+) -> Result<(), SpiceError> {
     assert_eq!(mat.order(), layout.size());
     assert_eq!(rhs.len(), layout.size());
-    mat.clear();
+    mat.reset();
     for v in rhs.iter_mut() {
         *v = 0.0;
     }
     let v_at = |node: NodeId| layout.voltage(x, node);
+    let branch = |idx: usize, name: &str| {
+        layout
+            .branch_unknown(idx)
+            .ok_or_else(|| SpiceError::InvalidParameter {
+                element: name.to_string(),
+                message: "voltage-defined element has no branch unknown in the MNA layout \
+                          (layout computed for a different circuit?)"
+                    .to_string(),
+            })
+    };
 
     let mut cap_index = 0usize;
-    for (idx, (_name, e)) in circuit.elements().iter().enumerate() {
+    for (idx, (name, e)) in circuit.elements().iter().enumerate() {
         match e {
             Element::Resistor { p, n, r } => {
                 stamp_conductance(layout, mat, *p, *n, 1.0 / r);
@@ -278,7 +356,7 @@ pub fn assemble(
                 cap_index += 1;
             }
             Element::Vsource { p, n, wave, .. } => {
-                let ib = layout.branch_unknown(idx).expect("vsource branch");
+                let ib = branch(idx, name)?;
                 let v = wave.value_at(params.t, params.externals) * params.source_scale;
                 if let Some(i) = layout.node_unknown(*p) {
                     mat.add(i, ib, 1.0);
@@ -300,7 +378,7 @@ pub fn assemble(
                 }
             }
             Element::Vcvs { p, n, cp, cn, gain } => {
-                let ib = layout.branch_unknown(idx).expect("vcvs branch");
+                let ib = branch(idx, name)?;
                 if let Some(i) = layout.node_unknown(*p) {
                     mat.add(i, ib, 1.0);
                     mat.add(ib, i, 1.0);
@@ -354,7 +432,7 @@ pub fn assemble(
                 stamp_conductance(layout, mat, *p, *n, params.gmin);
             }
             Element::Inductor { p, n, l } => {
-                let ib = layout.branch_unknown(idx).expect("inductor branch");
+                let ib = branch(idx, name)?;
                 if let Some(i) = layout.node_unknown(*p) {
                     mat.add(i, ib, 1.0);
                     mat.add(ib, i, 1.0);
@@ -433,6 +511,7 @@ pub fn assemble(
             mat.add(i, i, params.gmin);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -484,7 +563,8 @@ mod tests {
             &params,
             &mut mat,
             &mut rhs,
-        );
+        )
+        .unwrap();
         let mut sol = rhs.clone();
         mat.solve_in_place(&mut sol).unwrap();
         assert!((layout.voltage(&sol, a) - 2.0).abs() < 1e-12);
@@ -530,7 +610,8 @@ mod tests {
             &params,
             &mut mat,
             &mut rhs,
-        );
+        )
+        .unwrap();
         let mut sol = rhs.clone();
         mat.solve_in_place(&mut sol).unwrap();
         assert!((layout.voltage(&sol, a) + 1.0).abs() < 1e-12);

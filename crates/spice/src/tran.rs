@@ -6,7 +6,7 @@
 //! VHDL-AMS/Eldo co-simulation seam).
 
 use crate::circuit::{Circuit, Element, NodeId};
-use crate::dcop::{dcop_with, newton_solve, NewtonOptions, NewtonWorkspace, GMIN_FINAL};
+use crate::dcop::{newton_solve, NewtonOptions, NewtonWorkspace, GMIN_FINAL};
 use crate::error::SpiceError;
 use crate::mna::{AssembleMode, MnaLayout};
 use crate::perf::PerfCounters;
@@ -153,7 +153,16 @@ impl TransientSimulator {
         let (op, dc_rescue) = if opts.rescue.enabled {
             dcop_rescue(&circuit, &externals, &opts.rescue)?
         } else {
-            (dcop_with(&circuit, &externals)?, RescueReport::new())
+            // Pass only the backend choice into the DC search — its Newton
+            // controls (max_iter 200 vs the transient 60) stay standard.
+            let dc_opts = NewtonOptions {
+                solver: opts.newton.solver,
+                ..NewtonOptions::default()
+            };
+            (
+                crate::dcop::dcop_impl(&circuit, &externals, &dc_opts, None)?,
+                RescueReport::new(),
+            )
         };
         let layout = MnaLayout::new(&circuit);
         let caps: Vec<(NodeId, NodeId, f64)> = circuit
@@ -170,7 +179,7 @@ impl TransientSimulator {
             Method::Trapezoidal => vec![0.0; caps.len()],
         };
         let linear = circuit.is_linear();
-        let ws = NewtonWorkspace::new(layout.size());
+        let ws = NewtonWorkspace::for_circuit(&circuit, &layout, opts.newton.solver);
         let mut sim = TransientSimulator {
             circuit,
             layout,

@@ -12,9 +12,12 @@ echo "== cargo test -q =="
 cargo test -q
 
 echo "== property tests (opt-in feature, fixed seeds) =="
-for crate in lint spice ams-kernel uwb-ams-core uwb-phy uwb-txrx; do
+for crate in sim-core lint spice ams-kernel uwb-ams-core uwb-phy uwb-txrx; do
     cargo test -q -p "$crate" --features proptests --test proptests
 done
+
+echo "== sparse-parity (goldens + Phase III through the sparse LU) =="
+cargo test -q --test sparse_parity
 
 echo "== fault-injection smoke (golden fault matrix) =="
 cargo test -q --test fault_matrix
@@ -24,6 +27,9 @@ UWB_AMS_RESCUE=off cargo test -q --test golden_kernel --test cosimulation
 
 echo "== ERC self-check (library cells + flow partitions) =="
 cargo run --release --quiet --example erc_check -- --self-check
+
+echo "== perf bench smoke (sparse scaling + MC warm start, --quick) =="
+cargo bench -p uwb-ams-bench --bench perf -- --quick
 
 echo "== cargo fmt --check =="
 cargo fmt --check
