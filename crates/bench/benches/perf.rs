@@ -24,6 +24,12 @@
 //! 5. **Monte-Carlo warm start** — the I&D mismatch campaign with
 //!    warm-start chains on vs off; `warm_start_hits` and the Newton
 //!    iteration ratio land in the report.
+//! 6. **Batched campaign kernel** — a tiled-I&D mismatch campaign run
+//!    through the legacy per-point loop (`UWB_AMS_BATCH` semantics:
+//!    `Off`) and the multi-lane batched kernel; per-point metrics must
+//!    agree, the batched run must report batched counters, and the
+//!    headline campaign points/s pair (plus the speedup, asserted
+//!    ≥ 1.0×) lands in the report.
 //!
 //! `UWB_AMS_BENCH=full` raises the campaign to fig6's full 2000
 //! bits/point; `--quick` shrinks everything to a smoke run (and skips
@@ -31,14 +37,16 @@
 
 use ams_kernel::analog::IdealGatedIntegrator;
 use ams_kernel::solver::{ImplicitSolver, SolverOptions, TransientState};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 use spice::circuit::{Circuit, NodeId, SourceWave};
 use spice::library::{integrate_dump, IntegrateDumpParams};
 use spice::tran::{TranOptions, TransientSimulator};
-use spice::{PerfCounters, SolverKind};
+use spice::{BatchWidth, PerfCounters, SolverKind, SpiceError};
 use std::time::Instant;
 use uwb_ams_core::executor::worker_threads;
 use uwb_ams_core::metrics::BerCampaign;
-use uwb_ams_core::montecarlo::IdMismatchCampaign;
+use uwb_ams_core::montecarlo::{IdMismatchCampaign, McDcCampaign, McSample};
 use uwb_ams_core::report::{PerfPhase, PerfReport};
 use uwb_txrx::integrator::{build_integrator, Fidelity};
 
@@ -375,6 +383,203 @@ fn mc_warm_start(quick: bool) -> Vec<PerfPhase> {
     ]
 }
 
+/// Element indices steered by one jittered tile parameter each.
+type MismatchGroups = Vec<Vec<usize>>;
+
+/// Builds the nominal `n_tiles`-instance I&D array template once:
+/// returns the circuit, tile 0's integrated-output probe node, and the
+/// per-tile mismatch groups — each group is the set of element indices
+/// steered by one tile parameter (`w_sf` → M1/M5, `w_diode` → M2/M6,
+/// `w_mirror` → M3/M7, `w_load` → M4/M8, `c_int` → CINT), so matched
+/// pairs stay matched exactly as when the parameters themselves are
+/// jittered. Per-point jitter then patches a clone of this template in
+/// place (`Circuit::scale_element`) — the Monte-Carlo hot path never
+/// rebuilds the netlist.
+fn tiled_mismatch_template(
+    n_tiles: usize,
+) -> Result<(Circuit, NodeId, MismatchGroups), SpiceError> {
+    let mut ckt = Circuit::new();
+    let mut probe = None;
+    for t in 0..n_tiles {
+        let params = IntegrateDumpParams::default();
+        let ports = integrate_dump(&mut ckt, &format!("t{t}_"), &params)?;
+        ckt.vsource(
+            &format!("VDD{t}"),
+            ports.vdd,
+            Circuit::gnd(),
+            SourceWave::Dc(params.vdd),
+        );
+        ckt.vsource(
+            &format!("VIP{t}"),
+            ports.inp,
+            Circuit::gnd(),
+            SourceWave::Dc(1.1),
+        );
+        ckt.vsource(
+            &format!("VIM{t}"),
+            ports.inm,
+            Circuit::gnd(),
+            SourceWave::Dc(1.1),
+        );
+        ckt.vsource(
+            &format!("VCP{t}"),
+            ports.controlp,
+            Circuit::gnd(),
+            SourceWave::Dc(params.vdd),
+        );
+        ckt.vsource(
+            &format!("VCM{t}"),
+            ports.controlm,
+            Circuit::gnd(),
+            SourceWave::Dc(0.0),
+        );
+        if t == 0 {
+            probe = Some(ports.out_intp);
+        }
+    }
+    let mut groups = Vec::with_capacity(n_tiles * 5);
+    for t in 0..n_tiles {
+        let members: [&[&str]; 5] = [
+            &["M1", "M5"],
+            &["M2", "M6"],
+            &["M3", "M7"],
+            &["M4", "M8"],
+            &["CINT"],
+        ];
+        for names in members {
+            groups.push(
+                names
+                    .iter()
+                    .map(|m| {
+                        ckt.find_element(&format!("t{t}_{m}"))
+                            .expect("template device")
+                    })
+                    .collect(),
+            );
+        }
+    }
+    Ok((ckt, probe.expect("at least one tile"), groups))
+}
+
+/// One Monte-Carlo point of the tiled array: clone the nominal template
+/// and jitter each mismatch group in place (topology fixed, values only
+/// — the shape the batched campaign kernel exploits).
+fn tiled_mismatch_sample(
+    template: &Circuit,
+    probe: NodeId,
+    groups: &MismatchGroups,
+    sigma: f64,
+    rng: &mut ChaCha8Rng,
+) -> Result<McSample, SpiceError> {
+    let mut ckt = template.clone();
+    for group in groups {
+        let k = 1.0 + rng.gen_range(-sigma..sigma);
+        for &idx in group {
+            ckt.scale_element(idx, k)?;
+        }
+    }
+    Ok(McSample {
+        circuit: ckt,
+        externals: Vec::new(),
+        probe: (probe, Circuit::gnd()),
+    })
+}
+
+/// The headline phase: a Monte-Carlo DC campaign over a tiled I&D array
+/// run through the legacy per-point loop (`UWB_AMS_BATCH=off`) and then
+/// through the batched campaign kernel, single-threaded both ways so the
+/// ratio isolates the kernel. Campaign points/sec is the metric; the two
+/// runs must agree on every point to solver tolerance.
+fn batched_campaign(quick: bool) -> Vec<PerfPhase> {
+    let (points, streams, tiles) = if quick { (32, 4, 4) } else { (256, 4, 8) };
+    let sigma = 0.05;
+    let campaign = McDcCampaign {
+        points,
+        streams,
+        seed: 0xBA7C_0001,
+    };
+    let (template, probe, groups) = tiled_mismatch_template(tiles).expect("tiled array template");
+    let build = |_idx: usize, rng: &mut ChaCha8Rng| {
+        tiled_mismatch_sample(&template, probe, &groups, sigma, rng)
+    };
+    println!(
+        "batched MC campaign ({points} points, {streams} chains, {tiles}-tile I&D array, 1 thread):"
+    );
+
+    // Both runs are deterministic; wall time is not. Best-of-3 timing
+    // keeps the headline ratio out of scheduler noise.
+    let reps = 3;
+    let mut scalar_wall = f64::INFINITY;
+    let mut scalar = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = campaign
+            .run_with_batch(1, BatchWidth::Off, build)
+            .expect("scalar MC campaign");
+        scalar_wall = scalar_wall.min(t0.elapsed().as_secs_f64());
+        scalar = Some(r);
+    }
+    let scalar = scalar.expect("at least one scalar rep");
+
+    let mut batched_wall = f64::INFINITY;
+    let mut batched = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = campaign
+            .run_with_batch(1, BatchWidth::Fixed(streams), build)
+            .expect("batched MC campaign");
+        batched_wall = batched_wall.min(t0.elapsed().as_secs_f64());
+        batched = Some(r);
+    }
+    let batched = batched.expect("at least one batched rep");
+
+    assert!(
+        batched.counters.batched_refactors >= 1 && batched.counters.batched_solves >= 1,
+        "batched campaign must go through the multi-lane kernel: {}",
+        batched.counters
+    );
+    // Same points, different linear-solver trajectory: agree to Newton
+    // tolerance (bit-identity across widths/threads is asserted by the
+    // batched_parity test suite, not re-measured here).
+    for (a, b) in scalar.points.iter().zip(&batched.points) {
+        assert!(
+            (a.metric - b.metric).abs() < 1e-4,
+            "batched point {} drifted: scalar {} vs batched {}",
+            a.index,
+            a.metric,
+            b.metric
+        );
+    }
+    let scalar_pps = points as f64 / scalar_wall;
+    let batched_pps = points as f64 / batched_wall;
+    let speedup = scalar_wall / batched_wall;
+    println!("  scalar : {}", scalar.counters);
+    println!("  batched: {}", batched.counters);
+    println!(
+        "  -> scalar {scalar_pps:.1} points/s, batched {batched_pps:.1} points/s, speedup {speedup:.2}x"
+    );
+    assert!(
+        speedup >= 1.0,
+        "batched campaign kernel regressed below the scalar path: {speedup:.2}x"
+    );
+    let mut scalar_phase = PerfPhase::from_counters("mc_campaign_scalar", scalar.counters);
+    scalar_phase.wall_s = scalar_wall;
+    let mut batched_phase = PerfPhase::from_counters("mc_campaign_batched", batched.counters);
+    batched_phase.wall_s = batched_wall;
+    vec![
+        scalar_phase
+            .with("points", points as f64)
+            .with("tiles", tiles as f64)
+            .with("points_per_sec", scalar_pps),
+        batched_phase
+            .with("points", points as f64)
+            .with("tiles", tiles as f64)
+            .with("batch_width", streams as f64)
+            .with("points_per_sec", batched_pps)
+            .with("speedup_vs_scalar", speedup),
+    ]
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let full = std::env::var("UWB_AMS_BENCH").as_deref() == Ok("full");
@@ -399,6 +604,13 @@ fn main() {
     for phase in mc_warm_start(quick) {
         report.push(phase);
     }
-    let path = uwb_ams_bench::write_result("BENCH_perf.json", &report.to_json());
+    for phase in batched_campaign(quick) {
+        report.push(phase);
+    }
+    let json = report.to_json();
+    let path = uwb_ams_bench::write_result("BENCH_perf.json", &json);
     println!("\nwrote {}", path.display());
+    // The headline perf trajectory is also tracked at the repo root.
+    let root = uwb_ams_bench::write_repo_root_result("BENCH_perf.json", &json);
+    println!("wrote {}", root.display());
 }

@@ -21,7 +21,11 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spice::library::{integrate_dump_testbench, IntegrateDumpParams};
-use spice::{dcop_with, dcop_with_guess, Circuit, NodeId, PerfCounters, SpiceError};
+use spice::mna::{estimate_nnz, MnaLayout};
+use spice::{
+    dcop_batch_with, dcop_with, dcop_with_guess, BatchPoint, BatchWidth, CampaignKernel, Circuit,
+    NewtonOptions, NodeId, PerfCounters, SpiceError,
+};
 
 use crate::executor::{stream_seed, try_run_indexed, worker_threads};
 
@@ -145,12 +149,73 @@ impl McDcCampaign {
     where
         F: Fn(usize, &mut ChaCha8Rng) -> Result<McSample, SpiceError> + Sync,
     {
+        self.run_with_batch(threads, BatchWidth::from_env(), build)
+    }
+
+    /// [`Self::run_with_threads`] with an explicit batch-width policy
+    /// (normally resolved from `UWB_AMS_BATCH`).
+    ///
+    /// With batching engaged, each warm-start chain's non-leading points
+    /// are grouped with its neighbour chains' points of the same rank into
+    /// multi-lane [`spice::dcop_batch`] solves over one shared
+    /// [`CampaignKernel`] symbolic factorization. Lane arithmetic is fully
+    /// independent, so output is **bit-identical at any batch width ≥ 1**
+    /// and any thread count; [`BatchWidth::Off`] keeps the original
+    /// per-point scalar loop (whose linear-solver backend may differ, so
+    /// compare `Off` vs batched at solver tolerance, not bitwise).
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed [`SpiceError`] from `build` or a DC solve.
+    pub fn run_with_batch<F>(
+        &self,
+        threads: usize,
+        batch: BatchWidth,
+        build: F,
+    ) -> Result<McDcResult, SpiceError>
+    where
+        F: Fn(usize, &mut ChaCha8Rng) -> Result<McSample, SpiceError> + Sync,
+    {
         if self.points == 0 {
             return Ok(McDcResult::default());
         }
         let streams = self.streams.clamp(1, self.points);
         let chunk = self.points.div_ceil(streams);
         let nstreams = self.points.div_ceil(chunk);
+        let width = match batch {
+            BatchWidth::Off => None,
+            _ => {
+                // Auto-eligibility mirrors the scalar solver heuristic: a
+                // campaign whose representative circuit would route through
+                // the sparse kernel anyway gains from the shared-symbolic
+                // batch; small dense-path circuits stay on the legacy loop
+                // (unless a width is forced).
+                let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(self.seed, 0));
+                let sample = build(0, &mut rng)?;
+                let layout = MnaLayout::new(&sample.circuit);
+                let eligible = NewtonOptions::default()
+                    .solver
+                    .picks_sparse(layout.size(), estimate_nnz(&sample.circuit, &layout));
+                batch.resolve(eligible, nstreams)
+            }
+        };
+        let Some(width) = width else {
+            return self.run_scalar(threads, chunk, nstreams, build);
+        };
+        self.run_batched(threads, width, chunk, nstreams, build)
+    }
+
+    /// The original per-point campaign loop (one scalar `dcop` per point).
+    fn run_scalar<F>(
+        &self,
+        threads: usize,
+        chunk: usize,
+        nstreams: usize,
+        build: F,
+    ) -> Result<McDcResult, SpiceError>
+    where
+        F: Fn(usize, &mut ChaCha8Rng) -> Result<McSample, SpiceError> + Sync,
+    {
         let per_stream = try_run_indexed(nstreams, threads, |s| {
             let lo = s * chunk;
             let hi = ((s + 1) * chunk).min(self.points);
@@ -182,6 +247,151 @@ impl McDcCampaign {
             points.extend(pts);
             counters.merge(&c);
         }
+        Ok(McDcResult { points, counters })
+    }
+
+    /// The batched campaign: phase A solves every chain's leader cold (one
+    /// scalar `dcop` per stream, in parallel), then one [`CampaignKernel`]
+    /// is analyzed from the representative circuit at stream 0's operating
+    /// point, and phase B advances groups of `width` neighbouring chains
+    /// in lock-step through [`dcop_batch`].
+    fn run_batched<F>(
+        &self,
+        threads: usize,
+        width: usize,
+        chunk: usize,
+        nstreams: usize,
+        build: F,
+    ) -> Result<McDcResult, SpiceError>
+    where
+        F: Fn(usize, &mut ChaCha8Rng) -> Result<McSample, SpiceError> + Sync,
+    {
+        // Phase A: cold leaders, one per warm-start chain.
+        let leaders = try_run_indexed(nstreams, threads, |s| {
+            let idx = s * chunk;
+            let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(self.seed, idx as u64));
+            let sample = build(idx, &mut rng)?;
+            let sol = dcop_with(&sample.circuit, &sample.externals)?;
+            let point = McDcPoint {
+                index: idx,
+                stream: s,
+                iterations: sol.iterations,
+                warm_started: sol.counters.warm_start_hits > 0,
+                metric: sol.voltage(sample.probe.0) - sol.voltage(sample.probe.1),
+            };
+            Ok((point, sol.x, sol.counters))
+        })?;
+        // One symbolic factorization for the whole campaign, analyzed at
+        // stream 0's converged operating point.
+        let mut counters = PerfCounters::new();
+        let mut rng0 = ChaCha8Rng::seed_from_u64(stream_seed(self.seed, 0));
+        let rep = build(0, &mut rng0)?;
+        let kernel = match CampaignKernel::analyze(
+            &rep.circuit,
+            &rep.externals,
+            &leaders[0].1,
+            &mut counters,
+        ) {
+            Ok(k) => k,
+            // The representative Jacobian refused analysis (e.g. a
+            // structurally singular pattern): the whole campaign
+            // retreats to the scalar path rather than fall back one
+            // point at a time.
+            Err(_) => return self.run_scalar(threads, chunk, nstreams, build),
+        };
+        let opts = NewtonOptions::default();
+        // Phase B: groups of `width` neighbouring chains advance together;
+        // the group partition is a pure function of (streams, width), so
+        // the deterministic executor keeps output thread-independent.
+        let ngroups = nstreams.div_ceil(width);
+        let per_group = try_run_indexed(ngroups, threads, |g| {
+            let s_lo = g * width;
+            let s_hi = ((g + 1) * width).min(nstreams);
+            let lanes = s_hi - s_lo;
+            let mut prev: Vec<Vec<f64>> = (0..lanes).map(|j| leaders[s_lo + j].1.clone()).collect();
+            let mut failed: Vec<Option<SpiceError>> = (0..lanes).map(|_| None).collect();
+            let mut out: Vec<McDcPoint> = Vec::new();
+            let mut gc = PerfCounters::new();
+            // One lane workspace per group, reused across every rank: the
+            // steady-state per-rank cost is assembly + numeric refactor,
+            // not matrix/LU allocation. Results are unaffected (the
+            // workspace is storage only).
+            let mut ws = kernel.workspace(lanes);
+            for t in 1..chunk {
+                // Build this rank's sample for every lane still running.
+                let mut samples: Vec<Option<McSample>> = Vec::with_capacity(lanes);
+                for (j, lane_failed) in failed.iter_mut().enumerate() {
+                    let s = s_lo + j;
+                    let idx = s * chunk + t;
+                    let hi = ((s + 1) * chunk).min(self.points);
+                    if idx >= hi || lane_failed.is_some() {
+                        samples.push(None);
+                        continue;
+                    }
+                    let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(self.seed, idx as u64));
+                    match build(idx, &mut rng) {
+                        Ok(sample) => samples.push(Some(sample)),
+                        Err(e) => {
+                            *lane_failed = Some(e);
+                            samples.push(None);
+                        }
+                    }
+                }
+                let lane_ids: Vec<usize> = (0..lanes).filter(|&j| samples[j].is_some()).collect();
+                if lane_ids.is_empty() {
+                    continue;
+                }
+                let report = {
+                    let pts: Vec<BatchPoint<'_>> = lane_ids
+                        .iter()
+                        .map(|&j| {
+                            let sample = samples[j].as_ref().unwrap();
+                            BatchPoint {
+                                circuit: &sample.circuit,
+                                externals: &sample.externals,
+                                guess: &prev[j],
+                            }
+                        })
+                        .collect();
+                    dcop_batch_with(&kernel, &mut ws, &pts, &opts)
+                };
+                gc.merge(&report.counters);
+                for (k, sol) in report.solutions.into_iter().enumerate() {
+                    let j = lane_ids[k];
+                    let sample = samples[j].as_ref().unwrap();
+                    match sol {
+                        Ok(sol) => {
+                            gc.merge(&sol.counters);
+                            out.push(McDcPoint {
+                                index: (s_lo + j) * chunk + t,
+                                stream: s_lo + j,
+                                iterations: sol.iterations,
+                                warm_started: sol.counters.warm_start_hits > 0,
+                                metric: sol.voltage(sample.probe.0) - sol.voltage(sample.probe.1),
+                            });
+                            prev[j] = sol.x;
+                        }
+                        Err(e) => failed[j] = Some(e),
+                    }
+                }
+            }
+            // The lowest-stream failure wins inside the group, matching
+            // the scalar path's lowest-indexed-error contract.
+            if let Some(e) = failed.into_iter().flatten().next() {
+                return Err(e);
+            }
+            Ok((out, gc))
+        })?;
+        let mut points: Vec<McDcPoint> = Vec::with_capacity(self.points);
+        for (point, _, c) in leaders {
+            counters.merge(&c);
+            points.push(point);
+        }
+        for (pts, c) in per_group {
+            points.extend(pts);
+            counters.merge(&c);
+        }
+        points.sort_unstable_by_key(|p| p.index);
         Ok(McDcResult { points, counters })
     }
 }
@@ -340,6 +550,83 @@ mod tests {
             "warm starts should not iterate more than cold starts \
              (warm {warm_max} vs cold {cold_max})"
         );
+    }
+
+    #[test]
+    fn empty_campaign_reports_zero_statistics_not_nan() {
+        let result = McDcCampaign {
+            points: 0,
+            streams: 4,
+            seed: 1,
+        }
+        .run_with_threads(2, inverter_sample)
+        .unwrap();
+        assert!(result.points.is_empty());
+        assert_eq!(result.metric_mean(), 0.0);
+        assert_eq!(result.metric_std(), 0.0);
+        // Regression: 0/0 used to surface as NaN here.
+        assert_eq!(result.warm_start_fraction(), 0.0);
+        assert!(!result.warm_start_fraction().is_nan());
+    }
+
+    #[test]
+    fn batched_campaign_is_bit_identical_across_widths_and_threads() {
+        let campaign = McDcCampaign {
+            points: 12,
+            streams: 4,
+            seed: 42,
+        };
+        // Width 1 = single-lane batches, the batched path's own scalar
+        // reference; wider fixed widths and more threads must reproduce
+        // it bit for bit.
+        let reference = campaign
+            .run_with_batch(1, BatchWidth::Fixed(1), inverter_sample)
+            .unwrap();
+        assert_eq!(reference.points.len(), 12);
+        for (width, threads) in [(2usize, 1usize), (4, 1), (4, 4), (2, 3)] {
+            let other = campaign
+                .run_with_batch(threads, BatchWidth::Fixed(width), inverter_sample)
+                .unwrap();
+            for (a, b) in reference.points.iter().zip(&other.points) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.stream, b.stream);
+                assert_eq!(a.iterations, b.iterations, "width {width}");
+                assert_eq!(a.warm_started, b.warm_started, "width {width}");
+                assert_eq!(
+                    a.metric.to_bits(),
+                    b.metric.to_bits(),
+                    "width {width}, threads {threads}, index {}",
+                    a.index
+                );
+            }
+            assert!(other.counters.batched_refactors >= 1, "{}", other.counters);
+            assert!(other.counters.batched_solves >= 1, "{}", other.counters);
+        }
+        // Every non-leading point warm-started in the batch.
+        assert_eq!(reference.counters.warm_start_hits, 12 - 4);
+        // The legacy scalar loop may use a different linear-solver
+        // backend, so it agrees to solver tolerance, not bitwise.
+        let legacy = campaign
+            .run_with_batch(1, BatchWidth::Off, inverter_sample)
+            .unwrap();
+        assert_eq!(legacy.counters.batched_refactors, 0);
+        for (a, b) in reference.points.iter().zip(&legacy.points) {
+            assert!(
+                (a.metric - b.metric).abs() < 1e-6,
+                "index {}: batched {} vs scalar {}",
+                a.index,
+                a.metric,
+                b.metric
+            );
+        }
+        // Auto keeps this tiny dense-path circuit on the legacy loop.
+        let auto = campaign
+            .run_with_batch(2, BatchWidth::Auto, inverter_sample)
+            .unwrap();
+        assert_eq!(auto.counters.batched_refactors, 0);
+        for (a, b) in auto.points.iter().zip(&legacy.points) {
+            assert_eq!(a.metric.to_bits(), b.metric.to_bits());
+        }
     }
 
     #[test]

@@ -241,6 +241,18 @@ impl PerfReport {
                 c.rescue_successes
             ));
             s.push_str(&format!(
+                "\n      \"batched_refactors\": {},",
+                c.batched_refactors
+            ));
+            s.push_str(&format!(
+                "\n      \"batched_solves\": {},",
+                c.batched_solves
+            ));
+            s.push_str(&format!(
+                "\n      \"lanes_retired_early\": {},",
+                c.lanes_retired_early
+            ));
+            s.push_str(&format!(
                 "\n      \"steps_per_s\": {},",
                 json_f64(c.steps_per_second())
             ));
@@ -327,6 +339,9 @@ mod tests {
         counters.symbolic_analyses = 1;
         counters.numeric_refactors = 3;
         counters.warm_start_hits = 2;
+        counters.batched_refactors = 4;
+        counters.batched_solves = 5;
+        counters.lanes_retired_early = 6;
         counters.wall = std::time::Duration::from_millis(50);
         r.push(PerfPhase::from_counters("tran_fast_path", counters));
         let json = r.to_json();
@@ -341,6 +356,9 @@ mod tests {
         assert!(json.contains("\"refactor_ratio\": 0.75"), "{json}");
         assert!(json.contains("\"rescue_attempts\": 0"), "{json}");
         assert!(json.contains("\"rescue_successes\": 0"), "{json}");
+        assert!(json.contains("\"batched_refactors\": 4"), "{json}");
+        assert!(json.contains("\"batched_solves\": 5"), "{json}");
+        assert!(json.contains("\"lanes_retired_early\": 6"), "{json}");
         assert!(json.contains("\"wall_s\": 0.05"), "{json}");
         // Balanced braces/brackets — a cheap well-formedness check.
         let opens = json.matches('{').count();

@@ -15,6 +15,10 @@
 //!   fill-reducing ordering, and the split symbolic/numeric LU
 //!   ([`SymbolicLu`] / [`NumericLu`]) that large MNA systems route
 //!   through (selected per engine by [`SolverKind`]),
+//! * [`batched`] — [`BatchedLu`], the SoA multi-lane numeric
+//!   refactor/solve over one pinned [`SymbolicLu`] pattern that
+//!   Monte-Carlo campaigns batch structure-identical points through
+//!   (width policy via [`BatchWidth`] / `UWB_AMS_BATCH`),
 //! * [`perf`] — [`PerfCounters`]: steps, Newton iterations, LU
 //!   factorizations vs cached reuses, wall time,
 //! * [`time`] — [`SimTime`], the femtosecond-resolution instant/duration,
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batched;
 pub mod diag;
 pub mod faultinject;
 pub mod linalg;
@@ -43,6 +48,7 @@ pub mod sparse;
 pub mod time;
 pub mod trace;
 
+pub use batched::{BatchWidth, BatchedLu, LaneOutcome};
 pub use diag::{Severity, SourceSpan};
 pub use faultinject::{waveform_checksum, FaultKind, FaultSchedule, FaultSpec};
 pub use linalg::{CMatrix, DMatrix, LuFactors, Matrix, NumericFault, SingularMatrixError};

@@ -39,6 +39,14 @@ pub struct PerfCounters {
     pub rescue_attempts: u64,
     /// Rescue attempts that recovered the failing step or operating point.
     pub rescue_successes: u64,
+    /// Batched multi-lane numeric refactorizations (each one advances a
+    /// whole lane group through the pinned pattern at once).
+    pub batched_refactors: u64,
+    /// Batched multi-lane forward/back solves.
+    pub batched_solves: u64,
+    /// Lanes that retired from a batch (converged, stale, or failed)
+    /// while other lanes in the same group were still iterating.
+    pub lanes_retired_early: u64,
     /// Wall-clock time spent inside `step()` (transient only).
     pub wall: Duration,
 }
@@ -61,6 +69,9 @@ impl PerfCounters {
         self.warm_start_hits += other.warm_start_hits;
         self.rescue_attempts += other.rescue_attempts;
         self.rescue_successes += other.rescue_successes;
+        self.batched_refactors += other.batched_refactors;
+        self.batched_solves += other.batched_solves;
+        self.lanes_retired_early += other.lanes_retired_early;
         self.wall += other.wall;
     }
 
@@ -100,7 +111,7 @@ impl std::fmt::Display for PerfCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} steps, {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {} symbolic / {} refactors / {} fallbacks, {} warm starts, {}/{} rescues, {:.3} s wall",
+            "{} steps, {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {} symbolic / {} refactors / {} fallbacks, {} warm starts, {}/{} rescues, {} batched refactors / {} batched solves / {} early retires, {:.3} s wall",
             self.steps,
             self.newton_iterations,
             self.lu_factorizations,
@@ -112,6 +123,9 @@ impl std::fmt::Display for PerfCounters {
             self.warm_start_hits,
             self.rescue_successes,
             self.rescue_attempts,
+            self.batched_refactors,
+            self.batched_solves,
+            self.lanes_retired_early,
             self.wall.as_secs_f64()
         )
     }
@@ -134,6 +148,9 @@ mod tests {
             warm_start_hits: 8,
             rescue_attempts: 5,
             rescue_successes: 6,
+            batched_refactors: 9,
+            batched_solves: 10,
+            lanes_retired_early: 11,
             wall: Duration::from_millis(10),
         };
         let b = PerfCounters {
@@ -147,6 +164,9 @@ mod tests {
             warm_start_hits: 80,
             rescue_attempts: 50,
             rescue_successes: 60,
+            batched_refactors: 90,
+            batched_solves: 100,
+            lanes_retired_early: 110,
             wall: Duration::from_millis(100),
         };
         a.merge(&b);
@@ -160,6 +180,9 @@ mod tests {
         assert_eq!(a.warm_start_hits, 88);
         assert_eq!(a.rescue_attempts, 55);
         assert_eq!(a.rescue_successes, 66);
+        assert_eq!(a.batched_refactors, 99);
+        assert_eq!(a.batched_solves, 110);
+        assert_eq!(a.lanes_retired_early, 121);
         assert_eq!(a.wall, Duration::from_millis(110));
     }
 

@@ -32,7 +32,7 @@ use crate::linalg::{DMatrix, NumericFault, SingularMatrixError};
 use num_complex::Complex64;
 
 /// Pivot magnitude floor, identical to the dense kernel's (`linalg`).
-const PIVOT_MIN: f64 = 1e-300;
+pub(crate) const PIVOT_MIN: f64 = 1e-300;
 
 /// Relative pivot-degradation threshold for [`SymbolicLu::refactor`]: when
 /// the pinned pivot's magnitude falls below this fraction of the largest
@@ -483,15 +483,15 @@ pub enum RefactorOutcome {
 pub struct SymbolicLu {
     n: usize,
     /// Column order: pivot step `k` eliminates original column `q[k]`.
-    q: Vec<usize>,
+    pub(crate) q: Vec<usize>,
     /// Original row → pivot position.
-    pinv: Vec<usize>,
-    l_colptr: Vec<usize>,
+    pub(crate) pinv: Vec<usize>,
+    pub(crate) l_colptr: Vec<usize>,
     /// Strictly-lower pattern of L, rows in pivot positions, ascending.
-    l_rows: Vec<usize>,
-    u_colptr: Vec<usize>,
+    pub(crate) l_rows: Vec<usize>,
+    pub(crate) u_colptr: Vec<usize>,
     /// Strictly-upper pattern of U, rows in pivot positions, ascending.
-    u_rows: Vec<usize>,
+    pub(crate) u_rows: Vec<usize>,
 }
 
 /// The value half of the sparse LU, aligned with a [`SymbolicLu`] pattern.

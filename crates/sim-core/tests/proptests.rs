@@ -8,6 +8,7 @@
 //! no external proptest crate (the build environment is offline).
 #![cfg(feature = "proptests")]
 
+use sim_core::batched::{BatchedLu, LaneOutcome};
 use sim_core::linalg::DMatrix;
 use sim_core::sparse::{min_degree_order, RefactorOutcome, SparseMatrix, SymbolicLu};
 
@@ -137,6 +138,119 @@ fn sparse_paths_agree_with_dense_on_random_systems() {
                 "seed {seed:#x}: residual[{i}] = {}",
                 axi - bi
             );
+        }
+    }
+}
+
+/// Batched refactor + solve is bit-exact against the per-point scalar
+/// path at widths 1/2/4/8 on random diagonally-dominant systems, and a
+/// lane retired mid-batch keeps its previous factors bit-for-bit while
+/// the surviving lanes refactor on fresh values.
+#[test]
+fn batched_lanes_are_bit_exact_vs_scalar_at_all_widths() {
+    let mut rng = XorShift(0xba7c_4ed0_0000_0004);
+    for _case in 0..60 {
+        let seed = rng.0;
+        let n = 2 + rng.below(25) as usize;
+        let (triplets, b) = random_system(&mut rng, n);
+        let mut base = SparseMatrix::new(n);
+        stamp(&mut base, &triplets, 1.0);
+        let (sym, num_template) = SymbolicLu::analyze(&base).expect("dominant system is solvable");
+
+        for &width in &[1usize, 2, 4, 8] {
+            // Per-lane value perturbations on the shared pinned pattern.
+            let scales: Vec<f64> = (0..width).map(|_| rng.range(0.6, 1.4)).collect();
+            let mut mats: Vec<SparseMatrix<f64>> = Vec::with_capacity(width);
+            for &s in &scales {
+                let mut m = base.clone();
+                stamp(&mut m, &triplets, s);
+                mats.push(m);
+            }
+
+            // Scalar reference: refactor + solve each lane independently.
+            let mut scalar_x: Vec<Vec<f64>> = Vec::with_capacity(width);
+            let mut scalar_num: Vec<_> = Vec::with_capacity(width);
+            for m in &mats {
+                let mut num = num_template.clone();
+                assert_eq!(
+                    sym.refactor(m, &mut num),
+                    RefactorOutcome::Refactored,
+                    "seed {seed:#x}: same-pattern lane must refactor"
+                );
+                let mut x = b.clone();
+                sym.solve(&num, &mut x);
+                scalar_x.push(x);
+                scalar_num.push(num);
+            }
+
+            // Batched: all lanes in one refactor + one interleaved solve.
+            let mut lu = BatchedLu::new(&sym, width);
+            let refs: Vec<&SparseMatrix<f64>> = mats.iter().collect();
+            let outcomes = lu.refactor(&sym, &refs, &vec![true; width]);
+            assert!(
+                outcomes.iter().all(|o| *o == LaneOutcome::Refactored),
+                "seed {seed:#x}: width {width}: all lanes must refactor"
+            );
+            let mut bb = vec![0.0; n * width];
+            for (l, _) in mats.iter().enumerate() {
+                for i in 0..n {
+                    bb[i * width + l] = b[i];
+                }
+            }
+            lu.solve(&sym, &mut bb);
+            for l in 0..width {
+                for i in 0..n {
+                    assert_eq!(
+                        bb[i * width + l].to_bits(),
+                        scalar_x[l][i].to_bits(),
+                        "seed {seed:#x}: width {width}: lane {l} x[{i}] differs from scalar"
+                    );
+                }
+            }
+
+            // Mid-batch retirement: mask lane 0 out, perturb the survivors,
+            // refactor again. Lane 0 must keep its old factors bit-for-bit;
+            // survivors must match a fresh scalar refactor.
+            if width < 2 {
+                continue;
+            }
+            let mut active = vec![true; width];
+            active[0] = false;
+            let bump = rng.range(0.7, 1.3);
+            for (l, m) in mats.iter_mut().enumerate().skip(1) {
+                stamp(m, &triplets, scales[l] * bump);
+            }
+            let refs: Vec<&SparseMatrix<f64>> = mats.iter().collect();
+            let outcomes = lu.refactor(&sym, &refs, &active);
+            assert_eq!(outcomes[0], LaneOutcome::Skipped, "seed {seed:#x}");
+            let mut bb = vec![0.0; n * width];
+            for l in 0..width {
+                for i in 0..n {
+                    bb[i * width + l] = b[i];
+                }
+            }
+            lu.solve(&sym, &mut bb);
+            for (l, m) in mats.iter().enumerate() {
+                let expect = if l == 0 {
+                    // Retired lane: the solve must still run on the factors
+                    // from before the mask, untouched by the survivors.
+                    &scalar_x[0]
+                } else {
+                    let mut num = num_template.clone();
+                    assert_eq!(sym.refactor(m, &mut num), RefactorOutcome::Refactored);
+                    let mut x = b.clone();
+                    sym.solve(&num, &mut x);
+                    scalar_x[l] = x;
+                    &scalar_x[l]
+                };
+                for i in 0..n {
+                    assert_eq!(
+                        bb[i * width + l].to_bits(),
+                        expect[i].to_bits(),
+                        "seed {seed:#x}: width {width}: post-retire lane {l} x[{i}]"
+                    );
+                }
+            }
         }
     }
 }

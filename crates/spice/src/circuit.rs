@@ -578,6 +578,47 @@ impl Circuit {
         self.element_lookup.get(&name.to_ascii_lowercase()).copied()
     }
 
+    /// Scales the defining magnitude of element `idx` in place: `W` for
+    /// a MOSFET, `C` for a capacitor, `R` for a resistor, `L` for an
+    /// inductor, `IS` for a diode. This is the Monte-Carlo mismatch hot
+    /// path: clone a nominal template circuit and jitter device
+    /// magnitudes per point instead of rebuilding the netlist — the
+    /// topology, node ids and stamp order are untouched, so MNA layouts
+    /// and locked stamp structures stay valid across points.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidParameter`] when `idx` is out of range, the
+    /// element kind has no scalable magnitude (sources, controlled
+    /// sources, switches), or the scaled value is not positive and
+    /// finite.
+    pub fn scale_element(&mut self, idx: usize, k: f64) -> Result<(), SpiceError> {
+        let err = |element: String, message: &str| SpiceError::InvalidParameter {
+            element,
+            message: message.into(),
+        };
+        let Some((name, e)) = self.elements.get_mut(idx) else {
+            return Err(err(format!("#{idx}"), "no such element"));
+        };
+        let target: &mut f64 = match e {
+            Element::Resistor { r, .. } => r,
+            Element::Capacitor { c, .. } => c,
+            Element::Inductor { l, .. } => l,
+            Element::Mosfet { w, .. } => w,
+            Element::Diode { is, .. } => is,
+            _ => return Err(err(name.clone(), "element kind has no scalable magnitude")),
+        };
+        let scaled = *target * k;
+        if !(scaled.is_finite() && scaled > 0.0) {
+            return Err(err(
+                name.clone(),
+                "scaled magnitude must be positive and finite",
+            ));
+        }
+        *target = scaled;
+        Ok(())
+    }
+
     /// Count of MOSFETs (the paper quotes its I&D cell as 31 transistors).
     pub fn transistor_count(&self) -> usize {
         self.elements
@@ -712,5 +753,34 @@ mod tests {
         c.resistor("R1", a, NodeId::GROUND, 100.0);
         assert_eq!(c.find_element("r1"), Some(0));
         assert_eq!(c.find_element("R2"), None);
+    }
+
+    #[test]
+    fn scale_element_patches_magnitudes_in_place() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R1", a, NodeId::GROUND, 100.0);
+        c.capacitor("C1", a, NodeId::GROUND, 1e-12);
+        c.vsource("V1", a, NodeId::GROUND, SourceWave::Dc(1.0));
+        c.scale_element(0, 1.05).unwrap();
+        c.scale_element(1, 0.5).unwrap();
+        match c.elements()[0].1 {
+            Element::Resistor { r, .. } => assert!((r - 105.0).abs() < 1e-9),
+            _ => panic!("expected resistor"),
+        }
+        match c.elements()[1].1 {
+            Element::Capacitor { c: cap, .. } => assert!((cap - 0.5e-12).abs() < 1e-24),
+            _ => panic!("expected capacitor"),
+        }
+        // Sources have no scalable magnitude; bad indices and
+        // non-positive results are rejected without mutating.
+        assert!(c.scale_element(2, 1.1).is_err());
+        assert!(c.scale_element(99, 1.1).is_err());
+        assert!(c.scale_element(0, -1.0).is_err());
+        assert!(c.scale_element(0, f64::NAN).is_err());
+        match c.elements()[0].1 {
+            Element::Resistor { r, .. } => assert!((r - 105.0).abs() < 1e-9),
+            _ => panic!("expected resistor"),
+        }
     }
 }

@@ -5,6 +5,7 @@ use crate::error::SpiceError;
 use crate::linalg::{LuFactors, Matrix};
 use crate::mna::{assemble, estimate_nnz, AssembleMode, AssembleParams, MnaLayout};
 use crate::perf::PerfCounters;
+use sim_core::batched::{BatchedLu, LaneOutcome};
 use sim_core::sparse::{NumericLu, RefactorOutcome, SolverKind, SparseMatrix, SymbolicLu};
 
 /// Newton iteration controls.
@@ -613,6 +614,428 @@ pub fn dcop(circuit: &Circuit) -> Result<DcSolution, SpiceError> {
     dcop_with(circuit, &[])
 }
 
+/// Shared campaign kernel: the MNA layout, pinned CSC pattern and single
+/// symbolic LU factorization that every structure-identical Monte-Carlo
+/// point reuses through [`dcop_batch`]. Built once per campaign topology
+/// from a representative point (typically stream 0's converged leader).
+#[derive(Debug, Clone)]
+pub struct CampaignKernel {
+    layout: MnaLayout,
+    pattern: SparseMatrix<f64>,
+    sym: SymbolicLu,
+}
+
+impl CampaignKernel {
+    /// Analyzes `circuit` at the representative operating point `x_rep`
+    /// (zeros when the length disagrees with the layout): assembles the DC
+    /// Jacobian once, locks the CSC pattern and runs the full symbolic +
+    /// pivoting analysis. Counts one `symbolic_analyses` on `counters`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Singular`] when the representative Jacobian is
+    /// structurally singular, or any assembly error from `circuit`.
+    pub fn analyze(
+        circuit: &Circuit,
+        externals: &[f64],
+        x_rep: &[f64],
+        counters: &mut PerfCounters,
+    ) -> Result<CampaignKernel, SpiceError> {
+        let layout = MnaLayout::new(circuit);
+        let n = layout.size();
+        let x0 = if x_rep.len() == n {
+            x_rep.to_vec()
+        } else {
+            vec![0.0; n]
+        };
+        let params = AssembleParams {
+            t: 0.0,
+            externals,
+            gmin: GMIN_FINAL,
+            source_scale: 1.0,
+        };
+        let mut pattern = SparseMatrix::new(n);
+        let mut rhs = vec![0.0; n];
+        assemble(
+            circuit,
+            &layout,
+            &x0,
+            AssembleMode::Dc,
+            &params,
+            &mut pattern,
+            &mut rhs,
+        )?;
+        pattern.finish_assembly();
+        counters.symbolic_analyses += 1;
+        let (sym, _num) = SymbolicLu::analyze(&pattern).map_err(|e| SpiceError::Singular {
+            analysis: "dcop",
+            order: e.order,
+            pivot: e.pivot,
+        })?;
+        Ok(CampaignKernel {
+            layout,
+            pattern,
+            sym,
+        })
+    }
+
+    /// Order of the shared MNA system.
+    pub fn order(&self) -> usize {
+        self.layout.size()
+    }
+
+    /// The shared layout (for follow-on analyses).
+    pub fn layout(&self) -> &MnaLayout {
+        &self.layout
+    }
+
+    /// Allocates a reusable lane workspace for groups of up to `width`
+    /// points. A campaign advancing the same lane group rank by rank
+    /// should build one workspace and pass it to [`dcop_batch_with`]
+    /// every rank: the lane matrices and the multi-lane LU then survive
+    /// across calls, so the steady-state per-rank cost is assembly plus
+    /// numeric work, not allocation.
+    pub fn workspace(&self, width: usize) -> BatchWorkspace {
+        let w = width.max(1);
+        let n = self.order();
+        BatchWorkspace {
+            mats: vec![self.pattern.clone(); w],
+            rhs: vec![vec![0.0; n]; w],
+            lu: BatchedLu::new(&self.sym, w),
+            b: vec![0.0; n * w],
+        }
+    }
+}
+
+/// Reusable per-group state for [`dcop_batch_with`]: `width` lane
+/// matrices cloned from the kernel pattern, the multi-lane LU and the
+/// interleaved solve vector. Holds no per-point results — only storage —
+/// so reusing it across calls cannot change any lane's arithmetic.
+#[derive(Debug)]
+pub struct BatchWorkspace {
+    mats: Vec<SparseMatrix<f64>>,
+    rhs: Vec<Vec<f64>>,
+    lu: BatchedLu<f64>,
+    b: Vec<f64>,
+}
+
+impl BatchWorkspace {
+    /// Maximum number of lanes this workspace can carry per call.
+    pub fn width(&self) -> usize {
+        self.lu.width()
+    }
+}
+
+/// One Monte-Carlo point queued into a [`dcop_batch`] lane group.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPoint<'a> {
+    /// The point's jittered circuit (same topology as the kernel's).
+    pub circuit: &'a Circuit,
+    /// External source values for this point.
+    pub externals: &'a [f64],
+    /// Warm-start guess — the previous point of the same chain.
+    pub guess: &'a [f64],
+}
+
+/// Result of one [`dcop_batch`] lane group.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-lane outcomes, in input order. Each converged lane carries its
+    /// own per-point counters (its share of the Newton work); lanes that
+    /// fell back to the scalar ladder carry that ladder's counters plus
+    /// the batched stage-0 iterations they spent first.
+    pub solutions: Vec<Result<DcSolution, SpiceError>>,
+    /// Batch-level work that has no per-lane attribution: batched
+    /// refactor/solve sweeps and early lane retirements.
+    pub counters: PerfCounters,
+}
+
+/// Solves a group of structure-identical DC points simultaneously: all
+/// lanes advance through one damped Newton loop, sharing the kernel's
+/// symbolic factorization via a multi-lane [`BatchedLu`] numeric
+/// refactor + solve per iteration.
+///
+/// Per-lane semantics are unchanged vs [`dcop_with_guess`]: a lane that
+/// converges in the batched stage-0 loop counts one `warm_start_hits`;
+/// a lane that diverges, goes stale on the pinned pattern, or diverges
+/// structurally from the kernel falls back to the scalar cold-start
+/// ladder (gmin/source stepping + rescue hooks) on its own. Lane
+/// arithmetic is fully independent (see [`sim_core::batched`]), so every
+/// lane's result is bit-identical at any batch width and regardless of
+/// when other lanes retire.
+pub fn dcop_batch(
+    kernel: &CampaignKernel,
+    points: &[BatchPoint<'_>],
+    opts: &NewtonOptions,
+) -> BatchReport {
+    if points.is_empty() {
+        return BatchReport {
+            solutions: Vec::new(),
+            counters: PerfCounters::new(),
+        };
+    }
+    let mut ws = kernel.workspace(points.len());
+    dcop_batch_with(kernel, &mut ws, points, opts)
+}
+
+/// [`dcop_batch`] against a caller-held [`BatchWorkspace`] (see
+/// [`CampaignKernel::workspace`]), so a rank-by-rank campaign loop reuses
+/// the lane matrices and multi-lane LU instead of reallocating them every
+/// call. The workspace carries storage only — results are bit-identical
+/// to a fresh-workspace [`dcop_batch`] call.
+///
+/// # Panics
+///
+/// When `points.len()` exceeds the workspace width.
+pub fn dcop_batch_with(
+    kernel: &CampaignKernel,
+    ws: &mut BatchWorkspace,
+    points: &[BatchPoint<'_>],
+    opts: &NewtonOptions,
+) -> BatchReport {
+    let w = points.len();
+    let n = kernel.order();
+    let mut batch_counters = PerfCounters::new();
+    if w == 0 {
+        return BatchReport {
+            solutions: Vec::new(),
+            counters: batch_counters,
+        };
+    }
+    // The workspace may be wider than this group (e.g. a short final
+    // group): lanes `w..lw` simply stay inactive — lane independence
+    // keeps the live lanes' bits unaffected by the stride.
+    let BatchWorkspace { mats, rhs, lu, b } = ws;
+    let lw = lu.width();
+    assert!(w <= lw, "batch of {w} points exceeds workspace width {lw}");
+    // Per-lane state. A lane leaves `active` either converged (solution
+    // recorded) or queued for the scalar fallback ladder.
+    let mut x: Vec<Vec<f64>> = Vec::with_capacity(w);
+    let mut active = vec![false; lw];
+    let mut needs_fallback = vec![false; w];
+    let mut lane_iters = vec![0u64; w];
+    let mut solutions: Vec<Option<Result<DcSolution, SpiceError>>> = (0..w).map(|_| None).collect();
+    let mut layouts: Vec<MnaLayout> = Vec::with_capacity(w);
+    for (l, pt) in points.iter().enumerate() {
+        let layout = MnaLayout::new(pt.circuit);
+        if layout.size() != n || pt.guess.len() != n {
+            // Layout mismatch or unusable guess: this point never enters
+            // the batch (matches the scalar wrong-length-guess semantics).
+            needs_fallback[l] = true;
+        } else {
+            active[l] = true;
+        }
+        x.push(if pt.guess.len() == n {
+            pt.guess.to_vec()
+        } else {
+            vec![0.0; n]
+        });
+        layouts.push(layout);
+    }
+    let n_volt = kernel.layout.n_nodes() - 1;
+    let linear: Vec<bool> = points.iter().map(|p| p.circuit.is_linear()).collect();
+
+    for _ in 0..opts.max_iter {
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        // Assemble every active lane's Jacobian at its current iterate.
+        for l in 0..w {
+            if !active[l] {
+                continue;
+            }
+            lane_iters[l] += 1;
+            let params = AssembleParams {
+                t: 0.0,
+                externals: points[l].externals,
+                gmin: GMIN_FINAL,
+                source_scale: 1.0,
+            };
+            let ok = assemble(
+                points[l].circuit,
+                &layouts[l],
+                &x[l],
+                AssembleMode::Dc,
+                &params,
+                &mut mats[l],
+                &mut rhs[l],
+            )
+            .is_ok();
+            // A recompiled structure means the lane's stamp sequence
+            // diverged from the kernel pattern — its topology is not the
+            // campaign's, so the shared symbolic does not apply. Restore
+            // the lane matrix from the kernel pattern so a reused
+            // workspace stays coherent for the lane's next occupant.
+            if !ok || mats[l].finish_assembly() {
+                active[l] = false;
+                needs_fallback[l] = true;
+                mats[l] = kernel.pattern.clone();
+                continue;
+            }
+            if opts.numeric_guard
+                && (mats[l].check_finite().is_err()
+                    || sim_core::linalg::check_finite_vec(&rhs[l], "rhs").is_err())
+            {
+                active[l] = false;
+                needs_fallback[l] = true;
+            }
+        }
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        // One multi-lane numeric refactor + solve for the whole group.
+        let mat_refs: Vec<&SparseMatrix<f64>> = mats.iter().collect();
+        let outcomes = lu.refactor(&kernel.sym, &mat_refs, &active);
+        batch_counters.batched_refactors += 1;
+        for (l, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                // Per-lane factorization work is charged to the lane's own
+                // solution counters when it retires (converged or fallen
+                // back), not here — the batch counters only carry the
+                // batch-shaped work items.
+                LaneOutcome::Refactored => {}
+                LaneOutcome::Stale => {
+                    // The pinned pivot order degraded for this lane's
+                    // values: retire it to the scalar path, which will
+                    // re-analyze with fresh pivoting.
+                    batch_counters.pattern_fallbacks += 1;
+                    active[l] = false;
+                    needs_fallback[l] = true;
+                }
+                LaneOutcome::Skipped => {}
+            }
+        }
+        for l in 0..lw {
+            for i in 0..n {
+                b[i * lw + l] = if active[l] { rhs[l][i] } else { 0.0 };
+            }
+        }
+        lu.solve(&kernel.sym, b);
+        batch_counters.batched_solves += 1;
+        // Per-lane damped update, identical to the scalar Newton body.
+        for l in 0..w {
+            if !active[l] {
+                continue;
+            }
+            let xl = &mut x[l];
+            if linear[l] {
+                // Affine system: the solve is exact — accept undamped.
+                let mut finite = true;
+                for i in 0..n {
+                    let v = b[i * lw + l];
+                    finite &= v.is_finite();
+                    xl[i] = v;
+                }
+                active[l] = false;
+                if finite {
+                    retire_converged(
+                        l,
+                        &active,
+                        xl,
+                        &layouts[l],
+                        lane_iters[l],
+                        &mut solutions,
+                        &mut batch_counters,
+                    );
+                } else {
+                    needs_fallback[l] = true;
+                }
+                continue;
+            }
+            let mut max_dv = 0.0f64;
+            for i in 0..n_volt {
+                max_dv = max_dv.max((b[i * lw + l] - xl[i]).abs());
+            }
+            let scale = if max_dv > opts.max_step {
+                opts.max_step / max_dv
+            } else {
+                1.0
+            };
+            let mut converged = scale == 1.0;
+            for (i, xv) in xl.iter_mut().enumerate() {
+                let delta = (b[i * lw + l] - *xv) * scale;
+                *xv += delta;
+                if i < n_volt && delta.abs() > opts.vntol + opts.reltol * xv.abs() {
+                    converged = false;
+                }
+            }
+            if converged {
+                active[l] = false;
+                if xl.iter().all(|v| v.is_finite()) {
+                    retire_converged(
+                        l,
+                        &active,
+                        xl,
+                        &layouts[l],
+                        lane_iters[l],
+                        &mut solutions,
+                        &mut batch_counters,
+                    );
+                } else {
+                    needs_fallback[l] = true;
+                }
+            }
+        }
+    }
+    // Scalar fallback ladder for every lane the batch could not finish
+    // (divergence, staleness, structural mismatch, max_iter exhaustion).
+    // A lane with a finite partial iterate hands it to the scalar path as
+    // a warm-start guess — its batched iterations are progress, not waste
+    // — and the scalar path still retreats to the full cold ladder if
+    // that guess fails, so per-point semantics are unchanged. The guess
+    // is identical at every batch width (lanes never interact), so the
+    // width-independence contract holds through the fallback.
+    for l in 0..w {
+        if solutions[l].is_none() && active[l] {
+            // Ran out of iterations while still active.
+            needs_fallback[l] = true;
+        }
+        if needs_fallback[l] {
+            let guess = (lane_iters[l] > 0 && x[l].iter().all(|v| v.is_finite()))
+                .then_some(x[l].as_slice());
+            let mut sol = dcop_impl(points[l].circuit, points[l].externals, opts, guess);
+            if let Ok(s) = sol.as_mut() {
+                // Charge the wasted batched stage-0 iterations to the
+                // point that spent them.
+                s.iterations += lane_iters[l] as usize;
+                s.counters.newton_iterations += lane_iters[l];
+            }
+            solutions[l] = Some(sol);
+        }
+    }
+    BatchReport {
+        solutions: solutions.into_iter().map(|s| s.unwrap()).collect(),
+        counters: batch_counters,
+    }
+}
+
+/// Records lane `l`'s converged batched solution (stage-0 warm start),
+/// counting an early retirement when other lanes are still iterating.
+fn retire_converged(
+    l: usize,
+    active: &[bool],
+    x: &[f64],
+    layout: &MnaLayout,
+    iters: u64,
+    solutions: &mut [Option<Result<DcSolution, SpiceError>>],
+    batch_counters: &mut PerfCounters,
+) {
+    if active.iter().any(|&a| a) {
+        batch_counters.lanes_retired_early += 1;
+    }
+    let mut counters = PerfCounters::new();
+    counters.newton_iterations = iters;
+    counters.numeric_refactors = iters;
+    counters.lu_factorizations = iters;
+    counters.warm_start_hits = 1;
+    solutions[l] = Some(Ok(DcSolution {
+        x: x.to_vec(),
+        layout: layout.clone(),
+        iterations: iters as usize,
+        counters,
+    }));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -875,6 +1298,95 @@ mod tests {
         let fallback = dcop_with_guess(&c, &[], &[0.0]).unwrap();
         assert_eq!(fallback.counters.warm_start_hits, 0);
         assert!((fallback.voltage(vo) - cold.voltage(vo)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_dcop_matches_scalar_semantics_at_any_width() {
+        // Four inverter points with slightly different inputs, warm-started
+        // from a converged mid-rail solution — the Monte-Carlo shape.
+        let vins = [0.88, 0.9, 0.92, 0.94];
+        let circuits: Vec<(Circuit, NodeId)> = vins.iter().map(|&v| cmos_inverter(v)).collect();
+        let rep = dcop(&circuits[1].0).unwrap();
+        let mut kc = PerfCounters::new();
+        let kernel = CampaignKernel::analyze(&circuits[1].0, &[], &rep.x, &mut kc).unwrap();
+        assert_eq!(kc.symbolic_analyses, 1);
+        let run = |group: &[usize]| -> Vec<DcSolution> {
+            let pts: Vec<BatchPoint<'_>> = group
+                .iter()
+                .map(|&i| BatchPoint {
+                    circuit: &circuits[i].0,
+                    externals: &[],
+                    guess: &rep.x,
+                })
+                .collect();
+            let report = dcop_batch(&kernel, &pts, &NewtonOptions::default());
+            assert!(report.counters.batched_refactors >= 1);
+            assert!(report.counters.batched_solves >= 1);
+            report.solutions.into_iter().map(|s| s.unwrap()).collect()
+        };
+        let full = run(&[0, 1, 2, 3]);
+        // Every lane converged in the batched stage 0 (a warm start).
+        for sol in &full {
+            assert_eq!(sol.counters.warm_start_hits, 1, "{}", sol.counters);
+        }
+        // Width independence: each point solo reproduces its batched
+        // solution bit for bit.
+        for (i, sol) in full.iter().enumerate() {
+            let solo = run(&[i]);
+            for (a, b) in sol.x.iter().zip(&solo[0].x) {
+                assert_eq!(a.to_bits(), b.to_bits(), "lane {i} differs at width 1");
+            }
+            // And the answer agrees with the plain scalar dcop to solver
+            // tolerance (different backend, so not bit-identical).
+            let scalar = dcop(&circuits[i].0).unwrap();
+            let (vo_b, vo_s) = (sol.voltage(circuits[i].1), scalar.voltage(circuits[i].1));
+            assert!((vo_b - vo_s).abs() < 1e-6, "{vo_b} vs {vo_s}");
+        }
+        // A cold (zero) guess is structurally valid but far from the
+        // solution; whatever happens, the report still returns per-lane
+        // results with unchanged semantics.
+        let zeros = vec![0.0; kernel.order()];
+        let pts: Vec<BatchPoint<'_>> = circuits
+            .iter()
+            .map(|(c, _)| BatchPoint {
+                circuit: c,
+                externals: &[],
+                guess: &zeros,
+            })
+            .collect();
+        let cold = dcop_batch(&kernel, &pts, &NewtonOptions::default());
+        for (i, sol) in cold.solutions.iter().enumerate() {
+            let sol = sol.as_ref().unwrap();
+            let scalar = dcop(&circuits[i].0).unwrap();
+            let (vo_b, vo_s) = (sol.voltage(circuits[i].1), scalar.voltage(circuits[i].1));
+            assert!((vo_b - vo_s).abs() < 1e-6, "{vo_b} vs {vo_s}");
+        }
+    }
+
+    #[test]
+    fn batched_dcop_empty_and_mismatched_points() {
+        let (c, _) = cmos_inverter(0.9);
+        let rep = dcop(&c).unwrap();
+        let mut kc = PerfCounters::new();
+        let kernel = CampaignKernel::analyze(&c, &[], &rep.x, &mut kc).unwrap();
+        let empty = dcop_batch(&kernel, &[], &NewtonOptions::default());
+        assert!(empty.solutions.is_empty());
+        assert_eq!(empty.counters, PerfCounters::new());
+        // A wrong-length guess forces the scalar fallback ladder; the
+        // point still solves.
+        let short = [0.0];
+        let pts = [BatchPoint {
+            circuit: &c,
+            externals: &[],
+            guess: &short,
+        }];
+        let report = dcop_batch(&kernel, &pts, &NewtonOptions::default());
+        let sol = report.solutions[0].as_ref().unwrap();
+        assert_eq!(sol.counters.warm_start_hits, 0, "{}", sol.counters);
+        let scalar = dcop(&c).unwrap();
+        for (a, b) in sol.x.iter().zip(&scalar.x) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fallback must be the scalar path");
+        }
     }
 
     #[test]

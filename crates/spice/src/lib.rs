@@ -62,12 +62,16 @@ pub use sim_core::{linalg, perf};
 
 pub use ac::{ac_analysis, ac_analysis_at, ac_analysis_at_with, log_sweep, AcSweep};
 pub use circuit::{Circuit, Element, NodeId, SourceWave};
-pub use dcop::{dcop, dcop_with, dcop_with_guess, DcSolution, NewtonOptions};
+pub use dcop::{
+    dcop, dcop_batch, dcop_batch_with, dcop_with, dcop_with_guess, BatchPoint, BatchReport,
+    BatchWorkspace, CampaignKernel, DcSolution, NewtonOptions,
+};
 pub use deck::run_deck;
 pub use error::SpiceError;
 pub use mosfet::{MosParams, MosType};
 pub use perf::PerfCounters;
 pub use rescue::{dcop_rescue, dcop_rescue_injected, RescuePolicy};
+pub use sim_core::batched::BatchWidth;
 pub use sim_core::faultinject::{waveform_checksum, FaultKind, FaultSchedule, FaultSpec};
 pub use sim_core::rescue::{RescueAttempt, RescueReport, RescueRung};
 pub use sim_core::sparse::SolverKind;

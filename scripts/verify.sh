@@ -25,6 +25,10 @@ cargo test -q --test fault_matrix
 echo "== rescue-off bit-exactness (golden vectors + cosimulation) =="
 UWB_AMS_RESCUE=off cargo test -q --test golden_kernel --test cosimulation
 
+echo "== batched-parity (lane bit-exactness + UWB_AMS_BATCH=1 campaign) =="
+cargo test -q --test batched_parity
+UWB_AMS_BATCH=1 cargo test -q --test batched_parity
+
 echo "== ERC self-check (library cells + flow partitions) =="
 cargo run --release --quiet --example erc_check -- --self-check
 
