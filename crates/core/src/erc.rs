@@ -105,6 +105,10 @@ pub enum FlowError {
     },
     /// The phase ran and reception failed downstream.
     Receive(ReceiveError),
+    /// A deck failed to parse or a deck-requested analysis failed in the
+    /// solver (the [`run_deck_checked`](crate::deckrun::run_deck_checked)
+    /// path).
+    Spice(spice::SpiceError),
 }
 
 impl std::fmt::Display for FlowError {
@@ -114,6 +118,7 @@ impl std::fmt::Display for FlowError {
                 write!(f, "{phase} denied by ERC gate:\n{}", report.render())
             }
             FlowError::Receive(e) => write!(f, "{e}"),
+            FlowError::Spice(e) => write!(f, "{e}"),
         }
     }
 }
@@ -123,6 +128,7 @@ impl std::error::Error for FlowError {
         match self {
             FlowError::Erc { .. } => None,
             FlowError::Receive(e) => Some(e),
+            FlowError::Spice(e) => Some(e),
         }
     }
 }
@@ -130,6 +136,12 @@ impl std::error::Error for FlowError {
 impl From<ReceiveError> for FlowError {
     fn from(e: ReceiveError) -> Self {
         FlowError::Receive(e)
+    }
+}
+
+impl From<spice::SpiceError> for FlowError {
+    fn from(e: spice::SpiceError) -> Self {
+        FlowError::Spice(e)
     }
 }
 

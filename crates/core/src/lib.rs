@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod deckrun;
 pub mod erc;
 pub mod executor;
 pub mod flow;
@@ -49,6 +50,7 @@ pub mod report;
 pub mod substitute;
 
 pub use calibrate::{fit_two_pole, phase4_extract, TwoPoleFit};
+pub use deckrun::{run_deck_checked, run_deck_checked_with, CheckedDeckRun};
 pub use erc::{
     check_phase, checked_transient, phase_block_graph, phase_report, ErcConfig, FlowError,
 };

@@ -63,6 +63,43 @@ pub fn lint_analyses(
             );
         }
     }
+    if let Some(dc) = &analyses.dc {
+        if !(dc.step.is_finite() && dc.step != 0.0 && dc.start.is_finite() && dc.stop.is_finite()) {
+            report.push(
+                Diagnostic::new(
+                    LintCode::InvalidAnalysisCard,
+                    ".dc",
+                    format!(
+                        "sweep of '{}' from {:e} to {:e} step {:e} is degenerate",
+                        dc.source, dc.start, dc.stop, dc.step
+                    ),
+                )
+                .with_span(span.clone()),
+            );
+        }
+    }
+    for (node, v) in &analyses.ics {
+        if circuit.find_node(node).is_none() {
+            report.push(
+                Diagnostic::new(
+                    LintCode::UnknownProbe,
+                    node.clone(),
+                    ".ic card names a node the deck never defines",
+                )
+                .with_span(span.clone()),
+            );
+        }
+        if !v.is_finite() {
+            report.push(
+                Diagnostic::new(
+                    LintCode::InvalidAnalysisCard,
+                    node.clone(),
+                    format!(".ic value {v:e} V is not finite"),
+                )
+                .with_span(span.clone()),
+            );
+        }
+    }
     if let Some(ac) = analyses.ac {
         if ac.points_per_decade == 0
             || !(ac.f_start.is_finite() && ac.f_start > 0.0)
@@ -124,5 +161,22 @@ mod tests {
     #[test]
     fn unparsable_deck_is_a_hard_error() {
         assert!(lint_deck("Q1 a b c weird\n", "deck").is_err());
+    }
+
+    #[test]
+    fn degenerate_dc_sweep_is_flagged() {
+        let (_, r) = lint_deck("V1 in 0 DC 1\nR1 in 0 1k\n.dc V1 0 1 0\n", "deck").unwrap();
+        assert!(r.has_errors(), "{}", r.render());
+        assert!(r.render().contains("E0108"), "{}", r.render());
+    }
+
+    #[test]
+    fn ic_on_unknown_node_is_flagged() {
+        let (_, r) = lint_deck(
+            "V1 in 0 DC 1\nR1 in 0 1k\n.tran 1n 10n\n.ic v(ghost)=0.5\n",
+            "deck",
+        )
+        .unwrap();
+        assert!(r.render().contains("W0110"), "{}", r.render());
     }
 }

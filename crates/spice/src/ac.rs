@@ -291,6 +291,33 @@ fn assemble_ac<M: AcStamp>(
                     stamp_gm(mat, *p, *nn, *cp, *gm);
                     stamp_gm(mat, *p, *nn, *cn, -*gm);
                 }
+                Element::Cccs {
+                    p,
+                    n: nn,
+                    ctrl,
+                    gain,
+                } => {
+                    let ib_ctrl = branch(*ctrl, name)?;
+                    if let Some(i) = layout.node_unknown(*p) {
+                        mat.add_re(i, ib_ctrl, *gain);
+                    }
+                    if let Some(j) = layout.node_unknown(*nn) {
+                        mat.add_re(j, ib_ctrl, -*gain);
+                    }
+                }
+                Element::Ccvs { p, n: nn, ctrl, rm } => {
+                    let ib = branch(idx, name)?;
+                    let ib_ctrl = branch(*ctrl, name)?;
+                    if let Some(i) = layout.node_unknown(*p) {
+                        mat.add_re(i, ib, 1.0);
+                        mat.add_re(ib, i, 1.0);
+                    }
+                    if let Some(j) = layout.node_unknown(*nn) {
+                        mat.add_re(j, ib, -1.0);
+                        mat.add_re(ib, j, -1.0);
+                    }
+                    mat.add_re(ib, ib_ctrl, -*rm);
+                }
                 Element::Switch {
                     p,
                     n: nn,

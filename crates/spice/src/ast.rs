@@ -1,0 +1,879 @@
+//! Typed AST of SPICE deck cards — the middle stage of the front-end
+//! pipeline (`lexer` → **ast** → `elaborate`).
+//!
+//! [`parse_ast`] turns the lexer's logical cards into typed structures:
+//! element cards (all two-terminal elements, controlled sources E/G/F/H,
+//! switches, `M` devices), `.MODEL` cards, `.SUBCKT`/`.ENDS` definitions
+//! with hierarchical `X` instances, and the analysis cards
+//! `.OP`/`.DC`/`.AC`/`.TRAN`/`.PRINT`/`.IC`. Nothing is resolved here —
+//! node names stay strings and values may reference subcircuit parameters
+//! — so the AST is a faithful, inspectable image of the deck.
+
+use crate::circuit::SourceWave;
+use crate::error::{ParseDiagnostic, SpiceError};
+use crate::lexer::{lex_deck, value_token, Card, Token};
+use std::collections::HashMap;
+
+/// A numeric field of an element card: either a literal (with suffix
+/// already applied) or a reference to a subcircuit parameter, written
+/// `{name}` or as a bare identifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueExpr {
+    /// A concrete number.
+    Literal(f64),
+    /// A parameter name, resolved against the instance environment during
+    /// elaboration.
+    Param(String),
+}
+
+impl ValueExpr {
+    /// Resolves against a parameter environment.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Parse`] (`P0103`) when the parameter is not bound.
+    pub fn resolve(&self, line: usize, env: &HashMap<String, f64>) -> Result<f64, SpiceError> {
+        match self {
+            ValueExpr::Literal(v) => Ok(*v),
+            ValueExpr::Param(name) => env.get(name).copied().ok_or_else(|| {
+                SpiceError::Parse(ParseDiagnostic::elaboration(
+                    line,
+                    name.clone(),
+                    "unbound parameter (not a subckt default or instance override)",
+                ))
+            }),
+        }
+    }
+}
+
+/// What kind of element a card describes, with its typed fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElementKind {
+    /// `R` — resistance.
+    Resistor(ValueExpr),
+    /// `C` — capacitance with optional `IC=` initial voltage.
+    Capacitor {
+        /// Capacitance, F.
+        c: ValueExpr,
+        /// Optional initial voltage, V.
+        ic: Option<ValueExpr>,
+    },
+    /// `L` — inductance.
+    Inductor(ValueExpr),
+    /// `D` — diode saturation current and emission coefficient.
+    Diode {
+        /// Saturation current, A.
+        is: ValueExpr,
+        /// Emission coefficient.
+        nf: ValueExpr,
+    },
+    /// `V` — independent voltage source.
+    Vsource {
+        /// Large-signal waveform.
+        wave: SourceWave,
+        /// AC magnitude.
+        ac_mag: f64,
+    },
+    /// `I` — independent current source.
+    Isource {
+        /// Large-signal waveform.
+        wave: SourceWave,
+        /// AC magnitude.
+        ac_mag: f64,
+    },
+    /// `E` — voltage-controlled voltage source (gain).
+    Vcvs(ValueExpr),
+    /// `G` — voltage-controlled current source (transconductance, S).
+    Vccs(ValueExpr),
+    /// `F` — current-controlled current source.
+    Cccs {
+        /// Name of the controlling voltage source.
+        ctrl: String,
+        /// Current gain.
+        gain: ValueExpr,
+    },
+    /// `H` — current-controlled voltage source.
+    Ccvs {
+        /// Name of the controlling voltage source.
+        ctrl: String,
+        /// Transresistance, Ω.
+        rm: ValueExpr,
+    },
+    /// `S` — smooth voltage-controlled switch.
+    Switch {
+        /// On resistance, Ω.
+        ron: ValueExpr,
+        /// Off resistance, Ω.
+        roff: ValueExpr,
+        /// Threshold, V.
+        vt: ValueExpr,
+    },
+    /// `M` — level-1 MOSFET.
+    Mosfet {
+        /// Model name (resolved during elaboration).
+        model: String,
+        /// Channel width, m.
+        w: ValueExpr,
+        /// Channel length, m.
+        l: ValueExpr,
+    },
+}
+
+/// One element card: name, terminal node names in card order, kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementCard {
+    /// Instance name (`r1`, `m3`), lowercased.
+    pub name: String,
+    /// Terminal node names, in card order.
+    pub nodes: Vec<String>,
+    /// Element kind with its typed fields.
+    pub kind: ElementKind,
+    /// 1-based deck line of the card.
+    pub line: usize,
+}
+
+/// A subcircuit instance card (`Xname n1 … subckt [p=v …]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceCard {
+    /// Instance name (`x1`), lowercased.
+    pub name: String,
+    /// Actual node names bound to the subcircuit ports, in order.
+    pub nodes: Vec<String>,
+    /// Referenced subcircuit name, lowercased.
+    pub subckt: String,
+    /// Per-instance parameter overrides.
+    pub params: Vec<(String, f64)>,
+    /// 1-based deck line of the card.
+    pub line: usize,
+}
+
+/// One card of a circuit body (top level or inside a `.SUBCKT`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyCard {
+    /// A primitive element.
+    Element(ElementCard),
+    /// A subcircuit instance.
+    Instance(InstanceCard),
+}
+
+/// A `.MODEL` card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCard {
+    /// Model name, lowercased.
+    pub name: String,
+    /// Model deck name (`nmos018`, …), validated during elaboration.
+    pub kind: String,
+    /// 1-based deck line.
+    pub line: usize,
+}
+
+/// A `.SUBCKT` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubcktDef {
+    /// Subcircuit name, lowercased.
+    pub name: String,
+    /// Port node names, in header order.
+    pub ports: Vec<String>,
+    /// Parameter defaults from the header (`p=v`).
+    pub params: Vec<(String, f64)>,
+    /// Body cards (elements and nested instances).
+    pub body: Vec<BodyCard>,
+    /// 1-based deck line of the header.
+    pub line: usize,
+}
+
+/// An analysis request card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisCard {
+    /// `.op` — DC operating point (always computed anyway; the card makes
+    /// it explicit).
+    Op,
+    /// `.dc source start stop step` — swept operating points.
+    Dc {
+        /// Name of the swept V or I source.
+        source: String,
+        /// Sweep start value.
+        start: f64,
+        /// Sweep stop value.
+        stop: f64,
+        /// Sweep increment (sign-corrected during the run).
+        step: f64,
+    },
+    /// `.ac dec n fstart fstop`.
+    Ac {
+        /// Points per decade.
+        points_per_decade: usize,
+        /// Start frequency, Hz.
+        f_start: f64,
+        /// Stop frequency, Hz.
+        f_stop: f64,
+    },
+    /// `.tran tstep tstop`.
+    Tran {
+        /// Step, s.
+        tstep: f64,
+        /// Stop time, s.
+        tstop: f64,
+    },
+}
+
+/// The fully-parsed deck: definitions, top-level body and analyses.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeckAst {
+    /// `.MODEL` cards, in deck order.
+    pub models: Vec<ModelCard>,
+    /// `.SUBCKT` definitions, in deck order.
+    pub subckts: Vec<SubcktDef>,
+    /// Top-level body cards, in deck order.
+    pub body: Vec<BodyCard>,
+    /// Analysis cards, in deck order.
+    pub analyses: Vec<AnalysisCard>,
+    /// Node names from `.print` cards, lowercased.
+    pub prints: Vec<String>,
+    /// `.ic v(node)=value` initial conditions.
+    pub ics: Vec<(String, f64)>,
+}
+
+impl DeckAst {
+    /// Finds a subcircuit definition by (lowercased) name.
+    pub fn find_subckt(&self, name: &str) -> Option<&SubcktDef> {
+        let key = name.to_ascii_lowercase();
+        self.subckts.iter().find(|s| s.name == key)
+    }
+}
+
+fn card_err(line: usize, message: impl Into<String>) -> SpiceError {
+    SpiceError::Parse(ParseDiagnostic::card(line, message))
+}
+
+fn token_err(tok: &Token, message: impl Into<String>) -> SpiceError {
+    SpiceError::Parse(ParseDiagnostic::lexical(
+        tok.line,
+        tok.column,
+        tok.text.clone(),
+        message,
+    ))
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses a value position: number with suffix, `{param}` or bare
+/// identifier.
+fn value_expr(tok: &Token) -> Result<ValueExpr, SpiceError> {
+    let t = tok.lower();
+    if let Some(name) = t.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+        if !is_ident(name) {
+            return Err(token_err(tok, "malformed parameter reference"));
+        }
+        return Ok(ValueExpr::Param(name.to_string()));
+    }
+    match crate::lexer::parse_value(&t) {
+        Ok(v) => Ok(ValueExpr::Literal(v)),
+        Err(e) => {
+            if is_ident(&t) {
+                Ok(ValueExpr::Param(t))
+            } else {
+                Err(token_err(tok, e))
+            }
+        }
+    }
+}
+
+/// Splits `name=value` tokens into pairs with literal values.
+fn parse_param_assign(tok: &Token) -> Result<Option<(String, f64)>, SpiceError> {
+    let t = tok.lower();
+    let Some((name, val)) = t.split_once('=') else {
+        return Ok(None);
+    };
+    if !is_ident(name) {
+        return Err(token_err(tok, "malformed parameter name"));
+    }
+    let v = crate::lexer::parse_value(val).map_err(|e| token_err(tok, e))?;
+    Ok(Some((name.to_string(), v)))
+}
+
+/// Parses a source specification (`DC <v>`, bare `<v>`, `PULSE(…)`,
+/// `SIN(…)`, `PWL(…)`, optional `AC <mag>`).
+fn parse_source(line: usize, toks: &[Token]) -> Result<(SourceWave, f64), SpiceError> {
+    let mut ac_mag = 0.0;
+    let mut wave = SourceWave::Dc(0.0);
+    let mut k = 0;
+    let args_of = |tok: &Token, prefix: &str| -> Option<Vec<Token>> {
+        let t = tok.lower();
+        let args = t.strip_prefix(prefix)?.strip_suffix(')')?;
+        Some(
+            args.split_whitespace()
+                .map(|s| Token {
+                    text: s.to_string(),
+                    line: tok.line,
+                    column: tok.column,
+                })
+                .collect(),
+        )
+    };
+    while k < toks.len() {
+        let t = toks[k].lower();
+        if t == "dc" {
+            let v = toks
+                .get(k + 1)
+                .ok_or_else(|| card_err(line, "DC needs a value"))?;
+            wave = SourceWave::Dc(value_token(v)?);
+            k += 2;
+        } else if t == "ac" {
+            let v = toks
+                .get(k + 1)
+                .ok_or_else(|| card_err(line, "AC needs a magnitude"))?;
+            ac_mag = value_token(v)?;
+            k += 2;
+        } else if let Some(args) = args_of(&toks[k], "pulse(") {
+            let vals: Vec<f64> = args.iter().map(value_token).collect::<Result<_, _>>()?;
+            if vals.len() < 7 {
+                return Err(card_err(line, "PULSE needs 7 values"));
+            }
+            wave = SourceWave::Pulse {
+                v1: vals[0],
+                v2: vals[1],
+                delay: vals[2],
+                rise: vals[3],
+                fall: vals[4],
+                width: vals[5],
+                period: vals[6],
+            };
+            k += 1;
+        } else if let Some(args) = args_of(&toks[k], "sin(") {
+            let vals: Vec<f64> = args.iter().map(value_token).collect::<Result<_, _>>()?;
+            if vals.len() < 3 {
+                return Err(card_err(line, "SIN needs at least 3 values"));
+            }
+            wave = SourceWave::Sin {
+                offset: vals[0],
+                ampl: vals[1],
+                freq: vals[2],
+                delay: vals.get(3).copied().unwrap_or(0.0),
+                theta: vals.get(4).copied().unwrap_or(0.0),
+            };
+            k += 1;
+        } else if let Some(args) = args_of(&toks[k], "pwl(") {
+            let vals: Vec<f64> = args.iter().map(value_token).collect::<Result<_, _>>()?;
+            if !vals.len().is_multiple_of(2) {
+                return Err(card_err(line, "PWL needs time/value pairs"));
+            }
+            wave = SourceWave::Pwl(vals.chunks(2).map(|c| (c[0], c[1])).collect());
+            k += 1;
+        } else {
+            wave = SourceWave::Dc(value_token(&toks[k])?);
+            k += 1;
+        }
+    }
+    Ok((wave, ac_mag))
+}
+
+/// Requires at least `n` operand tokens after the name.
+fn need<'a>(card: &'a Card, n: usize, usage: &str) -> Result<&'a [Token], SpiceError> {
+    let ops = &card.tokens[1..];
+    if ops.len() < n {
+        return Err(card_err(
+            card.line,
+            format!("{} needs: {usage}", card.head().to_ascii_uppercase()),
+        ));
+    }
+    Ok(ops)
+}
+
+fn node_names(toks: &[Token]) -> Vec<String> {
+    toks.iter().map(Token::lower).collect()
+}
+
+/// Parses one element card (anything but `X` and dot cards).
+fn parse_element(card: &Card) -> Result<ElementCard, SpiceError> {
+    let name = card.head();
+    let line = card.line;
+    let first = name
+        .chars()
+        .next()
+        .ok_or_else(|| card_err(line, "empty element name"))?;
+    let (nodes, kind) = match first.to_ascii_uppercase() {
+        'R' => {
+            let ops = need(card, 3, "name n+ n- value")?;
+            (
+                node_names(&ops[..2]),
+                ElementKind::Resistor(value_expr(&ops[2])?),
+            )
+        }
+        'C' => {
+            let ops = need(card, 3, "name n+ n- value [IC=v]")?;
+            let mut ic = None;
+            for t in &ops[3..] {
+                if let Some(v) = t.lower().strip_prefix("ic=") {
+                    ic = Some(ValueExpr::Literal(
+                        crate::lexer::parse_value(v).map_err(|e| token_err(t, e))?,
+                    ));
+                }
+            }
+            (
+                node_names(&ops[..2]),
+                ElementKind::Capacitor {
+                    c: value_expr(&ops[2])?,
+                    ic,
+                },
+            )
+        }
+        'L' => {
+            let ops = need(card, 3, "name n+ n- value")?;
+            (
+                node_names(&ops[..2]),
+                ElementKind::Inductor(value_expr(&ops[2])?),
+            )
+        }
+        'D' => {
+            // Both positional (`D1 a k 1e-14 1.0`) and named
+            // (`D1 a k IS=1e-14 NF=1.0`) parameter forms are accepted.
+            let ops = need(card, 2, "name anode cathode [is [nf]] [IS= NF=]")?;
+            let mut is = ValueExpr::Literal(1e-14);
+            let mut nf = ValueExpr::Literal(1.0);
+            let mut positional = 0usize;
+            for t in &ops[2..] {
+                let tl = t.lower();
+                if let Some(v) = tl.strip_prefix("is=") {
+                    is = value_expr(&Token {
+                        text: v.to_string(),
+                        line: t.line,
+                        column: t.column,
+                    })?;
+                } else if let Some(v) = tl.strip_prefix("nf=") {
+                    nf = value_expr(&Token {
+                        text: v.to_string(),
+                        line: t.line,
+                        column: t.column,
+                    })?;
+                } else {
+                    match positional {
+                        0 => is = value_expr(t)?,
+                        1 => nf = value_expr(t)?,
+                        _ => {
+                            return Err(card_err(
+                                line,
+                                "diode card takes at most `is` and `nf` parameters",
+                            ))
+                        }
+                    }
+                    positional += 1;
+                }
+            }
+            (node_names(&ops[..2]), ElementKind::Diode { is, nf })
+        }
+        'V' => {
+            let ops = need(card, 3, "name n+ n- spec")?;
+            let (wave, ac_mag) = parse_source(line, &ops[2..])?;
+            (node_names(&ops[..2]), ElementKind::Vsource { wave, ac_mag })
+        }
+        'I' => {
+            let ops = need(card, 3, "name n+ n- spec")?;
+            let (wave, ac_mag) = parse_source(line, &ops[2..])?;
+            (node_names(&ops[..2]), ElementKind::Isource { wave, ac_mag })
+        }
+        'E' => {
+            let ops = need(card, 5, "name n+ n- c+ c- gain")?;
+            (
+                node_names(&ops[..4]),
+                ElementKind::Vcvs(value_expr(&ops[4])?),
+            )
+        }
+        'G' => {
+            let ops = need(card, 5, "name n+ n- c+ c- gm")?;
+            (
+                node_names(&ops[..4]),
+                ElementKind::Vccs(value_expr(&ops[4])?),
+            )
+        }
+        'F' => {
+            let ops = need(card, 4, "name n+ n- vctrl gain")?;
+            (
+                node_names(&ops[..2]),
+                ElementKind::Cccs {
+                    ctrl: ops[2].lower(),
+                    gain: value_expr(&ops[3])?,
+                },
+            )
+        }
+        'H' => {
+            let ops = need(card, 4, "name n+ n- vctrl rm")?;
+            (
+                node_names(&ops[..2]),
+                ElementKind::Ccvs {
+                    ctrl: ops[2].lower(),
+                    rm: value_expr(&ops[3])?,
+                },
+            )
+        }
+        'S' => {
+            let ops = need(card, 7, "name n+ n- c+ c- ron roff vt")?;
+            (
+                node_names(&ops[..4]),
+                ElementKind::Switch {
+                    ron: value_expr(&ops[4])?,
+                    roff: value_expr(&ops[5])?,
+                    vt: value_expr(&ops[6])?,
+                },
+            )
+        }
+        'M' => {
+            let ops = need(card, 5, "name d g s b model [W= L=]")?;
+            let mut w = ValueExpr::Literal(1e-6);
+            let mut l = ValueExpr::Literal(0.18e-6);
+            for t in &ops[5..] {
+                let tl = t.lower();
+                if let Some(v) = tl.strip_prefix("w=") {
+                    w = value_expr(&Token {
+                        text: v.to_string(),
+                        line: t.line,
+                        column: t.column,
+                    })?;
+                } else if let Some(v) = tl.strip_prefix("l=") {
+                    l = value_expr(&Token {
+                        text: v.to_string(),
+                        line: t.line,
+                        column: t.column,
+                    })?;
+                } else {
+                    return Err(token_err(t, "unknown MOSFET parameter (expect W=/L=)"));
+                }
+            }
+            (
+                node_names(&ops[..4]),
+                ElementKind::Mosfet {
+                    model: ops[4].lower(),
+                    w,
+                    l,
+                },
+            )
+        }
+        other => {
+            let tok = &card.tokens[0];
+            return Err(SpiceError::Parse(ParseDiagnostic::lexical(
+                tok.line,
+                tok.column,
+                tok.text.clone(),
+                format!("unsupported element type '{other}'"),
+            )));
+        }
+    };
+    Ok(ElementCard {
+        name,
+        nodes,
+        kind,
+        line,
+    })
+}
+
+/// Parses an `X` instance card: nodes, then the subckt name, then
+/// optional `p=v` overrides.
+fn parse_instance(card: &Card) -> Result<InstanceCard, SpiceError> {
+    let ops = need(card, 2, "name node… subckt [p=v …]")?;
+    let mut params = Vec::new();
+    let mut plain = Vec::new();
+    for t in ops {
+        match parse_param_assign(t)? {
+            Some(pair) => params.push(pair),
+            None => {
+                if !params.is_empty() {
+                    return Err(token_err(
+                        t,
+                        "node/subckt tokens must precede p=v overrides",
+                    ));
+                }
+                plain.push(t);
+            }
+        }
+    }
+    if plain.is_empty() {
+        return Err(card_err(card.line, "X needs a subckt name"));
+    }
+    let subckt = plain.last().expect("non-empty").lower();
+    let nodes = plain[..plain.len() - 1].iter().map(|t| t.lower()).collect();
+    Ok(InstanceCard {
+        name: card.head(),
+        nodes,
+        subckt,
+        params,
+        line: card.line,
+    })
+}
+
+/// Parses a `v(node)` / bare-node probe token.
+fn probe_name(tok: &Token) -> String {
+    let t = tok.lower();
+    t.strip_prefix("v(")
+        .and_then(|s| s.strip_suffix(')'))
+        .unwrap_or(&t)
+        .to_string()
+}
+
+/// Parses a deck into its typed AST.
+///
+/// # Errors
+///
+/// [`SpiceError::Parse`] with a structured diagnostic for lexical errors,
+/// malformed cards, unknown dot cards, nested or unterminated `.SUBCKT`
+/// blocks, and analysis cards inside subcircuit bodies.
+pub fn parse_ast(deck: &str) -> Result<DeckAst, SpiceError> {
+    let cards = lex_deck(deck)?;
+    let mut ast = DeckAst::default();
+    let mut current: Option<SubcktDef> = None;
+
+    for card in &cards {
+        let head = card.head();
+        if head.is_empty() {
+            continue;
+        }
+        if let Some(rest) = head.strip_prefix('.') {
+            match rest {
+                "model" => {
+                    if card.tokens.len() < 3 {
+                        return Err(card_err(card.line, ".model needs a name and a type"));
+                    }
+                    ast.models.push(ModelCard {
+                        name: card.tokens[1].lower(),
+                        kind: card.tokens[2].lower(),
+                        line: card.line,
+                    });
+                }
+                "subckt" => {
+                    if current.is_some() {
+                        return Err(card_err(
+                            card.line,
+                            "nested .subckt definitions are not supported (instantiate with X instead)",
+                        ));
+                    }
+                    if card.tokens.len() < 2 {
+                        return Err(card_err(card.line, ".subckt needs a name"));
+                    }
+                    let mut ports = Vec::new();
+                    let mut params = Vec::new();
+                    for t in &card.tokens[2..] {
+                        match parse_param_assign(t)? {
+                            Some(pair) => params.push(pair),
+                            None => {
+                                if !params.is_empty() {
+                                    return Err(token_err(t, "ports must precede p=v defaults"));
+                                }
+                                ports.push(t.lower());
+                            }
+                        }
+                    }
+                    current = Some(SubcktDef {
+                        name: card.tokens[1].lower(),
+                        ports,
+                        params,
+                        body: Vec::new(),
+                        line: card.line,
+                    });
+                }
+                "ends" => {
+                    let def = current
+                        .take()
+                        .ok_or_else(|| card_err(card.line, ".ends without a matching .subckt"))?;
+                    if let Some(t) = card.tokens.get(1) {
+                        if t.lower() != def.name {
+                            return Err(token_err(
+                                t,
+                                format!(".ends name does not match .subckt '{}'", def.name),
+                            ));
+                        }
+                    }
+                    ast.subckts.push(def);
+                }
+                "op" | "dc" | "ac" | "tran" | "print" | "ic" if current.is_some() => {
+                    return Err(card_err(
+                        card.line,
+                        "analysis cards are not allowed inside .subckt bodies",
+                    ));
+                }
+                "op" => ast.analyses.push(AnalysisCard::Op),
+                "dc" => {
+                    if card.tokens.len() < 5 {
+                        return Err(card_err(card.line, ".dc needs: source start stop step"));
+                    }
+                    ast.analyses.push(AnalysisCard::Dc {
+                        source: card.tokens[1].lower(),
+                        start: value_token(&card.tokens[2])?,
+                        stop: value_token(&card.tokens[3])?,
+                        step: value_token(&card.tokens[4])?,
+                    });
+                }
+                "ac" => {
+                    if card.tokens.len() < 5 || card.tokens[1].lower() != "dec" {
+                        return Err(card_err(card.line, ".ac needs: dec n fstart fstop"));
+                    }
+                    ast.analyses.push(AnalysisCard::Ac {
+                        points_per_decade: value_token(&card.tokens[2])? as usize,
+                        f_start: value_token(&card.tokens[3])?,
+                        f_stop: value_token(&card.tokens[4])?,
+                    });
+                }
+                "tran" => {
+                    if card.tokens.len() < 3 {
+                        return Err(card_err(card.line, ".tran needs: tstep tstop"));
+                    }
+                    ast.analyses.push(AnalysisCard::Tran {
+                        tstep: value_token(&card.tokens[1])?,
+                        tstop: value_token(&card.tokens[2])?,
+                    });
+                }
+                "print" => {
+                    for t in card.tokens[1..]
+                        .iter()
+                        .filter(|t| !matches!(t.lower().as_str(), "tran" | "ac" | "dc"))
+                    {
+                        ast.prints.push(probe_name(t));
+                    }
+                }
+                "ic" => {
+                    for t in &card.tokens[1..] {
+                        let tl = t.lower();
+                        let Some((lhs, rhs)) = tl.split_once('=') else {
+                            return Err(token_err(t, ".ic entries look like v(node)=value"));
+                        };
+                        let node = lhs
+                            .strip_prefix("v(")
+                            .and_then(|s| s.strip_suffix(')'))
+                            .ok_or_else(|| token_err(t, ".ic entries look like v(node)=value"))?;
+                        let v = crate::lexer::parse_value(rhs).map_err(|e| token_err(t, e))?;
+                        ast.ics.push((node.to_string(), v));
+                    }
+                }
+                "end" => {}
+                other => {
+                    return Err(card_err(card.line, format!("unknown card '.{other}'")));
+                }
+            }
+            continue;
+        }
+        let body_card = if head.starts_with('x') {
+            BodyCard::Instance(parse_instance(card)?)
+        } else {
+            BodyCard::Element(parse_element(card)?)
+        };
+        match current.as_mut() {
+            Some(def) => def.body.push(body_card),
+            None => ast.body.push(body_card),
+        }
+    }
+    if let Some(def) = current {
+        return Err(card_err(
+            def.line,
+            format!(".subckt '{}' never closed with .ends", def.name),
+        ));
+    }
+    Ok(ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subckt_with_instances_and_params() {
+        let ast = parse_ast(
+            "* corpus\n.subckt cell a b r=1k\nR1 a mid {r}\nR2 mid b 2k\n.ends cell\nX1 in out cell r=2k\nX2 out 0 cell\nV1 in 0 DC 1\n.op\n",
+        )
+        .unwrap();
+        assert_eq!(ast.subckts.len(), 1);
+        let def = &ast.subckts[0];
+        assert_eq!(def.ports, vec!["a", "b"]);
+        assert_eq!(def.params, vec![("r".to_string(), 1e3)]);
+        assert_eq!(def.body.len(), 2);
+        match &def.body[0] {
+            BodyCard::Element(e) => {
+                assert_eq!(e.kind, ElementKind::Resistor(ValueExpr::Param("r".into())));
+                assert_eq!(e.nodes, vec!["a", "mid"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ast.body.len(), 3);
+        match &ast.body[0] {
+            BodyCard::Instance(x) => {
+                assert_eq!(x.name, "x1");
+                assert_eq!(x.subckt, "cell");
+                assert_eq!(x.params, vec![("r".to_string(), 2e3)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ast.analyses, vec![AnalysisCard::Op]);
+    }
+
+    #[test]
+    fn controlled_source_cards_parse() {
+        let ast = parse_ast(
+            "V1 a 0 DC 1\nR1 a 0 1k\nF1 b 0 V1 2.0\nH1 c 0 V1 50\nE1 d 0 a 0 3\nG1 e 0 a 0 1m\nR2 b 0 1\nR3 c 0 1\nR4 d 0 1\nR5 e 0 1\n",
+        )
+        .unwrap();
+        let kinds: Vec<&ElementKind> = ast
+            .body
+            .iter()
+            .map(|c| match c {
+                BodyCard::Element(e) => &e.kind,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(matches!(
+            kinds[2],
+            ElementKind::Cccs { ctrl, .. } if ctrl == "v1"
+        ));
+        assert!(matches!(
+            kinds[3],
+            ElementKind::Ccvs { ctrl, .. } if ctrl == "v1"
+        ));
+    }
+
+    #[test]
+    fn analysis_cards_parse() {
+        let ast = parse_ast(
+            "V1 a 0 DC 1\nR1 a 0 1k\n.dc V1 0 1.8 0.1\n.tran 1n 10u\n.ac dec 10 1k 1meg\n.print tran v(a)\n.ic v(a)=0.9\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(ast.analyses.len(), 3);
+        assert!(matches!(
+            &ast.analyses[0],
+            AnalysisCard::Dc { source, stop, .. } if source == "v1" && *stop == 1.8
+        ));
+        assert_eq!(ast.prints, vec!["a"]);
+        assert_eq!(ast.ics, vec![("a".to_string(), 0.9)]);
+    }
+
+    #[test]
+    fn structural_errors_are_diagnosed() {
+        for (deck, frag) in [
+            (".subckt a x\nR1 x 0 1k\n", "never closed"),
+            (".ends\n", "without a matching"),
+            (".subckt a x\n.subckt b y\n", "nested"),
+            (".subckt a x\n.tran 1n 1u\n.ends\n", "not allowed inside"),
+            (".weird 1 2\n", "unknown card"),
+            ("X1 cell\nR1 a 0 1k\n", "needs"),
+            ("Q1 a b c\n", "unsupported element"),
+        ] {
+            let e = parse_ast(deck).unwrap_err();
+            match e {
+                SpiceError::Parse(d) => {
+                    assert!(d.message.contains(frag), "{deck:?} → {}", d.render());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ends_name_mismatch_rejected() {
+        let e = parse_ast(".subckt a x\nR1 x 0 1k\n.ends b\n").unwrap_err();
+        match e {
+            SpiceError::Parse(d) => assert!(d.message.contains("does not match")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -256,6 +256,31 @@ pub enum Element {
         /// Inductance, H.
         l: f64,
     },
+    /// Current-controlled current source `I(p→n) = gain · i(ctrl)`, where
+    /// `ctrl` is the element index of the controlling voltage source
+    /// (which contributes the branch current being sensed).
+    Cccs {
+        /// Current exits here.
+        p: NodeId,
+        /// Current returns here.
+        n: NodeId,
+        /// Element index of the controlling voltage source.
+        ctrl: usize,
+        /// Current gain.
+        gain: f64,
+    },
+    /// Current-controlled voltage source `V(p,n) = rm · i(ctrl)` (adds an
+    /// MNA branch current of its own).
+    Ccvs {
+        /// Positive output node.
+        p: NodeId,
+        /// Negative output node.
+        n: NodeId,
+        /// Element index of the controlling voltage source.
+        ctrl: usize,
+        /// Transresistance, Ω.
+        rm: f64,
+    },
     /// MOSFET (level-1), four-terminal.
     Mosfet {
         /// Drain.
@@ -460,6 +485,88 @@ impl Circuit {
     /// Adds a voltage-controlled current source.
     pub fn vccs(&mut self, name: &str, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64) {
         self.push(name, Element::Vccs { p, n, cp, cn, gm });
+    }
+
+    /// Resolves the controlling voltage source for an F/H card: it must
+    /// already exist (forward references are resolved by the deck
+    /// elaborator, which appends F/H elements last).
+    fn ctrl_vsource(&self, name: &str, ctrl: &str) -> Result<usize, SpiceError> {
+        let idx = self
+            .find_element(ctrl)
+            .ok_or_else(|| SpiceError::UnknownName { name: ctrl.into() })?;
+        if !matches!(self.elements[idx].1, Element::Vsource { .. }) {
+            return Err(SpiceError::InvalidParameter {
+                element: name.to_ascii_lowercase(),
+                message: format!("controlling element '{ctrl}' is not a voltage source"),
+            });
+        }
+        Ok(idx)
+    }
+
+    /// Adds a current-controlled current source sensing the branch current
+    /// of the voltage source named `ctrl`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownName`] when `ctrl` does not exist yet, or
+    /// [`SpiceError::InvalidParameter`] when it is not a voltage source.
+    pub fn cccs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        ctrl: &str,
+        gain: f64,
+    ) -> Result<(), SpiceError> {
+        let ctrl = self.ctrl_vsource(name, ctrl)?;
+        self.push(name, Element::Cccs { p, n, ctrl, gain });
+        Ok(())
+    }
+
+    /// Adds a current-controlled voltage source sensing the branch current
+    /// of the voltage source named `ctrl`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownName`] when `ctrl` does not exist yet, or
+    /// [`SpiceError::InvalidParameter`] when it is not a voltage source.
+    pub fn ccvs(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        ctrl: &str,
+        rm: f64,
+    ) -> Result<(), SpiceError> {
+        let ctrl = self.ctrl_vsource(name, ctrl)?;
+        self.push(name, Element::Ccvs { p, n, ctrl, rm });
+        Ok(())
+    }
+
+    /// Re-points an independent V or I source at a fixed DC value — the
+    /// `.DC` sweep hot path: the topology, node ids and MNA layout are
+    /// untouched, so symbolic factorizations stay valid across sweep
+    /// points.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownName`] when no element has this name, or
+    /// [`SpiceError::InvalidParameter`] when it is not an independent
+    /// source.
+    pub fn set_dc_value(&mut self, name: &str, v: f64) -> Result<(), SpiceError> {
+        let idx = self
+            .find_element(name)
+            .ok_or_else(|| SpiceError::UnknownName { name: name.into() })?;
+        match &mut self.elements[idx].1 {
+            Element::Vsource { wave, .. } | Element::Isource { wave, .. } => {
+                *wave = SourceWave::Dc(v);
+                Ok(())
+            }
+            _ => Err(SpiceError::InvalidParameter {
+                element: name.to_ascii_lowercase(),
+                message: "only independent V/I sources can be swept".into(),
+            }),
+        }
     }
 
     /// Adds a smooth voltage-controlled switch.
@@ -753,6 +860,43 @@ mod tests {
         c.resistor("R1", a, NodeId::GROUND, 100.0);
         assert_eq!(c.find_element("r1"), Some(0));
         assert_eq!(c.find_element("R2"), None);
+    }
+
+    #[test]
+    fn current_controlled_sources_require_existing_vsource() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let err = c.cccs("F1", b, NodeId::GROUND, "V1", 2.0).unwrap_err();
+        assert!(matches!(err, SpiceError::UnknownName { .. }));
+        c.vsource("V1", a, NodeId::GROUND, SourceWave::Dc(1.0));
+        c.resistor("R1", a, NodeId::GROUND, 1e3);
+        c.cccs("F1", b, NodeId::GROUND, "v1", 2.0).unwrap();
+        c.ccvs("H1", b, NodeId::GROUND, "V1", 50.0).unwrap();
+        let err = c.cccs("F2", b, NodeId::GROUND, "R1", 2.0).unwrap_err();
+        assert!(matches!(err, SpiceError::InvalidParameter { .. }));
+        assert!(c.is_linear(), "F/H are linear elements");
+    }
+
+    #[test]
+    fn set_dc_value_patches_sources_only() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, NodeId::GROUND, SourceWave::Dc(1.0));
+        c.resistor("R1", a, NodeId::GROUND, 1e3);
+        c.set_dc_value("V1", 2.5).unwrap();
+        match &c.elements()[0].1 {
+            Element::Vsource { wave, .. } => assert_eq!(*wave, SourceWave::Dc(2.5)),
+            _ => panic!("expected vsource"),
+        }
+        assert!(matches!(
+            c.set_dc_value("R1", 1.0),
+            Err(SpiceError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            c.set_dc_value("nope", 1.0),
+            Err(SpiceError::UnknownName { .. })
+        ));
     }
 
     #[test]

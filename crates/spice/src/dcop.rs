@@ -468,6 +468,23 @@ pub fn dcop_with_guess(
     dcop_impl(circuit, externals, &NewtonOptions::default(), Some(guess))
 }
 
+/// [`dcop_with`] with explicit Newton options (notably the solver backend)
+/// and an optional warm-start guess — the deck driver's `.DC` sweep hook:
+/// consecutive sweep points chain each converged solution into the next
+/// point's stage-0 guess under a pinned backend.
+///
+/// # Errors
+///
+/// See [`dcop_with`].
+pub fn dcop_with_opts(
+    circuit: &Circuit,
+    externals: &[f64],
+    opts: &NewtonOptions,
+    guess: Option<&[f64]>,
+) -> Result<DcSolution, SpiceError> {
+    dcop_impl(circuit, externals, opts, guess)
+}
+
 pub(crate) fn dcop_impl(
     circuit: &Circuit,
     externals: &[f64],

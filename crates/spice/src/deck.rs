@@ -1,15 +1,20 @@
 //! Deck execution: run the analyses a SPICE deck asks for.
 //!
-//! [`run_deck`] parses a netlist, honours its `.tran`, `.ac` and `.print`
-//! cards and returns the requested waveforms — the closest thing to handing
-//! a deck to Eldo on the command line.
+//! [`run_deck`] parses a netlist through the full front-end pipeline and
+//! honours its `.op`, `.dc`, `.tran`, `.ac`, `.print` and `.ic` cards,
+//! returning the requested waveforms — the closest thing to handing a deck
+//! to Eldo on the command line. [`run_deck_with`] pins the linear-solver
+//! backend explicitly, which is how the verify corpus asserts dense/sparse
+//! cross-backend agreement without racing on environment variables.
 
-use crate::ac::{ac_analysis, log_sweep, AcSweep};
+use crate::ac::{ac_analysis_at_with, log_sweep, AcSweep};
+use crate::ast::{parse_ast, AnalysisCard};
 use crate::circuit::{Circuit, NodeId};
-use crate::dcop::{dcop, DcSolution};
+use crate::dcop::{dcop_with_opts, DcSolution, NewtonOptions};
 use crate::error::SpiceError;
-use crate::netlist::{parse_deck, parse_value};
+use crate::netlist::parse_deck;
 use crate::tran::{TranOptions, TransientSimulator};
+use sim_core::sparse::SolverKind;
 
 /// Transient analysis request (`.tran tstep tstop`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,15 +36,34 @@ pub struct AcCard {
     pub f_stop: f64,
 }
 
+/// DC sweep request (`.dc source start stop step`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcCard {
+    /// Name of the swept independent V or I source.
+    pub source: String,
+    /// Sweep start value.
+    pub start: f64,
+    /// Sweep stop value.
+    pub stop: f64,
+    /// Sweep increment (its sign is corrected to march start → stop).
+    pub step: f64,
+}
+
 /// The analyses found in a deck.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeckAnalyses {
+    /// `.op` card present (the operating point is computed regardless).
+    pub op: bool,
+    /// `.dc` card, if present.
+    pub dc: Option<DcCard>,
     /// `.tran` card, if present.
     pub tran: Option<TranCard>,
     /// `.ac` card, if present.
     pub ac: Option<AcCard>,
     /// Node names from `.print` cards (all non-ground nodes when absent).
     pub prints: Vec<String>,
+    /// `.ic v(node)=value` initial conditions for transient analysis.
+    pub ics: Vec<(String, f64)>,
 }
 
 /// A sampled transient waveform for one printed node.
@@ -53,6 +77,33 @@ pub struct TranTrace {
     pub values: Vec<f64>,
 }
 
+/// The result of a `.dc` sweep: one operating point per source value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSweep {
+    /// Swept source name.
+    pub source: String,
+    /// Source values, in sweep order.
+    pub values: Vec<f64>,
+    /// Printed node names (parallel to `voltages`).
+    pub nodes: Vec<String>,
+    /// Node voltages: `voltages[k][i]` is node `k` at sweep point `i`.
+    pub voltages: Vec<Vec<f64>>,
+    /// Warm-start hits across the sweep (points after the first that
+    /// converged directly from the previous solution).
+    pub warm_start_hits: u64,
+}
+
+impl DcSweep {
+    /// The voltage trace of one node across the sweep.
+    pub fn trace(&self, node: &str) -> Option<&[f64]> {
+        let key = node.to_ascii_lowercase();
+        self.nodes
+            .iter()
+            .position(|n| *n == key)
+            .map(|k| self.voltages[k].as_slice())
+    }
+}
+
 /// Everything a deck run produced.
 #[derive(Debug)]
 pub struct DeckRun {
@@ -62,6 +113,8 @@ pub struct DeckRun {
     pub analyses: DeckAnalyses,
     /// DC operating point (always computed).
     pub op: DcSolution,
+    /// DC sweep when `.dc` was present.
+    pub dc: Option<DcSweep>,
     /// Transient traces (one per printed node) when `.tran` was present.
     pub tran: Vec<TranTrace>,
     /// AC sweep when `.ac` was present.
@@ -76,55 +129,75 @@ impl DeckRun {
     }
 }
 
-/// Extracts analysis cards from a deck's dot-lines.
+/// Extracts analysis cards from a deck via the typed AST.
 ///
 /// # Errors
 ///
-/// Returns [`SpiceError::Parse`] for malformed cards.
+/// Returns [`SpiceError::Parse`] for malformed cards (the whole deck is
+/// parsed, so element-card errors surface here too).
 pub fn parse_analyses(deck: &str) -> Result<DeckAnalyses, SpiceError> {
-    let mut out = DeckAnalyses::default();
-    for (ln, raw) in deck.lines().enumerate() {
-        let line = raw.trim();
-        let lower = line.to_ascii_lowercase();
-        let err = |message: String| SpiceError::Parse {
-            line: ln + 1,
-            message,
-        };
-        if lower.starts_with(".tran") {
-            let toks: Vec<&str> = line.split_whitespace().collect();
-            if toks.len() < 3 {
-                return Err(err(".tran needs: tstep tstop".into()));
+    let ast = parse_ast(deck)?;
+    let mut out = DeckAnalyses {
+        prints: ast.prints.clone(),
+        ics: ast.ics.clone(),
+        ..DeckAnalyses::default()
+    };
+    for card in &ast.analyses {
+        match card {
+            AnalysisCard::Op => out.op = true,
+            AnalysisCard::Dc {
+                source,
+                start,
+                stop,
+                step,
+            } => {
+                out.dc = Some(DcCard {
+                    source: source.clone(),
+                    start: *start,
+                    stop: *stop,
+                    step: *step,
+                });
             }
-            out.tran = Some(TranCard {
-                tstep: parse_value(toks[1]).map_err(&err)?,
-                tstop: parse_value(toks[2]).map_err(&err)?,
-            });
-        } else if lower.starts_with(".ac") {
-            let toks: Vec<&str> = line.split_whitespace().collect();
-            if toks.len() < 5 || !toks[1].eq_ignore_ascii_case("dec") {
-                return Err(err(".ac needs: dec n fstart fstop".into()));
+            AnalysisCard::Ac {
+                points_per_decade,
+                f_start,
+                f_stop,
+            } => {
+                out.ac = Some(AcCard {
+                    points_per_decade: *points_per_decade,
+                    f_start: *f_start,
+                    f_stop: *f_stop,
+                });
             }
-            out.ac = Some(AcCard {
-                points_per_decade: parse_value(toks[2]).map_err(&err)? as usize,
-                f_start: parse_value(toks[3]).map_err(&err)?,
-                f_stop: parse_value(toks[4]).map_err(&err)?,
-            });
-        } else if lower.starts_with(".print") {
-            for tok in line.split_whitespace().skip(1) {
-                // Accept both `v(node)` and bare `node`.
-                let name = tok
-                    .trim_start_matches("V(")
-                    .trim_start_matches("v(")
-                    .trim_end_matches(')');
-                out.prints.push(name.to_ascii_lowercase());
+            AnalysisCard::Tran { tstep, tstop } => {
+                out.tran = Some(TranCard {
+                    tstep: *tstep,
+                    tstop: *tstop,
+                });
             }
         }
     }
     Ok(out)
 }
 
-/// Parses and runs a deck: DC operating point always, plus the `.tran`
-/// and `.ac` analyses it requests.
+/// The sweep values a [`DcCard`] expands to: marches from `start` to
+/// `stop` in `|step|` increments (sign auto-corrected), endpoint included
+/// within half a step.
+pub fn dc_sweep_values(card: &DcCard) -> Vec<f64> {
+    let step = if card.stop >= card.start {
+        card.step.abs()
+    } else {
+        -card.step.abs()
+    };
+    if step == 0.0 || !step.is_finite() {
+        return vec![card.start];
+    }
+    let n = ((card.stop - card.start) / step).round() as usize;
+    (0..=n).map(|i| card.start + step * i as f64).collect()
+}
+
+/// Parses and runs a deck with the solver backend taken from the
+/// `UWB_AMS_SOLVER` environment override.
 ///
 /// # Errors
 ///
@@ -151,6 +224,18 @@ pub fn parse_analyses(deck: &str) -> Result<DeckAnalyses, SpiceError> {
 /// # }
 /// ```
 pub fn run_deck(deck: &str) -> Result<DeckRun, SpiceError> {
+    run_deck_with(deck, SolverKind::from_env())
+}
+
+/// [`run_deck`] with an explicit linear-solver backend: DC operating
+/// point always; `.dc` sweeps warm-started point-to-point; `.tran` with
+/// `.ic` node forcing; `.ac` around the operating point.
+///
+/// # Errors
+///
+/// Propagates parse and analysis failures.
+#[allow(clippy::too_many_lines)]
+pub fn run_deck_with(deck: &str, solver: SolverKind) -> Result<DeckRun, SpiceError> {
     let circuit = parse_deck(deck)?;
     let mut analyses = parse_analyses(deck)?;
     if analyses.prints.is_empty() {
@@ -158,7 +243,11 @@ pub fn run_deck(deck: &str) -> Result<DeckRun, SpiceError> {
             .map(|i| circuit.node_name(NodeId(i)).to_string())
             .collect();
     }
-    let op = dcop(&circuit)?;
+    let newton = NewtonOptions {
+        solver,
+        ..NewtonOptions::default()
+    };
+    let op = dcop_with_opts(&circuit, &[], &newton, None)?;
 
     let print_nodes: Vec<(String, NodeId)> = analyses
         .prints
@@ -166,9 +255,55 @@ pub fn run_deck(deck: &str) -> Result<DeckRun, SpiceError> {
         .filter_map(|name| circuit.find_node(name).map(|id| (name.clone(), id)))
         .collect();
 
+    // `.dc`: clone the template circuit, patch the swept source per point
+    // and chain each converged solution into the next point's warm start.
+    let dc = match &analyses.dc {
+        Some(card) => {
+            let values = dc_sweep_values(card);
+            let mut swept = circuit.clone();
+            let mut voltages: Vec<Vec<f64>> =
+                vec![Vec::with_capacity(values.len()); print_nodes.len()];
+            let mut prev: Option<Vec<f64>> = None;
+            let mut warm_start_hits = 0;
+            for &v in &values {
+                swept.set_dc_value(&card.source, v)?;
+                let sol = dcop_with_opts(&swept, &[], &newton, prev.as_deref())?;
+                warm_start_hits += sol.counters.warm_start_hits;
+                for (col, &(_, id)) in voltages.iter_mut().zip(&print_nodes) {
+                    col.push(sol.voltage(id));
+                }
+                prev = Some(sol.x);
+            }
+            Some(DcSweep {
+                source: card.source.clone(),
+                values,
+                nodes: print_nodes.iter().map(|(n, _)| n.clone()).collect(),
+                voltages,
+                warm_start_hits,
+            })
+        }
+        None => None,
+    };
+
     let mut tran = Vec::new();
     if let Some(card) = analyses.tran {
-        let mut sim = TransientSimulator::new(circuit.clone(), TranOptions::default())?;
+        // Keep the transient-tuned Newton defaults, pinning only the backend.
+        let opts = TranOptions {
+            newton: NewtonOptions {
+                solver,
+                ..TranOptions::default().newton
+            },
+            ..TranOptions::default()
+        };
+        let mut sim = TransientSimulator::new(circuit.clone(), opts)?;
+        // `.ic` node forcing happens after construction, overriding the
+        // computed operating point exactly like capacitor `IC=` values.
+        for (node, v) in &analyses.ics {
+            let id = circuit
+                .find_node(node)
+                .ok_or_else(|| SpiceError::UnknownName { name: node.clone() })?;
+            sim.force_voltage(id, *v);
+        }
         let mut times = vec![0.0];
         let mut values: Vec<Vec<f64>> = print_nodes
             .iter()
@@ -194,10 +329,11 @@ pub fn run_deck(deck: &str) -> Result<DeckRun, SpiceError> {
     }
 
     let ac = match analyses.ac {
-        Some(card) => Some(ac_analysis(
+        Some(card) => Some(ac_analysis_at_with(
             &circuit,
-            &[],
+            &op,
             &log_sweep(card.f_start, card.f_stop, card.points_per_decade),
+            solver,
         )?),
         None => None,
     };
@@ -206,6 +342,7 @@ pub fn run_deck(deck: &str) -> Result<DeckRun, SpiceError> {
         circuit,
         analyses,
         op,
+        dc,
         tran,
         ac,
     })
@@ -217,7 +354,14 @@ mod tests {
 
     #[test]
     fn parses_all_cards() {
-        let a = parse_analyses(".tran 1n 10u\n.ac dec 10 1k 1meg\n.print v(out) in\n").unwrap();
+        let a = parse_analyses(
+            "V1 in 0 DC 1\nR1 in out 1k\nR2 out 0 1k\n.op\n.dc V1 0 1.8 0.2\n.tran 1n 10u\n.ac dec 10 1k 1meg\n.print v(out) in\n.ic v(out)=0.5\n",
+        )
+        .unwrap();
+        assert!(a.op);
+        let d = a.dc.unwrap();
+        assert_eq!(d.source, "v1");
+        assert_eq!(d.stop, 1.8);
         let t = a.tran.unwrap();
         assert!((t.tstep - 1e-9).abs() < 1e-21);
         assert!((t.tstop - 10e-6).abs() < 1e-12);
@@ -225,13 +369,14 @@ mod tests {
         assert_eq!(ac.points_per_decade, 10);
         assert_eq!(ac.f_stop, 1e6);
         assert_eq!(a.prints, vec!["out", "in"]);
+        assert_eq!(a.ics, vec![("out".to_string(), 0.5)]);
     }
 
     #[test]
     fn malformed_cards_error_with_line() {
         let e = parse_analyses("\n.tran 1n\n").unwrap_err();
         match e {
-            SpiceError::Parse { line, .. } => assert_eq!(line, 2),
+            SpiceError::Parse(d) => assert_eq!(d.line, 2),
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse_analyses(".ac lin 5 1 10\n").is_err());
@@ -258,5 +403,70 @@ mod tests {
         assert!(run.trace("b").is_some());
         let b = run.trace("b").unwrap();
         assert!((b.values.last().unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dc_sweep_values_march_inclusively() {
+        let card = DcCard {
+            source: "v1".into(),
+            start: 0.0,
+            stop: 1.0,
+            step: 0.25,
+        };
+        assert_eq!(dc_sweep_values(&card), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        let down = DcCard {
+            source: "v1".into(),
+            start: 1.0,
+            stop: 0.0,
+            step: 0.5,
+        };
+        assert_eq!(dc_sweep_values(&down), vec![1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn dc_sweep_runs_warm_started() {
+        let run =
+            run_deck("V1 in 0 DC 0\nR1 in out 1k\nR2 out 0 1k\n.dc V1 0 2 0.5\n.print v(out)\n")
+                .unwrap();
+        let dc = run.dc.expect("dc ran");
+        assert_eq!(dc.values, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+        let out = dc.trace("out").expect("printed node");
+        for (v, o) in dc.values.iter().zip(out) {
+            assert!((o - v / 2.0).abs() < 1e-6, "v(out) at {v}: {o}");
+        }
+        assert!(
+            dc.warm_start_hits >= 4,
+            "later points chain the previous solution: {}",
+            dc.warm_start_hits
+        );
+        assert!(dc.trace("nope").is_none());
+    }
+
+    #[test]
+    fn ic_card_forces_transient_start() {
+        // RC discharge from a forced initial condition: no sources at all.
+        let run = run_deck(
+            "R1 out 0 1k\nC1 out 0 1u\nV0 ref 0 DC 0\n.ic v(out)=1.0\n.tran 100u 1m\n.print v(out)\n",
+        )
+        .unwrap();
+        let out = run.trace("out").unwrap();
+        assert!((out.values[0] - 1.0).abs() < 1e-9, "starts at the IC");
+        let expected = (-1.0f64).exp();
+        let last = *out.values.last().unwrap();
+        assert!(
+            (last - expected).abs() < 0.05,
+            "t=RC decay: {last} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn hierarchical_deck_runs_transient() {
+        let run = run_deck(
+            ".subckt rcstage in out r=1k c=1n\nRs in out {r}\nCs out 0 {c}\n.ends\nV1 in 0 PULSE(0 1 0 1p 1p 1 1)\nX1 in mid rcstage\nX2 mid out rcstage c=2n\n.tran 10n 20u\n.print v(out)\n",
+        )
+        .unwrap();
+        let out = run.trace("out").unwrap();
+        let last = *out.values.last().unwrap();
+        assert!((last - 1.0).abs() < 0.05, "settles to the input: {last}");
     }
 }

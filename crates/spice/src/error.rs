@@ -2,6 +2,89 @@
 
 use std::fmt;
 
+/// A structured netlist parse failure: the deck position, the offending
+/// token and a stable code, rendered in the same
+/// `severity[code] subject: message (span)` shape as the lint diagnostics
+/// so front-end and static-analysis findings read alike.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseDiagnostic {
+    /// Stable code: `P0101` lexical (bad number/suffix), `P0102` card
+    /// syntax, `P0103` elaboration (subcircuit expansion).
+    pub code: &'static str,
+    /// 1-based deck line.
+    pub line: usize,
+    /// 1-based column of the offending token; 0 when the finding applies
+    /// to the whole card.
+    pub column: usize,
+    /// The offending token text (empty when a token is *missing*).
+    pub token: String,
+    /// Human explanation with the concrete values involved.
+    pub message: String,
+}
+
+impl ParseDiagnostic {
+    /// A lexical finding (`P0101`): a token that is not a valid number,
+    /// suffix or name.
+    pub fn lexical(
+        line: usize,
+        column: usize,
+        token: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        ParseDiagnostic {
+            code: "P0101",
+            line,
+            column,
+            token: token.into(),
+            message: message.into(),
+        }
+    }
+
+    /// A card-syntax finding (`P0102`): the card as a whole is malformed.
+    pub fn card(line: usize, message: impl Into<String>) -> Self {
+        ParseDiagnostic {
+            code: "P0102",
+            line,
+            column: 0,
+            token: String::new(),
+            message: message.into(),
+        }
+    }
+
+    /// An elaboration finding (`P0103`): subcircuit expansion failed.
+    pub fn elaboration(line: usize, token: impl Into<String>, message: impl Into<String>) -> Self {
+        ParseDiagnostic {
+            code: "P0103",
+            line,
+            column: 0,
+            token: token.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Renders like a lint diagnostic:
+    /// `error[P0102] 'x9': unsupported element type (line 4, col 1)`.
+    pub fn render(&self) -> String {
+        let subject = if self.token.is_empty() {
+            "<card>".to_string()
+        } else {
+            format!("'{}'", self.token)
+        };
+        let span = if self.column > 0 {
+            format!("line {}, col {}", self.line, self.column)
+        } else {
+            format!("line {}", self.line)
+        };
+        format!("error[{}] {subject}: {} ({span})", self.code, self.message)
+    }
+}
+
+impl fmt::Display for ParseDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
 /// Any failure raised by circuit construction or analysis.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpiceError {
@@ -36,13 +119,9 @@ pub enum SpiceError {
         /// Which operand went non-finite, and where.
         fault: sim_core::linalg::NumericFault,
     },
-    /// A netlist line could not be parsed.
-    Parse {
-        /// 1-based line number in the deck.
-        line: usize,
-        /// Explanation.
-        message: String,
-    },
+    /// A netlist line could not be parsed (or elaborated); the diagnostic
+    /// carries line/column, the offending token and a stable code.
+    Parse(ParseDiagnostic),
     /// A referenced model name was never defined.
     UnknownModel {
         /// The missing model name.
@@ -85,8 +164,8 @@ impl fmt::Display for SpiceError {
             SpiceError::Numeric { analysis, fault } => {
                 write!(f, "numeric fault during {analysis}: {fault}")
             }
-            SpiceError::Parse { line, message } => {
-                write!(f, "netlist parse error at line {line}: {message}")
+            SpiceError::Parse(diag) => {
+                write!(f, "netlist parse error: {diag}")
             }
             SpiceError::UnknownModel { name } => write!(f, "unknown model '{name}'"),
             SpiceError::UnknownName { name } => write!(f, "unknown element or node '{name}'"),
@@ -110,11 +189,12 @@ mod tests {
             delta: 0.5,
         };
         assert!(e.to_string().contains("300"));
-        let e = SpiceError::Parse {
-            line: 4,
-            message: "bad value".into(),
-        };
+        let e = SpiceError::Parse(ParseDiagnostic::card(4, "bad value"));
         assert!(e.to_string().contains("line 4"));
+        assert!(e.to_string().contains("P0102"));
+        let d = ParseDiagnostic::lexical(2, 7, "1x", "unknown suffix");
+        assert!(d.render().contains("'1x'"), "{}", d.render());
+        assert!(d.render().contains("line 2, col 7"), "{}", d.render());
         let e = SpiceError::Singular {
             analysis: "ac",
             order: 5,

@@ -1,0 +1,383 @@
+//! Lexical layer of the SPICE front-end.
+//!
+//! Turns raw deck text into *logical cards*: physical lines are folded
+//! across `+` continuations, comments (`*` lines, `;`/`$` tails) are
+//! stripped, parenthesised groups (`PULSE ( 0 1.8 … )`) collapse into
+//! single tokens, and `W = 10u` / `W =10u` / `W= 10u` normalise to
+//! `w=10u`. Every token remembers the physical line and column it started
+//! at so downstream layers can produce pointed diagnostics.
+//!
+//! [`parse_value`] is the one SPICE number parser for the whole
+//! workspace: engineering suffixes are case-insensitive, `meg` (1e6) and
+//! `mil` (25.4e-6) take precedence over the single-character `m`, and any
+//! trailing garbage after a recognised suffix is rejected.
+
+use crate::error::{ParseDiagnostic, SpiceError};
+
+/// One token of a logical card, with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text. Parenthesised groups arrive as one token with the
+    /// interior whitespace collapsed (`pulse(0 1.8 1n)`); `name=value`
+    /// pairs arrive joined.
+    pub text: String,
+    /// 1-based physical line the token started on.
+    pub line: usize,
+    /// 1-based column the token started at.
+    pub column: usize,
+}
+
+impl Token {
+    /// Lowercased view of the token text (SPICE is case-insensitive).
+    pub fn lower(&self) -> String {
+        self.text.to_ascii_lowercase()
+    }
+}
+
+/// One logical card: the tokens of a physical line plus any folded `+`
+/// continuation lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Card {
+    /// 1-based line the card started on (diagnostics anchor here).
+    pub line: usize,
+    /// The card's tokens, in order.
+    pub tokens: Vec<Token>,
+}
+
+impl Card {
+    /// The card's leading token text, lowercased (`".subckt"`, `"r1"`).
+    pub fn head(&self) -> String {
+        self.tokens.first().map(Token::lower).unwrap_or_default()
+    }
+}
+
+/// Parses a numeric token with SPICE engineering suffixes.
+///
+/// Recognised suffixes (case-insensitive): `f p n u m k meg mil g t`.
+/// `meg` → 1e6 and `mil` → 25.4e-6 are matched before the single-character
+/// `m`, and anything left over after the suffix is an error — `1meg` is
+/// 1e6, `1m` is 1e-3, `1megohm` and `1kk` are rejected.
+///
+/// # Errors
+///
+/// Returns a message naming the offending token when it is not a number
+/// or carries an unknown/trailing suffix.
+pub fn parse_value(token: &str) -> Result<f64, String> {
+    let t = token.trim().to_ascii_lowercase();
+    if t.is_empty() {
+        return Err("empty value".into());
+    }
+    // Longest numeric prefix: digits, sign, decimal point, exponent.
+    let mut split = t.len();
+    for (i, ch) in t.char_indices() {
+        if ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == '+' {
+            continue;
+        }
+        if ch == 'e'
+            && t[i + 1..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
+        {
+            continue;
+        }
+        split = i;
+        break;
+    }
+    let (num, suffix) = t.split_at(split);
+    let base: f64 = num.parse().map_err(|_| format!("bad number '{token}'"))?;
+    let mult = match suffix {
+        "" => 1.0,
+        "meg" => 1e6,
+        "mil" => 25.4e-6,
+        "f" => 1e-15,
+        "p" => 1e-12,
+        "n" => 1e-9,
+        "u" => 1e-6,
+        "m" => 1e-3,
+        "k" => 1e3,
+        "g" => 1e9,
+        "t" => 1e12,
+        _ => {
+            return Err(format!(
+                "unknown or trailing suffix '{suffix}' on '{token}'"
+            ))
+        }
+    };
+    Ok(base * mult)
+}
+
+/// [`parse_value`] lifted into the front-end's structured error type.
+///
+/// # Errors
+///
+/// [`SpiceError::Parse`] with a `P0101` lexical diagnostic pointing at the
+/// token.
+pub fn value_token(tok: &Token) -> Result<f64, SpiceError> {
+    parse_value(&tok.text).map_err(|m| {
+        SpiceError::Parse(ParseDiagnostic::lexical(
+            tok.line,
+            tok.column,
+            tok.text.clone(),
+            m,
+        ))
+    })
+}
+
+/// Strips a trailing `;`/`$` comment (outside parentheses).
+fn strip_tail_comment(line: &str) -> &str {
+    let mut depth = 0usize;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ';' | '$' if depth == 0 => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Tokenizes one physical line, appending to `out`. Parenthesised groups
+/// collapse into one token; interior whitespace becomes single spaces.
+fn tokenize_into(text: &str, line: usize, col0: usize, out: &mut Vec<Token>) {
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    let mut start_col = 0usize;
+    let mut col = col0;
+    for ch in text.chars() {
+        col += 1;
+        match ch {
+            '(' => {
+                if depth == 0 && cur.is_empty() {
+                    start_col = col;
+                }
+                depth += 1;
+                cur.push('(');
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                if cur.ends_with(' ') {
+                    cur.pop();
+                }
+                cur.push(')');
+                if depth == 0 {
+                    out.push(Token {
+                        text: std::mem::take(&mut cur),
+                        line,
+                        column: start_col,
+                    });
+                }
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(Token {
+                        text: std::mem::take(&mut cur),
+                        line,
+                        column: start_col,
+                    });
+                }
+            }
+            c if c.is_whitespace() => {
+                // Inside parens: keep a single separating space.
+                if !cur.ends_with(' ') && !cur.ends_with('(') {
+                    cur.push(' ');
+                }
+            }
+            c => {
+                if cur.is_empty() {
+                    start_col = col;
+                }
+                cur.push(c);
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(Token {
+            text: cur,
+            line,
+            column: start_col,
+        });
+    }
+}
+
+/// Attaches a detached paren group to the preceding keyword, so
+/// `PULSE ( ... )` lexes identically to `PULSE(...)`.
+fn merge_paren_groups(tokens: &mut Vec<Token>) {
+    let mut i = 1;
+    while i < tokens.len() {
+        let attach = tokens[i].text.starts_with('(')
+            && tokens[i - 1].text.chars().all(|c| c.is_ascii_alphabetic());
+        if attach {
+            let group = tokens.remove(i);
+            tokens[i - 1].text.push_str(&group.text);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Joins `name = value` / `name= value` / `name =value` token runs into
+/// single `name=value` tokens, in place.
+fn normalize_assignments(tokens: &mut Vec<Token>) {
+    let mut out: Vec<Token> = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.text == "=" && !out.is_empty() && i + 1 < tokens.len() {
+            let rhs = tokens[i + 1].text.clone();
+            let prev = out.last_mut().expect("non-empty");
+            prev.text.push('=');
+            prev.text.push_str(&rhs);
+            i += 2;
+        } else if t.text.ends_with('=') && t.text.len() > 1 && i + 1 < tokens.len() {
+            let mut joined = t.clone();
+            joined.text.push_str(&tokens[i + 1].text);
+            out.push(joined);
+            i += 2;
+        } else if t.text.starts_with('=') && t.text.len() > 1 && !out.is_empty() {
+            let prev = out.last_mut().expect("non-empty");
+            prev.text.push_str(&t.text);
+            i += 1;
+        } else {
+            out.push(t.clone());
+            i += 1;
+        }
+    }
+    *tokens = out;
+}
+
+/// Lexes a deck into logical cards: comments and blank lines dropped, `+`
+/// continuations folded into the preceding card, parenthesised groups and
+/// `name=value` pairs collapsed into single tokens.
+///
+/// A leading-`+` line with no card to continue is a card-syntax error.
+///
+/// # Errors
+///
+/// [`SpiceError::Parse`] (`P0102`) for a dangling continuation line.
+pub fn lex_deck(deck: &str) -> Result<Vec<Card>, SpiceError> {
+    let mut cards: Vec<Card> = Vec::new();
+    for (i, raw) in deck.lines().enumerate() {
+        let line_no = i + 1;
+        let stripped = strip_tail_comment(raw);
+        let trimmed = stripped.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        let leading = stripped.len() - trimmed.len();
+        if let Some(cont) = trimmed.strip_prefix('+') {
+            let Some(card) = cards.last_mut() else {
+                return Err(SpiceError::Parse(ParseDiagnostic::card(
+                    line_no,
+                    "continuation line '+' with no card to continue",
+                )));
+            };
+            tokenize_into(cont, line_no, leading + 1, &mut card.tokens);
+            continue;
+        }
+        let mut tokens = Vec::new();
+        tokenize_into(trimmed, line_no, leading, &mut tokens);
+        cards.push(Card {
+            line: line_no,
+            tokens,
+        });
+    }
+    for card in &mut cards {
+        merge_paren_groups(&mut card.tokens);
+        normalize_assignments(&mut card.tokens);
+    }
+    Ok(cards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suffix_parses_to_its_scale() {
+        for (text, expect) in [
+            ("1f", 1e-15),
+            ("1p", 1e-12),
+            ("1n", 1e-9),
+            ("1u", 1e-6),
+            ("1m", 1e-3),
+            ("1k", 1e3),
+            ("1meg", 1e6),
+            ("1MEG", 1e6),
+            ("1Meg", 1e6),
+            ("1mil", 25.4e-6),
+            ("1MIL", 25.4e-6),
+            ("1g", 1e9),
+            ("1t", 1e12),
+            ("1", 1.0),
+            ("2.5K", 2.5e3),
+            ("1e-9", 1e-9),
+            ("-0.45", -0.45),
+            ("3.3e2m", 0.33),
+        ] {
+            let got = parse_value(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert!(
+                (got - expect).abs() <= 1e-12 * expect.abs(),
+                "{text}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn meg_never_falls_into_the_milli_arm() {
+        assert_eq!(parse_value("1meg").unwrap(), 1e6);
+        assert_eq!(parse_value("1m").unwrap(), 1e-3);
+        assert!((parse_value("1mil").unwrap() - 25.4e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        for bad in ["1megohm", "1kk", "1x", "1uF", "1pfarad", "abc", "", "1mm"] {
+            assert!(parse_value(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn cards_fold_continuations_with_positions() {
+        let cards = lex_deck("* title\nV1 a 0\n+ DC 2.0 ; tail comment\nR1 a 0 1k\n").unwrap();
+        assert_eq!(cards.len(), 2);
+        assert_eq!(cards[0].line, 2);
+        let texts: Vec<&str> = cards[0].tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["V1", "a", "0", "DC", "2.0"]);
+        assert_eq!(cards[0].tokens[3].line, 3, "continuation keeps its line");
+        assert_eq!(cards[1].tokens[0].column, 1);
+    }
+
+    #[test]
+    fn dangling_continuation_is_an_error() {
+        let e = lex_deck("+ DC 2.0\n").unwrap_err();
+        match e {
+            SpiceError::Parse(d) => assert_eq!((d.line, d.code), (1, "P0102")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paren_groups_collapse_and_assignments_join() {
+        let cards = lex_deck("V1 a 0 PULSE ( 0 1.8  1n 0.1n 0.1n 5n 10n )\nM1 d g s b nch W = 10u L= 1u\nC1 a 0 1n IC =0.5\n").unwrap();
+        assert_eq!(cards[0].tokens[3].text, "PULSE(0 1.8 1n 0.1n 0.1n 5n 10n)");
+        let m: Vec<&str> = cards[1].tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(m, vec!["M1", "d", "g", "s", "b", "nch", "W=10u", "L=1u"]);
+        assert_eq!(cards[2].tokens[4].text, "IC=0.5");
+    }
+
+    #[test]
+    fn value_token_carries_position() {
+        let cards = lex_deck("R1 a 0 12zz\n").unwrap();
+        let e = value_token(&cards[0].tokens[3]).unwrap_err();
+        match e {
+            SpiceError::Parse(d) => {
+                assert_eq!((d.line, d.column), (1, 8));
+                assert_eq!(d.token, "12zz");
+                assert_eq!(d.code, "P0101");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -14,8 +14,11 @@
 //! * dense matrices, the partial-pivot LU and the work counters come from
 //!   the shared [`sim_core`] kernel (re-exported as [`linalg`] / [`perf`]),
 //!   so circuit and behavioural solves run on one numeric substrate,
-//! * a SPICE-deck parser ([`netlist::parse_deck`]) with executable `.tran`,
-//!   `.ac` and `.print` cards ([`deck::run_deck`]), and
+//! * a staged SPICE-deck front-end — lexer ([`lexer::lex_deck`]), typed
+//!   card AST ([`ast::parse_ast`]) and hierarchical `.subckt` elaboration
+//!   ([`elaborate::elaborate`]) behind [`netlist::parse_deck`] — with
+//!   executable `.op`/`.dc`/`.tran`/`.ac`/`.print`/`.ic` cards
+//!   ([`deck::run_deck`]), and
 //! * the paper's CMOS Integrate & Dump cell ([`library::integrate_dump`]).
 //!
 //! ## Example
@@ -42,10 +45,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ac;
+pub mod ast;
 pub mod circuit;
 pub mod dcop;
 pub mod deck;
+pub mod elaborate;
 pub mod error;
+pub mod lexer;
 pub mod library;
 pub mod mna;
 pub mod mosfet;
@@ -63,12 +69,14 @@ pub use sim_core::{linalg, perf};
 pub use ac::{ac_analysis, ac_analysis_at, ac_analysis_at_with, log_sweep, AcSweep};
 pub use circuit::{Circuit, Element, NodeId, SourceWave};
 pub use dcop::{
-    dcop, dcop_batch, dcop_batch_with, dcop_with, dcop_with_guess, BatchPoint, BatchReport,
-    BatchWorkspace, CampaignKernel, DcSolution, NewtonOptions,
+    dcop, dcop_batch, dcop_batch_with, dcop_with, dcop_with_guess, dcop_with_opts, BatchPoint,
+    BatchReport, BatchWorkspace, CampaignKernel, DcSolution, NewtonOptions,
 };
-pub use deck::run_deck;
-pub use error::SpiceError;
+pub use deck::{run_deck, run_deck_with, DcSweep, DeckAnalyses, DeckRun, TranTrace};
+pub use error::{ParseDiagnostic, SpiceError};
+pub use lexer::parse_value;
 pub use mosfet::{MosParams, MosType};
+pub use netlist::{parse_deck, subckt_deck, write_deck};
 pub use perf::PerfCounters;
 pub use rescue::{dcop_rescue, dcop_rescue_injected, RescuePolicy};
 pub use sim_core::batched::BatchWidth;

@@ -32,7 +32,10 @@ impl MnaLayout {
         for (idx, (_, e)) in circuit.elements().iter().enumerate() {
             if matches!(
                 e,
-                Element::Vsource { .. } | Element::Vcvs { .. } | Element::Inductor { .. }
+                Element::Vsource { .. }
+                    | Element::Vcvs { .. }
+                    | Element::Ccvs { .. }
+                    | Element::Inductor { .. }
             ) {
                 branch_index.insert(idx, next);
                 next += 1;
@@ -166,6 +169,10 @@ pub fn estimate_nnz(circuit: &Circuit, layout: &MnaLayout) -> usize {
             Element::Vsource { .. } | Element::Vcvs { .. } | Element::Inductor { .. } => 8,
             Element::Isource { .. } => 0,
             Element::Vccs { .. } => 4,
+            // Two KCL couplings into the controlling branch column.
+            Element::Cccs { .. } => 2,
+            // Branch row/column couple + the rm coupling.
+            Element::Ccvs { .. } => 8,
         };
     }
     nnz
@@ -406,6 +413,31 @@ pub fn assemble<M: Stamp>(
                     }
                 }
             }
+            Element::Cccs { p, n, ctrl, gain } => {
+                // I(p→n) = gain · i_ctrl: KCL contributions into the
+                // controlling source's branch-current column.
+                let ib_ctrl = branch(*ctrl, name)?;
+                if let Some(i) = layout.node_unknown(*p) {
+                    mat.add(i, ib_ctrl, *gain);
+                }
+                if let Some(j) = layout.node_unknown(*n) {
+                    mat.add(j, ib_ctrl, -*gain);
+                }
+            }
+            Element::Ccvs { p, n, ctrl, rm } => {
+                // Own branch current plus V(p) − V(n) − rm · i_ctrl = 0.
+                let ib = branch(idx, name)?;
+                let ib_ctrl = branch(*ctrl, name)?;
+                if let Some(i) = layout.node_unknown(*p) {
+                    mat.add(i, ib, 1.0);
+                    mat.add(ib, i, 1.0);
+                }
+                if let Some(j) = layout.node_unknown(*n) {
+                    mat.add(j, ib, -1.0);
+                    mat.add(ib, j, -1.0);
+                }
+                mat.add(ib, ib_ctrl, -*rm);
+            }
             Element::Switch {
                 p,
                 n,
@@ -574,6 +606,38 @@ mod tests {
         // the p→n-through-source convention.
         let ib = sol[layout.branch_unknown(0).unwrap()];
         assert!((ib + 1e-3).abs() < 1e-12, "ib = {ib}");
+    }
+
+    #[test]
+    fn current_controlled_sources_solve_spice_conventions() {
+        // V1 drives 2 V across 1 kΩ: i(V1) = −2 mA with the
+        // p→n-through-source convention. F doubles it into R2 (+4 V),
+        // H converts it to −0.1 V through rm = 50 Ω.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let d = c.node("d");
+        c.vsource("V1", a, NodeId::GROUND, SourceWave::Dc(2.0));
+        c.resistor("R1", a, NodeId::GROUND, 1e3);
+        c.cccs("F1", b, NodeId::GROUND, "V1", 2.0).unwrap();
+        c.resistor("R2", b, NodeId::GROUND, 1e3);
+        c.ccvs("H1", d, NodeId::GROUND, "V1", 50.0).unwrap();
+        let op = crate::dcop::dcop(&c).unwrap();
+        assert!(
+            (op.voltage(b) - 4.0).abs() < 1e-6,
+            "v(b) = {}",
+            op.voltage(b)
+        );
+        assert!(
+            (op.voltage(d) + 0.1).abs() < 1e-6,
+            "v(d) = {}",
+            op.voltage(d)
+        );
+        let layout = MnaLayout::new(&c);
+        // V1 and H1 carry branches; F1 does not.
+        assert!(layout.branch_unknown(0).is_some());
+        assert!(layout.branch_unknown(2).is_none());
+        assert!(layout.branch_unknown(4).is_some());
     }
 
     #[test]

@@ -1,210 +1,28 @@
-//! SPICE-deck parser.
+//! SPICE-deck parsing front door and deck rendering.
 //!
-//! Supports the subset used in this repository: `R`, `C`, `L`, `D`, `V`,
-//! `I`, `E` (VCVS), `G` (VCCS), `S` (switch, inline parameters), `M`
-//! (MOSFET with `W=`/`L=`), `.model` cards for the built-in level-1 decks,
-//! comments (`*`), line continuations (`+`) and engineering suffixes
-//! (`f p n u m k meg g t`). [`write_deck`] renders a circuit back to text.
+//! [`parse_deck`] is the historical entry point; it now runs the full
+//! front-end pipeline — [`crate::lexer`] (logical cards, numbers),
+//! [`crate::ast`] (typed cards, `.SUBCKT` definitions) and
+//! [`crate::elaborate`] (hierarchical expansion into a flat
+//! [`Circuit`]) — so every consumer of deck text flows through one
+//! elaboration path. Supported cards: `R C L D V I E G F H S M X`,
+//! `.MODEL`, `.SUBCKT`/`.ENDS`, the analyses `.OP .DC .AC .TRAN .PRINT
+//! .IC`, comments (`*`, `;`), line continuations (`+`) and engineering
+//! suffixes (`f p n u m k meg mil g t`).
+//!
+//! [`write_deck`] renders a circuit back to text; [`subckt_deck`] wraps a
+//! circuit as a `.SUBCKT` definition — the macromodel-substitution hook:
+//! any cell built through the Rust API can be exported as a subcircuit
+//! card and re-imported (or replaced by a fitted surrogate) at deck level.
 
 use crate::circuit::{Circuit, SourceWave};
 use crate::error::SpiceError;
 use crate::mosfet::MosParams;
 
-/// Parses a numeric token with SPICE engineering suffixes.
-///
-/// # Errors
-///
-/// Returns the offending token when it is not a number.
-pub fn parse_value(token: &str) -> Result<f64, String> {
-    let t = token.trim().to_ascii_lowercase();
-    if t.is_empty() {
-        return Err("empty value".into());
-    }
-    // Find the longest numeric prefix.
-    let mut split = t.len();
-    for (i, ch) in t.char_indices() {
-        if ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == '+' {
-            continue;
-        }
-        if ch == 'e'
-            && t[i + 1..]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
-        {
-            continue;
-        }
-        split = i;
-        break;
-    }
-    let (num, suffix) = t.split_at(split);
-    let base: f64 = num.parse().map_err(|_| format!("bad number '{token}'"))?;
-    let mult = if suffix.starts_with("meg") {
-        1e6
-    } else {
-        match suffix.chars().next() {
-            None => 1.0,
-            Some('f') => 1e-15,
-            Some('p') => 1e-12,
-            Some('n') => 1e-9,
-            Some('u') => 1e-6,
-            Some('m') => 1e-3,
-            Some('k') => 1e3,
-            Some('g') => 1e9,
-            Some('t') => 1e12,
-            Some(_) => return Err(format!("unknown suffix on '{token}'")),
-        }
-    };
-    Ok(base * mult)
-}
-
-fn err(line: usize, message: impl Into<String>) -> SpiceError {
-    SpiceError::Parse {
-        line,
-        message: message.into(),
-    }
-}
-
-fn value(line: usize, token: &str) -> Result<f64, SpiceError> {
-    parse_value(token).map_err(|m| err(line, m))
-}
-
-/// Collects physical lines into logical lines, folding `+` continuations
-/// and dropping comments/blank lines. Returns (1-based line number, text).
-fn logical_lines(deck: &str) -> Vec<(usize, String)> {
-    let mut out: Vec<(usize, String)> = Vec::new();
-    for (i, raw) in deck.lines().enumerate() {
-        let line = raw.split(';').next().unwrap_or("").trim();
-        if line.is_empty() || line.starts_with('*') {
-            continue;
-        }
-        if let Some(cont) = line.strip_prefix('+') {
-            if let Some((_, prev)) = out.last_mut() {
-                prev.push(' ');
-                prev.push_str(cont.trim());
-                continue;
-            }
-        }
-        out.push((i + 1, line.to_string()));
-    }
-    out
-}
-
-/// Parses a source specification starting at `tokens[k]`:
-/// `DC <v>`, bare `<v>`, `PULSE(...)`, `SIN(...)`, `PWL(...)`, with an
-/// optional trailing `AC <mag>`.
-fn parse_source(line: usize, tokens: &[String]) -> Result<(SourceWave, f64), SpiceError> {
-    let mut ac_mag = 0.0;
-    let mut wave = SourceWave::Dc(0.0);
-    let mut k = 0;
-    while k < tokens.len() {
-        let t = tokens[k].to_ascii_lowercase();
-        if t == "dc" {
-            let v = tokens
-                .get(k + 1)
-                .ok_or_else(|| err(line, "DC needs a value"))?;
-            wave = SourceWave::Dc(value(line, v)?);
-            k += 2;
-        } else if t == "ac" {
-            let v = tokens
-                .get(k + 1)
-                .ok_or_else(|| err(line, "AC needs a magnitude"))?;
-            ac_mag = value(line, v)?;
-            k += 2;
-        } else if let Some(args) = t.strip_prefix("pulse(").and_then(|s| s.strip_suffix(')')) {
-            let vals: Vec<f64> = args
-                .split_whitespace()
-                .map(|v| value(line, v))
-                .collect::<Result<_, _>>()?;
-            if vals.len() < 7 {
-                return Err(err(line, "PULSE needs 7 values"));
-            }
-            wave = SourceWave::Pulse {
-                v1: vals[0],
-                v2: vals[1],
-                delay: vals[2],
-                rise: vals[3],
-                fall: vals[4],
-                width: vals[5],
-                period: vals[6],
-            };
-            k += 1;
-        } else if let Some(args) = t.strip_prefix("sin(").and_then(|s| s.strip_suffix(')')) {
-            let vals: Vec<f64> = args
-                .split_whitespace()
-                .map(|v| value(line, v))
-                .collect::<Result<_, _>>()?;
-            if vals.len() < 3 {
-                return Err(err(line, "SIN needs at least 3 values"));
-            }
-            wave = SourceWave::Sin {
-                offset: vals[0],
-                ampl: vals[1],
-                freq: vals[2],
-                delay: vals.get(3).copied().unwrap_or(0.0),
-                theta: vals.get(4).copied().unwrap_or(0.0),
-            };
-            k += 1;
-        } else if let Some(args) = t.strip_prefix("pwl(").and_then(|s| s.strip_suffix(')')) {
-            let vals: Vec<f64> = args
-                .split_whitespace()
-                .map(|v| value(line, v))
-                .collect::<Result<_, _>>()?;
-            if !vals.len().is_multiple_of(2) {
-                return Err(err(line, "PWL needs time/value pairs"));
-            }
-            wave = SourceWave::Pwl(vals.chunks(2).map(|c| (c[0], c[1])).collect());
-            k += 1;
-        } else {
-            // Bare value = DC.
-            wave = SourceWave::Dc(value(line, &tokens[k])?);
-            k += 1;
-        }
-    }
-    Ok((wave, ac_mag))
-}
-
-/// Normalises parenthesised function calls into single tokens, e.g.
-/// `PULSE ( 0 1.8 ... )` → `pulse(0 1.8 ...)`.
-fn retokenize(text: &str) -> Vec<String> {
-    let mut tokens = Vec::new();
-    let mut depth = 0usize;
-    let mut cur = String::new();
-    for ch in text.chars() {
-        match ch {
-            '(' => {
-                depth += 1;
-                cur.push('(');
-            }
-            ')' => {
-                depth = depth.saturating_sub(1);
-                cur.push(')');
-                if depth == 0 {
-                    tokens.push(std::mem::take(&mut cur));
-                }
-            }
-            c if c.is_whitespace() && depth == 0 => {
-                if !cur.is_empty() {
-                    tokens.push(std::mem::take(&mut cur));
-                }
-            }
-            c if c.is_whitespace() => {
-                // Inside parens: keep a single separating space.
-                if !cur.ends_with(' ') && !cur.ends_with('(') {
-                    cur.push(' ');
-                }
-            }
-            c => cur.push(c),
-        }
-    }
-    if !cur.is_empty() {
-        tokens.push(cur);
-    }
-    tokens
-}
+pub use crate::lexer::parse_value;
 
 /// Built-in model decks addressable from `.model <name> <deck>` cards.
-fn builtin_model(kind: &str) -> Option<MosParams> {
+pub(crate) fn builtin_model(kind: &str) -> Option<MosParams> {
     match kind.to_ascii_lowercase().as_str() {
         "nmos018" | "nmos" => Some(MosParams::nmos_018()),
         "pmos018" | "pmos" => Some(MosParams::pmos_018()),
@@ -214,13 +32,16 @@ fn builtin_model(kind: &str) -> Option<MosParams> {
     }
 }
 
-/// Parses a SPICE deck into a [`Circuit`].
+/// Parses a SPICE deck into a flat [`Circuit`] via the lexer → AST →
+/// elaboration pipeline. Subcircuit internals appear with hierarchical
+/// names (`x1.out`, `x1.m3`).
 ///
 /// # Errors
 ///
-/// Returns [`SpiceError::Parse`] with the offending line number, or
-/// [`SpiceError::UnknownModel`] when an `M` card references an undefined
-/// model.
+/// Returns [`SpiceError::Parse`] carrying a structured
+/// [`crate::error::ParseDiagnostic`] (line/column, offending token, stable
+/// code), or [`SpiceError::UnknownModel`] when an `M` card references an
+/// undefined model.
 ///
 /// # Examples
 ///
@@ -230,10 +51,13 @@ fn builtin_model(kind: &str) -> Option<MosParams> {
 ///
 /// # fn main() -> Result<(), spice::SpiceError> {
 /// let ckt = parse_deck(r"
-/// * resistive divider
+/// * resistive divider, lower leg as a subcircuit
+/// .subckt leg top r=2k
+/// Rleg top 0 {r}
+/// .ends
 /// V1 in 0 DC 3.0
 /// R1 in out 1k
-/// R2 out 0 2k
+/// X1 out leg
 /// ")?;
 /// let out = ckt.find_node("out").expect("node exists");
 /// let op = dcop(&ckt)?;
@@ -242,193 +66,166 @@ fn builtin_model(kind: &str) -> Option<MosParams> {
 /// # }
 /// ```
 pub fn parse_deck(deck: &str) -> Result<Circuit, SpiceError> {
-    let mut ckt = Circuit::new();
-    let lines = logical_lines(deck);
-
-    // First pass: model cards (so device lines can reference them).
-    for (ln, text) in &lines {
-        let tokens = retokenize(text);
-        let Some(head) = tokens.first() else { continue };
-        if head.eq_ignore_ascii_case(".model") {
-            if tokens.len() < 3 {
-                return Err(err(*ln, ".model needs a name and a type"));
-            }
-            let params = builtin_model(&tokens[2])
-                .ok_or_else(|| err(*ln, format!("unknown model type '{}'", tokens[2])))?;
-            ckt.add_model(&tokens[1], params);
-        }
-    }
-
-    for (ln, text) in &lines {
-        let ln = *ln;
-        let tokens = retokenize(text);
-        let name = match tokens.first() {
-            Some(t) => t.clone(),
-            None => continue,
-        };
-        let first = match name.chars().next() {
-            Some(c) => c,
-            None => return Err(err(ln, "empty element name")),
-        };
-        match first.to_ascii_uppercase() {
-            '.' => {
-                // .model handled above; .end/.tran/.ac ignored (analyses are
-                // driven through the API).
-            }
-            'R' => {
-                if tokens.len() < 4 {
-                    return Err(err(ln, "R needs: name n+ n- value"));
-                }
-                let p = ckt.node(&tokens[1]);
-                let n = ckt.node(&tokens[2]);
-                let r = value(ln, &tokens[3])?;
-                if !(r.is_finite() && r > 0.0) {
-                    return Err(err(ln, "resistance must be positive"));
-                }
-                ckt.resistor(&name, p, n, r);
-            }
-            'C' => {
-                if tokens.len() < 4 {
-                    return Err(err(ln, "C needs: name n+ n- value"));
-                }
-                let p = ckt.node(&tokens[1]);
-                let n = ckt.node(&tokens[2]);
-                let c = value(ln, &tokens[3])?;
-                if !(c.is_finite() && c > 0.0) {
-                    return Err(err(ln, "capacitance must be positive"));
-                }
-                // Optional IC=<v>.
-                let mut ic = None;
-                for t in &tokens[4..] {
-                    if let Some(v) = t.to_ascii_lowercase().strip_prefix("ic=") {
-                        ic = Some(value(ln, v)?);
-                    }
-                }
-                match ic {
-                    Some(v) => ckt.capacitor_ic(&name, p, n, c, v),
-                    None => ckt.capacitor(&name, p, n, c),
-                }
-            }
-            'V' => {
-                if tokens.len() < 4 {
-                    return Err(err(ln, "V needs: name n+ n- spec"));
-                }
-                let p = ckt.node(&tokens[1]);
-                let n = ckt.node(&tokens[2]);
-                let (wave, ac_mag) = parse_source(ln, &tokens[3..])?;
-                ckt.vsource_ac(&name, p, n, wave, ac_mag);
-            }
-            'I' => {
-                if tokens.len() < 4 {
-                    return Err(err(ln, "I needs: name n+ n- spec"));
-                }
-                let p = ckt.node(&tokens[1]);
-                let n = ckt.node(&tokens[2]);
-                let (wave, _ac) = parse_source(ln, &tokens[3..])?;
-                ckt.isource(&name, p, n, wave);
-            }
-            'D' => {
-                if tokens.len() < 4 {
-                    return Err(err(ln, "D needs: name anode cathode is [nf]"));
-                }
-                let pd = ckt.node(&tokens[1]);
-                let nd = ckt.node(&tokens[2]);
-                let is = value(ln, &tokens[3])?;
-                let nf = match tokens.get(4) {
-                    Some(t) => value(ln, t)?,
-                    None => 1.0,
-                };
-                if !(is > 0.0 && nf > 0.0) {
-                    return Err(err(ln, "diode needs is > 0 and nf > 0"));
-                }
-                ckt.diode(&name, pd, nd, is, nf);
-            }
-            'L' => {
-                if tokens.len() < 4 {
-                    return Err(err(ln, "L needs: name n+ n- value"));
-                }
-                let pl = ckt.node(&tokens[1]);
-                let nl = ckt.node(&tokens[2]);
-                let lv = value(ln, &tokens[3])?;
-                if !(lv.is_finite() && lv > 0.0) {
-                    return Err(err(ln, "inductance must be positive"));
-                }
-                ckt.inductor(&name, pl, nl, lv);
-            }
-            'E' => {
-                if tokens.len() < 6 {
-                    return Err(err(ln, "E needs: name n+ n- c+ c- gain"));
-                }
-                let p = ckt.node(&tokens[1]);
-                let n = ckt.node(&tokens[2]);
-                let cp = ckt.node(&tokens[3]);
-                let cn = ckt.node(&tokens[4]);
-                let gain = value(ln, &tokens[5])?;
-                ckt.vcvs(&name, p, n, cp, cn, gain);
-            }
-            'G' => {
-                if tokens.len() < 6 {
-                    return Err(err(ln, "G needs: name n+ n- c+ c- gm"));
-                }
-                let p = ckt.node(&tokens[1]);
-                let n = ckt.node(&tokens[2]);
-                let cp = ckt.node(&tokens[3]);
-                let cn = ckt.node(&tokens[4]);
-                let gm = value(ln, &tokens[5])?;
-                ckt.vccs(&name, p, n, cp, cn, gm);
-            }
-            'S' => {
-                if tokens.len() < 8 {
-                    return Err(err(ln, "S needs: name n+ n- c+ c- ron roff vt"));
-                }
-                let p = ckt.node(&tokens[1]);
-                let n = ckt.node(&tokens[2]);
-                let cp = ckt.node(&tokens[3]);
-                let cn = ckt.node(&tokens[4]);
-                let ron = value(ln, &tokens[5])?;
-                let roff = value(ln, &tokens[6])?;
-                let vt = value(ln, &tokens[7])?;
-                ckt.switch(&name, p, n, cp, cn, ron, roff, vt);
-            }
-            'M' => {
-                if tokens.len() < 6 {
-                    return Err(err(ln, "M needs: name d g s b model [W= L=]"));
-                }
-                let d = ckt.node(&tokens[1]);
-                let g = ckt.node(&tokens[2]);
-                let s = ckt.node(&tokens[3]);
-                let b = ckt.node(&tokens[4]);
-                let model = tokens[5].clone();
-                let mut w = 1e-6;
-                let mut l = 0.18e-6;
-                for t in &tokens[6..] {
-                    let tl = t.to_ascii_lowercase();
-                    if let Some(v) = tl.strip_prefix("w=") {
-                        w = value(ln, v)?;
-                    } else if let Some(v) = tl.strip_prefix("l=") {
-                        l = value(ln, v)?;
-                    }
-                }
-                ckt.mosfet(&name, d, g, s, b, &model, w, l)?;
-            }
-            other => {
-                return Err(err(ln, format!("unsupported element type '{other}'")));
-            }
-        }
-    }
-    Ok(ckt)
+    crate::elaborate::elaborate(&crate::ast::parse_ast(deck)?)
 }
 
-/// Renders a circuit back to deck text (models first, then elements).
-///
-/// Round-trips with [`parse_deck`] for circuits whose models are the
-/// built-in decks and whose sources are expressible as cards; external
-/// (co-simulation) sources render as 0 V DC placeholders.
-pub fn write_deck(circuit: &Circuit) -> String {
-    use crate::circuit::Element;
-    use std::fmt::Write as _;
+fn wave_text(wave: &SourceWave) -> String {
+    match wave {
+        SourceWave::Dc(v) => format!("DC {v:e}"),
+        SourceWave::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => format!("PULSE({v1:e} {v2:e} {delay:e} {rise:e} {fall:e} {width:e} {period:e})"),
+        SourceWave::Sin {
+            offset,
+            ampl,
+            freq,
+            delay,
+            theta,
+        } => format!("SIN({offset:e} {ampl:e} {freq:e} {delay:e} {theta:e})"),
+        SourceWave::Pwl(pts) => {
+            let body: Vec<String> = pts.iter().map(|(t, v)| format!("{t:e} {v:e}")).collect();
+            format!("PWL({})", body.join(" "))
+        }
+        SourceWave::External { .. } => "DC 0".to_string(),
+    }
+}
 
-    let mut s = String::from("* generated by spice::netlist::write_deck\n");
+/// Renders one element as a deck card line (without trailing newline).
+fn element_line(circuit: &Circuit, raw_name: &str, e: &crate::circuit::Element) -> String {
+    use crate::circuit::Element;
+
+    // SPICE instance names carry their element type in the first
+    // letter; prepend it when the stored name doesn't comply (library
+    // cells use structural prefixes like `id_MB1`).
+    let letter = match e {
+        Element::Resistor { .. } => 'R',
+        Element::Capacitor { .. } => 'C',
+        Element::Inductor { .. } => 'L',
+        Element::Diode { .. } => 'D',
+        Element::Vsource { .. } => 'V',
+        Element::Isource { .. } => 'I',
+        Element::Vcvs { .. } => 'E',
+        Element::Vccs { .. } => 'G',
+        Element::Cccs { .. } => 'F',
+        Element::Ccvs { .. } => 'H',
+        Element::Switch { .. } => 'S',
+        Element::Mosfet { .. } => 'M',
+    };
+    let name = if raw_name
+        .chars()
+        .next()
+        .is_some_and(|c| c.eq_ignore_ascii_case(&letter))
+    {
+        raw_name.to_string()
+    } else {
+        format!("{letter}{raw_name}")
+    };
+    let name = &name;
+    let node = |id| circuit.node_name(id);
+    let ctrl_name = |idx: usize| {
+        circuit
+            .elements()
+            .get(idx)
+            .map_or("?unknown-ctrl", |(n, _)| n.as_str())
+    };
+    match e {
+        Element::Resistor { p, n, r } => {
+            format!("{name} {} {} {r:e}", node(*p), node(*n))
+        }
+        Element::Capacitor { p, n, c, ic } => match ic {
+            Some(v) => format!("{name} {} {} {c:e} IC={v:e}", node(*p), node(*n)),
+            None => format!("{name} {} {} {c:e}", node(*p), node(*n)),
+        },
+        Element::Inductor { p, n, l } => {
+            format!("{name} {} {} {l:e}", node(*p), node(*n))
+        }
+        Element::Diode { p, n, is, nf } => {
+            format!("{name} {} {} {is:e} {nf:e}", node(*p), node(*n))
+        }
+        Element::Vsource { p, n, wave, ac_mag } => {
+            let ac = if *ac_mag != 0.0 {
+                format!(" AC {ac_mag:e}")
+            } else {
+                String::new()
+            };
+            format!("{name} {} {} {}{ac}", node(*p), node(*n), wave_text(wave))
+        }
+        Element::Isource { p, n, wave, .. } => {
+            format!("{name} {} {} {}", node(*p), node(*n), wave_text(wave))
+        }
+        Element::Vcvs { p, n, cp, cn, gain } => format!(
+            "{name} {} {} {} {} {gain:e}",
+            node(*p),
+            node(*n),
+            node(*cp),
+            node(*cn)
+        ),
+        Element::Vccs { p, n, cp, cn, gm } => format!(
+            "{name} {} {} {} {} {gm:e}",
+            node(*p),
+            node(*n),
+            node(*cp),
+            node(*cn)
+        ),
+        Element::Cccs { p, n, ctrl, gain } => format!(
+            "{name} {} {} {} {gain:e}",
+            node(*p),
+            node(*n),
+            ctrl_name(*ctrl)
+        ),
+        Element::Ccvs { p, n, ctrl, rm } => format!(
+            "{name} {} {} {} {rm:e}",
+            node(*p),
+            node(*n),
+            ctrl_name(*ctrl)
+        ),
+        Element::Switch {
+            p,
+            n,
+            cp,
+            cn,
+            ron,
+            roff,
+            vt,
+            ..
+        } => format!(
+            "{name} {} {} {} {} {ron:e} {roff:e} {vt:e}",
+            node(*p),
+            node(*n),
+            node(*cp),
+            node(*cn)
+        ),
+        Element::Mosfet {
+            d,
+            g,
+            s: src,
+            b,
+            model,
+            w,
+            l,
+        } => format!(
+            "{name} {} {} {} {} {} W={w:e} L={l:e}",
+            node(*d),
+            node(*g),
+            node(*src),
+            node(*b),
+            circuit
+                .models
+                .get(*model)
+                .map_or("?unknown-model", |(n, _)| n.as_str())
+        ),
+    }
+}
+
+fn model_lines(circuit: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
     for (name, params) in &circuit.models {
         let kind = match (params.ty, params.vt0.abs() < 0.35) {
             (crate::mosfet::MosType::Nmos, false) => "nmos018",
@@ -438,138 +235,59 @@ pub fn write_deck(circuit: &Circuit) -> String {
         };
         let _ = writeln!(s, ".model {name} {kind}");
     }
-    let node = |id| circuit.node_name(id);
-    let wave_text = |wave: &SourceWave| -> String {
-        match wave {
-            SourceWave::Dc(v) => format!("DC {v:e}"),
-            SourceWave::Pulse {
-                v1,
-                v2,
-                delay,
-                rise,
-                fall,
-                width,
-                period,
-            } => format!("PULSE({v1:e} {v2:e} {delay:e} {rise:e} {fall:e} {width:e} {period:e})"),
-            SourceWave::Sin {
-                offset,
-                ampl,
-                freq,
-                delay,
-                theta,
-            } => format!("SIN({offset:e} {ampl:e} {freq:e} {delay:e} {theta:e})"),
-            SourceWave::Pwl(pts) => {
-                let body: Vec<String> = pts.iter().map(|(t, v)| format!("{t:e} {v:e}")).collect();
-                format!("PWL({})", body.join(" "))
-            }
-            SourceWave::External { .. } => "DC 0".to_string(),
-        }
-    };
+    s
+}
+
+/// Renders a circuit back to deck text (models first, then elements).
+///
+/// Round-trips with [`parse_deck`] for circuits whose models are the
+/// built-in decks and whose sources are expressible as cards; external
+/// (co-simulation) sources render as 0 V DC placeholders.
+pub fn write_deck(circuit: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("* generated by spice::netlist::write_deck\n");
+    s.push_str(&model_lines(circuit));
     for (raw_name, e) in circuit.elements() {
-        // SPICE instance names carry their element type in the first
-        // letter; prepend it when the stored name doesn't comply (library
-        // cells use structural prefixes like `id_MB1`).
-        let letter = match e {
-            Element::Resistor { .. } => 'R',
-            Element::Capacitor { .. } => 'C',
-            Element::Inductor { .. } => 'L',
-            Element::Diode { .. } => 'D',
-            Element::Vsource { .. } => 'V',
-            Element::Isource { .. } => 'I',
-            Element::Vcvs { .. } => 'E',
-            Element::Vccs { .. } => 'G',
-            Element::Switch { .. } => 'S',
-            Element::Mosfet { .. } => 'M',
-        };
-        let name = if raw_name
-            .chars()
-            .next()
-            .is_some_and(|c| c.eq_ignore_ascii_case(&letter))
-        {
-            raw_name.clone()
-        } else {
-            format!("{letter}{raw_name}")
-        };
-        let name = &name;
-        let line = match e {
-            Element::Resistor { p, n, r } => {
-                format!("{name} {} {} {r:e}", node(*p), node(*n))
-            }
-            Element::Capacitor { p, n, c, ic } => match ic {
-                Some(v) => format!("{name} {} {} {c:e} IC={v:e}", node(*p), node(*n)),
-                None => format!("{name} {} {} {c:e}", node(*p), node(*n)),
-            },
-            Element::Inductor { p, n, l } => {
-                format!("{name} {} {} {l:e}", node(*p), node(*n))
-            }
-            Element::Diode { p, n, is, nf } => {
-                format!("{name} {} {} {is:e} {nf:e}", node(*p), node(*n))
-            }
-            Element::Vsource { p, n, wave, ac_mag } => {
-                let ac = if *ac_mag != 0.0 {
-                    format!(" AC {ac_mag:e}")
-                } else {
-                    String::new()
-                };
-                format!("{name} {} {} {}{ac}", node(*p), node(*n), wave_text(wave))
-            }
-            Element::Isource { p, n, wave, .. } => {
-                format!("{name} {} {} {}", node(*p), node(*n), wave_text(wave))
-            }
-            Element::Vcvs { p, n, cp, cn, gain } => format!(
-                "{name} {} {} {} {} {gain:e}",
-                node(*p),
-                node(*n),
-                node(*cp),
-                node(*cn)
-            ),
-            Element::Vccs { p, n, cp, cn, gm } => format!(
-                "{name} {} {} {} {} {gm:e}",
-                node(*p),
-                node(*n),
-                node(*cp),
-                node(*cn)
-            ),
-            Element::Switch {
-                p,
-                n,
-                cp,
-                cn,
-                ron,
-                roff,
-                vt,
-                ..
-            } => format!(
-                "{name} {} {} {} {} {ron:e} {roff:e} {vt:e}",
-                node(*p),
-                node(*n),
-                node(*cp),
-                node(*cn)
-            ),
-            Element::Mosfet {
-                d,
-                g,
-                s: src,
-                b,
-                model,
-                w,
-                l,
-            } => format!(
-                "{name} {} {} {} {} {} W={w:e} L={l:e}",
-                node(*d),
-                node(*g),
-                node(*src),
-                node(*b),
-                circuit
-                    .models
-                    .get(*model)
-                    .map_or("?unknown-model", |(n, _)| n.as_str())
-            ),
-        };
-        let _ = writeln!(s, "{line}");
+        let _ = writeln!(s, "{}", element_line(circuit, raw_name, e));
     }
     s.push_str(".end\n");
     s
+}
+
+/// Renders a circuit as a `.SUBCKT` definition named `name` whose ports
+/// are the given node names (models, which are deck-global, come first).
+///
+/// This is the hierarchical export path: build a cell through the Rust
+/// API (for example [`crate::library::integrate_dump`] with an empty
+/// prefix), wrap it as a subcircuit card, and instantiate it from deck
+/// text with `X` cards — or swap the body for a fitted macromodel with
+/// the same port list.
+///
+/// # Errors
+///
+/// [`SpiceError::UnknownName`] when a port is not a node of the circuit.
+pub fn subckt_deck(circuit: &Circuit, name: &str, ports: &[&str]) -> Result<String, SpiceError> {
+    use std::fmt::Write as _;
+    for port in ports {
+        if circuit.find_node(port).is_none() {
+            return Err(SpiceError::UnknownName {
+                name: (*port).to_string(),
+            });
+        }
+    }
+    let mut s = model_lines(circuit);
+    let port_list: Vec<String> = ports.iter().map(|p| p.to_ascii_lowercase()).collect();
+    let _ = writeln!(
+        s,
+        ".subckt {} {}",
+        name.to_ascii_lowercase(),
+        port_list.join(" ")
+    );
+    for (raw_name, e) in circuit.elements() {
+        let _ = writeln!(s, "{}", element_line(circuit, raw_name, e));
+    }
+    let _ = writeln!(s, ".ends {}", name.to_ascii_lowercase());
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -583,11 +301,14 @@ mod tests {
         assert_eq!(parse_value("2.2u").unwrap(), 2.2e-6);
         assert_eq!(parse_value("50p").unwrap(), 50e-12);
         assert_eq!(parse_value("3meg").unwrap(), 3e6);
+        assert_eq!(parse_value("1meg").unwrap(), 1e6);
+        assert!((parse_value("2mil").unwrap() - 50.8e-6).abs() < 1e-15);
         assert_eq!(parse_value("1.8").unwrap(), 1.8);
         assert_eq!(parse_value("1e-9").unwrap(), 1e-9);
         assert_eq!(parse_value("-0.45").unwrap(), -0.45);
         assert!(parse_value("abc").is_err());
         assert!(parse_value("1x").is_err());
+        assert!(parse_value("1megohm").is_err(), "trailing garbage");
     }
 
     #[test]
@@ -648,12 +369,15 @@ M1 out in 0 0 nch W=10u L=1u
     fn errors_carry_line_numbers() {
         let e = parse_deck("R1 a 0\n").unwrap_err();
         match e {
-            SpiceError::Parse { line, .. } => assert_eq!(line, 1),
+            SpiceError::Parse(d) => assert_eq!(d.line, 1),
             other => panic!("unexpected {other:?}"),
         }
-        let e = parse_deck("V1 a 0 1.0\nX9 a b c\n").unwrap_err();
+        let e = parse_deck("V1 a 0 1.0\nQ9 a b c\n").unwrap_err();
         match e {
-            SpiceError::Parse { line, .. } => assert_eq!(line, 2),
+            SpiceError::Parse(d) => {
+                assert_eq!(d.line, 2);
+                assert_eq!(d.token, "Q9");
+            }
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -671,5 +395,37 @@ M1 out in 0 0 nch W=10u L=1u
             crate::circuit::Element::Capacitor { ic, .. } => assert_eq!(*ic, Some(0.5)),
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn controlled_sources_round_trip_through_write_deck() {
+        let deck = "V1 a 0 DC 2\nR1 a 0 1k\nF1 b 0 V1 2.0\nR2 b 0 1k\nH1 c 0 V1 50\nR3 c 0 1k\n";
+        let ckt = parse_deck(deck).unwrap();
+        let text = write_deck(&ckt);
+        assert!(text.contains("f1 b 0 v1 2e0"), "{text}");
+        assert!(text.contains("h1 c 0 v1 5e1"), "{text}");
+        let again = parse_deck(&text).unwrap();
+        let op_a = dcop(&ckt).unwrap();
+        let op_b = dcop(&again).unwrap();
+        for node in ["a", "b", "c"] {
+            let va = op_a.voltage(ckt.find_node(node).unwrap());
+            let vb = op_b.voltage(again.find_node(node).unwrap());
+            assert!((va - vb).abs() < 1e-12, "{node}: {va} vs {vb}");
+        }
+    }
+
+    #[test]
+    fn subckt_deck_wraps_and_reimports() {
+        let mut cell = Circuit::new();
+        let a = cell.node("a");
+        let b = cell.node("b");
+        cell.resistor("R1", a, b, 1e3);
+        cell.resistor("R2", b, Circuit::gnd(), 1e3);
+        let sub = subckt_deck(&cell, "divider", &["a", "b"]).unwrap();
+        let deck = format!("{sub}V1 in 0 DC 2\nX1 in out divider\n");
+        let ckt = parse_deck(&deck).unwrap();
+        let op = dcop(&ckt).unwrap();
+        assert!((op.voltage(ckt.find_node("out").unwrap()) - 1.0).abs() < 1e-9);
+        assert!(subckt_deck(&cell, "divider", &["nope"]).is_err());
     }
 }

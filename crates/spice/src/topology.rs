@@ -68,7 +68,9 @@ impl Element {
             | Element::Inductor { p, n, .. }
             | Element::Diode { p, n, .. }
             | Element::Vsource { p, n, .. }
-            | Element::Isource { p, n, .. } => vec![(*p, Positive), (*n, Negative)],
+            | Element::Isource { p, n, .. }
+            | Element::Cccs { p, n, .. }
+            | Element::Ccvs { p, n, .. } => vec![(*p, Positive), (*n, Negative)],
             Element::Vcvs { p, n, cp, cn, .. } | Element::Vccs { p, n, cp, cn, .. } => vec![
                 (*p, Positive),
                 (*n, Negative),
@@ -94,10 +96,13 @@ impl Element {
             | Element::Switch { .. }
             | Element::Diode { .. }
             | Element::Mosfet { .. } => DcCoupling::Conductive,
-            Element::Vsource { .. } | Element::Vcvs { .. } | Element::Inductor { .. } => {
-                DcCoupling::VoltageBranch
+            Element::Vsource { .. }
+            | Element::Vcvs { .. }
+            | Element::Ccvs { .. }
+            | Element::Inductor { .. } => DcCoupling::VoltageBranch,
+            Element::Isource { .. } | Element::Vccs { .. } | Element::Cccs { .. } => {
+                DcCoupling::CurrentSource
             }
-            Element::Isource { .. } | Element::Vccs { .. } => DcCoupling::CurrentSource,
             Element::Capacitor { .. } => DcCoupling::Open,
         }
     }
@@ -115,11 +120,12 @@ impl Element {
             | Element::Diode { p, n, .. }
             | Element::Vsource { p, n, .. }
             | Element::Switch { p, n, .. } => vec![(*p, *n)],
-            Element::Vcvs { p, n, .. } => vec![(*p, *n)],
+            Element::Vcvs { p, n, .. } | Element::Ccvs { p, n, .. } => vec![(*p, *n)],
             Element::Mosfet { d, s, b, .. } => vec![(*d, *s), (*d, *b), (*s, *b)],
-            Element::Isource { .. } | Element::Vccs { .. } | Element::Capacitor { .. } => {
-                Vec::new()
-            }
+            Element::Isource { .. }
+            | Element::Vccs { .. }
+            | Element::Cccs { .. }
+            | Element::Capacitor { .. } => Vec::new(),
         }
     }
 
@@ -128,6 +134,7 @@ impl Element {
         match self {
             Element::Vsource { p, n, .. }
             | Element::Vcvs { p, n, .. }
+            | Element::Ccvs { p, n, .. }
             | Element::Inductor { p, n, .. } => Some((*p, *n)),
             _ => None,
         }

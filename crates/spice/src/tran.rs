@@ -223,6 +223,16 @@ impl TransientSimulator {
         }
     }
 
+    /// Forces a node voltage in the current state vector — the `.IC` card
+    /// hook: the deck driver applies initial conditions after construction
+    /// and before the first step, overriding the computed operating point
+    /// the same way capacitor `IC=` values do.
+    pub fn force_voltage(&mut self, node: NodeId, v: f64) {
+        if let Some(i) = self.layout.node_unknown(node) {
+            self.x[i] = v;
+        }
+    }
+
     /// Current simulated time, s.
     pub fn time(&self) -> f64 {
         self.t

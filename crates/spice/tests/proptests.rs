@@ -242,3 +242,129 @@ fn pulse_bounded() {
         );
     }
 }
+
+/// A randomly generated tree of `.subckt` definitions: each definition
+/// `s<i>` may instantiate strictly lower-indexed definitions (so the tree
+/// is acyclic by construction) plus some local resistors.
+struct SubcktTree {
+    /// `children[i]` = the defs instantiated inside `s<i>` (all `< i`).
+    children: Vec<Vec<usize>>,
+    /// `internal[i]` = how many internal nodes `s<i>` declares (1..=2).
+    internal: Vec<usize>,
+    /// Top-level instances, in order, each an index into the defs.
+    top: Vec<usize>,
+}
+
+fn random_tree(rng: &mut XorShift) -> SubcktTree {
+    let n_defs = 1 + rng.below(4) as usize;
+    let mut children = Vec::with_capacity(n_defs);
+    let mut internal = Vec::with_capacity(n_defs);
+    for i in 0..n_defs {
+        let n_kids = if i == 0 { 0 } else { rng.below(3) as usize };
+        children.push((0..n_kids).map(|_| rng.below(i as u64) as usize).collect());
+        internal.push(1 + rng.below(2) as usize);
+    }
+    let top = (0..1 + rng.below(3) as usize)
+        .map(|_| rng.below(n_defs as u64) as usize)
+        .collect();
+    SubcktTree {
+        children,
+        internal,
+        top,
+    }
+}
+
+/// Renders the tree as a deck. Every definition is a two-port (`a`, `b`)
+/// resistive network that keeps all internal nodes connected, so the
+/// whole deck is solvable.
+fn tree_deck(tree: &SubcktTree) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for (i, kids) in tree.children.iter().enumerate() {
+        let _ = writeln!(s, ".subckt s{i} a b");
+        // Chain a → m0 → [m1] → b through resistors.
+        let m = tree.internal[i];
+        let _ = writeln!(s, "R0 a m0 1k");
+        if m == 2 {
+            let _ = writeln!(s, "R1 m0 m1 1k");
+        }
+        let _ = writeln!(s, "R2 m{} b 1k", m - 1);
+        for (k, &kid) in kids.iter().enumerate() {
+            let _ = writeln!(s, "Xk{k} a m0 s{kid}");
+        }
+        let _ = writeln!(s, ".ends");
+    }
+    let _ = writeln!(s, "V1 top 0 DC 1");
+    let mut prev = "top".to_string();
+    for (j, &def) in tree.top.iter().enumerate() {
+        let next = if j + 1 == tree.top.len() {
+            "0".to_string()
+        } else {
+            format!("t{j}")
+        };
+        let _ = writeln!(s, "Xt{j} {prev} {next} s{def}");
+        prev = next;
+    }
+    s
+}
+
+/// Walks the tree exactly as elaboration should, collecting every node
+/// name the flat circuit must contain.
+fn expected_nodes(tree: &SubcktTree, def: usize, prefix: &str, out: &mut Vec<String>) {
+    for m in 0..tree.internal[def] {
+        out.push(format!("{prefix}m{m}"));
+    }
+    for (k, &kid) in tree.children[def].iter().enumerate() {
+        expected_nodes(tree, kid, &format!("{prefix}xk{k}."), out);
+    }
+}
+
+/// Elaboration of random nested subckt trees is deterministic (two parses
+/// render to identical decks) and collision-free (the flat circuit has
+/// exactly the predicted node set — every instance's internals are
+/// distinct).
+#[test]
+fn elaboration_deterministic_and_collision_free() {
+    use spice::netlist::{parse_deck, write_deck};
+    let mut rng = XorShift(0x1234_5678_9abc_def1);
+    for case in 0..200 {
+        let seed = rng.0;
+        let tree = random_tree(&mut rng);
+        let deck = tree_deck(&tree);
+        let c1 = parse_deck(&deck).unwrap_or_else(|e| panic!("case {case} (seed {seed:#x}): {e}"));
+        let c2 = parse_deck(&deck).expect("second parse");
+        assert_eq!(
+            write_deck(&c1),
+            write_deck(&c2),
+            "case {case} (seed {seed:#x}): elaboration is not deterministic"
+        );
+
+        let mut expect: Vec<String> = vec!["top".into()];
+        for j in 0..tree.top.len().saturating_sub(1) {
+            expect.push(format!("t{j}"));
+        }
+        for (j, &def) in tree.top.iter().enumerate() {
+            expected_nodes(&tree, def, &format!("xt{j}."), &mut expect);
+        }
+        // Collision-free: every predicted name resolves, and nothing else
+        // exists (ground is the one extra).
+        for name in &expect {
+            assert!(
+                c1.find_node(name).is_some(),
+                "case {case} (seed {seed:#x}): missing node {name}"
+            );
+        }
+        let distinct: std::collections::BTreeSet<&String> = expect.iter().collect();
+        assert_eq!(
+            c1.num_nodes(),
+            distinct.len() + 1,
+            "case {case} (seed {seed:#x}): node-name collision or spurious node"
+        );
+
+        // The flat circuit is solvable: purely resistive, so this also
+        // certifies no instance shorted another's internals.
+        let op = dcop(&c1).unwrap_or_else(|e| panic!("case {case} (seed {seed:#x}): {e}"));
+        let top = c1.find_node("top").expect("driven node");
+        assert!((op.voltage(top) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Run a SPICE deck from the command line through the full pipeline:
+//! lexer → typed AST → hierarchical elaboration → ERC gate → analyses.
+//!
+//! ```sh
+//! cargo run --release --example run_deck -- path/to/deck.cir
+//! cargo run --release --example run_deck -- --no-erc deck.cir   # escape hatch
+//! cargo run --release --example run_deck -- --erc-strict deck.cir
+//! cargo run --release --example run_deck -- --self-check        # CI gate
+//! ```
+//!
+//! `--self-check` runs the committed golden corpus (`tests/decks/*.cir`)
+//! through the ERC gate and both solver backends, asserting cross-backend
+//! agreement, and exits non-zero on any failure — `scripts/verify.sh`
+//! runs it.
+
+use spice::deck::DeckRun;
+use spice::SolverKind;
+use uwb_ams_core::erc::{ErcConfig, FlowError};
+use uwb_ams_core::run_deck_checked_with;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (cfg, rest) = ErcConfig::from_args(std::env::args().skip(1));
+    if rest.iter().any(|a| a == "--self-check") {
+        return self_check(&cfg);
+    }
+    let Some(path) = rest.first() else {
+        eprintln!("usage: run_deck [--no-erc|--erc-strict] <deck.cir>");
+        std::process::exit(2);
+    };
+    let deck = std::fs::read_to_string(path)?;
+    match run_deck_checked_with(&deck, &cfg, path, SolverKind::from_env()) {
+        Ok(out) => {
+            if !out.report.is_clean() {
+                println!("{}", out.report.render());
+            }
+            summarize(&out.run);
+            Ok(())
+        }
+        Err(FlowError::Erc { report, .. }) => {
+            eprintln!("{path}: denied by the ERC gate\n{}", report.render());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn summarize(run: &DeckRun) {
+    println!(
+        "circuit: {} nodes, {} elements",
+        run.circuit.num_nodes(),
+        run.circuit.elements().len()
+    );
+    println!("operating point ({} Newton iterations):", run.op.iterations);
+    for name in &run.analyses.prints {
+        if let Some(id) = run.circuit.find_node(name) {
+            println!("  v({name}) = {:.6} V", run.op.voltage(id));
+        }
+    }
+    if let Some(dc) = &run.dc {
+        println!(
+            ".dc {}: {} points ({} warm-start hits)",
+            dc.source,
+            dc.values.len(),
+            dc.warm_start_hits
+        );
+    }
+    for trace in &run.tran {
+        let last = trace.values.last().copied().unwrap_or(0.0);
+        println!(
+            ".tran v({}): {} samples, final {last:.6} V",
+            trace.node,
+            trace.values.len()
+        );
+    }
+    if let Some(ac) = &run.ac {
+        println!(".ac: {} frequency points", ac.freqs().len());
+    }
+}
+
+/// The corpus stage: every golden deck must pass the gate and agree
+/// across the dense and sparse backends.
+fn self_check(cfg: &ErcConfig) -> Result<(), Box<dyn std::error::Error>> {
+    let decks: [(&str, &str); 6] = [
+        ("rc_ladder", include_str!("../tests/decks/rc_ladder.cir")),
+        (
+            "diode_ladder",
+            include_str!("../tests/decks/diode_ladder.cir"),
+        ),
+        ("mosfet_amp", include_str!("../tests/decks/mosfet_amp.cir")),
+        (
+            "controlled_sources",
+            include_str!("../tests/decks/controlled_sources.cir"),
+        ),
+        ("id_cell", include_str!("../tests/decks/id_cell.cir")),
+        ("id_array", include_str!("../tests/decks/id_array.cir")),
+    ];
+    let mut failed = false;
+    for (name, deck) in decks {
+        match (
+            run_deck_checked_with(deck, cfg, name, SolverKind::Dense),
+            run_deck_checked_with(deck, cfg, name, SolverKind::Sparse),
+        ) {
+            (Ok(dense), Ok(sparse)) => {
+                let worst = backend_divergence(&dense.run, &sparse.run);
+                let ok = worst < 1e-5;
+                println!(
+                    "{name:<20} gate pass, dense/sparse max |Δv| = {worst:.2e} {}",
+                    if ok { "" } else { "** DIVERGED **" }
+                );
+                failed |= !ok;
+            }
+            (d, s) => {
+                for (tag, r) in [("dense", d), ("sparse", s)] {
+                    if let Err(e) = r {
+                        eprintln!("{name} ({tag}): {e}");
+                    }
+                }
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("run_deck: corpus self-check failed");
+        std::process::exit(1);
+    }
+    println!("run_deck: all golden decks pass ERC and agree across backends");
+    Ok(())
+}
+
+/// Largest absolute operating-point / trace difference between two runs.
+fn backend_divergence(dense: &DeckRun, sparse: &DeckRun) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (id, _) in dense.circuit.nodes() {
+        worst = worst.max((dense.op.voltage(id) - sparse.op.voltage(id)).abs());
+    }
+    if let (Some(d), Some(s)) = (&dense.dc, &sparse.dc) {
+        for (dc, sc) in d.voltages.iter().zip(&s.voltages) {
+            for (a, b) in dc.iter().zip(sc) {
+                worst = worst.max((a - b).abs());
+            }
+        }
+    }
+    for dt in &dense.tran {
+        if let Some(st) = sparse.trace(&dt.node) {
+            for (a, b) in dt.values.iter().zip(&st.values) {
+                worst = worst.max((a - b).abs());
+            }
+        }
+    }
+    worst
+}

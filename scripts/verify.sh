@@ -32,6 +32,11 @@ UWB_AMS_BATCH=1 cargo test -q --test batched_parity
 echo "== ERC self-check (library cells + flow partitions) =="
 cargo run --release --quiet --example erc_check -- --self-check
 
+echo "== deck corpus (golden decks through ERC + dense & sparse backends) =="
+cargo run --release --quiet --example run_deck -- --self-check
+UWB_AMS_SOLVER=dense cargo test -q --release --test deck_corpus
+UWB_AMS_SOLVER=sparse cargo test -q --release --test deck_corpus
+
 echo "== perf bench smoke (sparse scaling + MC warm start, --quick) =="
 cargo bench -p uwb-ams-bench --bench perf -- --quick
 

@@ -1,0 +1,230 @@
+//! Golden deck corpus regression: every committed deck under
+//! `tests/decks/` runs the full front-end pipeline (lex → AST →
+//! hierarchical elaboration), passes the ERC gate, and produces matching
+//! results on the dense and sparse solver backends.
+//!
+//! The Integrate & Dump decks are *generated* from the Rust builder via
+//! [`spice::netlist::subckt_deck`]; `committed_id_decks_are_current`
+//! pins the committed text to the builder and the `#[ignore]`d
+//! `regen_id_decks` test rewrites the files after an intentional change:
+//!
+//! ```sh
+//! cargo test --test deck_corpus regen_id_decks -- --ignored
+//! ```
+
+use spice::circuit::{Circuit, SourceWave};
+use spice::deck::{run_deck_with, DeckRun};
+use spice::library::{integrate_dump, IntegrateDumpParams};
+use spice::netlist::subckt_deck;
+use spice::tran::{TranOptions, TransientSimulator};
+use spice::{NewtonOptions, SolverKind};
+use uwb_ams_core::{run_deck_checked_with, ErcConfig};
+
+/// Every committed golden deck, by name.
+fn corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("rc_ladder", include_str!("decks/rc_ladder.cir")),
+        ("diode_ladder", include_str!("decks/diode_ladder.cir")),
+        ("mosfet_amp", include_str!("decks/mosfet_amp.cir")),
+        (
+            "controlled_sources",
+            include_str!("decks/controlled_sources.cir"),
+        ),
+        ("id_cell", include_str!("decks/id_cell.cir")),
+        ("id_array", include_str!("decks/id_array.cir")),
+    ]
+}
+
+const ID_PORTS: [&str; 7] = [
+    "vdd", "inp", "inm", "controlp", "controlm", "out_intp", "out_intm",
+];
+
+/// The I&D cell rendered as a `.subckt` block from the Rust builder.
+fn id_cell_subckt() -> String {
+    let mut ckt = Circuit::new();
+    integrate_dump(&mut ckt, "", &IntegrateDumpParams::default())
+        .expect("builtin I&D parameters are well-formed");
+    subckt_deck(&ckt, "id_cell", &ID_PORTS).expect("all ports exist")
+}
+
+/// One I&D cell in integrate mode, stepped for 20 transient points.
+fn id_cell_deck() -> String {
+    format!(
+        "* Golden deck: the paper's Integrate & Dump cell as a .SUBCKT.\n\
+         * Generated from spice::library::integrate_dump via subckt_deck;\n\
+         * regenerate with: cargo test --test deck_corpus regen_id_decks -- --ignored\n\
+         {}\
+         VDD vdd 0 DC 1.8\n\
+         VINP inp 0 DC 1.10\n\
+         VINM inm 0 DC 1.00\n\
+         VCP controlp 0 DC 1.8\n\
+         VCM controlm 0 DC 0\n\
+         X1 vdd inp inm controlp controlm out_intp out_intm id_cell\n\
+         .tran 5n 100n\n\
+         .print v(out_intp) v(out_intm)\n\
+         .end\n",
+        id_cell_subckt()
+    )
+}
+
+/// Three I&D tiles sharing supply, inputs and control rails — the
+/// "N X cards" array shape from the tiled receiver.
+fn id_array_deck() -> String {
+    let mut s = format!(
+        "* Golden deck: three Integrate & Dump tiles as X cards on one rail.\n\
+         * Generated from spice::library::integrate_dump via subckt_deck;\n\
+         * regenerate with: cargo test --test deck_corpus regen_id_decks -- --ignored\n\
+         {}\
+         VDD vdd 0 DC 1.8\n\
+         VINP inp 0 DC 1.10\n\
+         VINM inm 0 DC 1.00\n\
+         VCP controlp 0 DC 1.8\n\
+         VCM controlm 0 DC 0\n",
+        id_cell_subckt()
+    );
+    for i in 1..=3 {
+        s.push_str(&format!(
+            "X{i} vdd inp inm controlp controlm o{i}p o{i}m id_cell\n"
+        ));
+    }
+    s.push_str(".op\n.print v(o1p) v(o2p) v(o3p)\n.end\n");
+    s
+}
+
+#[test]
+fn committed_id_decks_are_current() {
+    assert_eq!(
+        include_str!("decks/id_cell.cir"),
+        id_cell_deck(),
+        "tests/decks/id_cell.cir is stale; rerun the regen_id_decks test"
+    );
+    assert_eq!(
+        include_str!("decks/id_array.cir"),
+        id_array_deck(),
+        "tests/decks/id_array.cir is stale; rerun the regen_id_decks test"
+    );
+}
+
+/// Rewrites the generated decks. Run after changing the I&D builder:
+/// `cargo test --test deck_corpus regen_id_decks -- --ignored`.
+#[test]
+#[ignore = "regenerates committed corpus files"]
+fn regen_id_decks() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/decks");
+    std::fs::write(format!("{dir}/id_cell.cir"), id_cell_deck()).unwrap();
+    std::fs::write(format!("{dir}/id_array.cir"), id_array_deck()).unwrap();
+}
+
+fn assert_runs_agree(name: &str, dense: &DeckRun, sparse: &DeckRun) {
+    let tol = 1e-6;
+    for (id, node) in dense.circuit.nodes() {
+        if id == spice::NodeId::GROUND {
+            continue;
+        }
+        let (vd, vs) = (dense.op.voltage(id), sparse.op.voltage(id));
+        assert!(
+            (vd - vs).abs() < tol,
+            "{name}: op v({node}) dense {vd} vs sparse {vs}"
+        );
+    }
+    match (&dense.dc, &sparse.dc) {
+        (Some(d), Some(s)) => {
+            assert_eq!(d.values, s.values, "{name}: sweep grids differ");
+            for (node, dcol) in d.nodes.iter().zip(&d.voltages) {
+                let scol = s.trace(node).expect("same print set");
+                for (a, b) in dcol.iter().zip(scol) {
+                    assert!((a - b).abs() < tol, "{name}: dc v({node}) {a} vs {b}");
+                }
+            }
+        }
+        (None, None) => {}
+        _ => panic!("{name}: backends disagree on whether .dc ran"),
+    }
+    assert_eq!(dense.tran.len(), sparse.tran.len(), "{name}: trace sets");
+    for dt in &dense.tran {
+        let st = sparse.trace(&dt.node).expect("same print set");
+        for (a, b) in dt.values.iter().zip(&st.values) {
+            assert!(
+                (a - b).abs() < 1e-5,
+                "{name}: tran v({}) {a} vs {b}",
+                dt.node
+            );
+        }
+    }
+    match (&dense.ac, &sparse.ac) {
+        (Some(d), Some(s)) => {
+            for (id, _) in dense.circuit.nodes() {
+                if id == spice::NodeId::GROUND {
+                    continue;
+                }
+                let gd = d.gain_db(id, Circuit::gnd());
+                let gs = s.gain_db(id, Circuit::gnd());
+                for (a, b) in gd.iter().zip(&gs) {
+                    assert!((a - b).abs() < 1e-6, "{name}: ac gain {a} vs {b}");
+                }
+            }
+        }
+        (None, None) => {}
+        _ => panic!("{name}: backends disagree on whether .ac ran"),
+    }
+}
+
+/// The tentpole acceptance loop: parse → elaborate → ERC gate → simulate
+/// on both backends, asserting agreement, for every committed deck.
+#[test]
+fn corpus_gates_and_agrees_across_backends() {
+    for (name, deck) in corpus() {
+        let dense = run_deck_checked_with(deck, &ErcConfig::default(), name, SolverKind::Dense)
+            .unwrap_or_else(|e| panic!("{name} (dense): {e}"));
+        let sparse = run_deck_checked_with(deck, &ErcConfig::default(), name, SolverKind::Sparse)
+            .unwrap_or_else(|e| panic!("{name} (sparse): {e}"));
+        assert!(
+            !dense.report.has_errors(),
+            "{name}: {}",
+            dense.report.render()
+        );
+        assert_runs_agree(name, &dense.run, &sparse.run);
+    }
+}
+
+/// The deck-path I&D transient must match the Rust-API golden trace: the
+/// same cell built by the library, the same stimulus, the same step grid.
+#[test]
+fn id_cell_deck_matches_api_golden() {
+    let deck = id_cell_deck();
+    for solver in [SolverKind::Dense, SolverKind::Sparse] {
+        let run = run_deck_with(&deck, solver).expect("deck runs");
+
+        // API golden: identical topology, instance-style node names.
+        let mut ckt = Circuit::new();
+        let ports = integrate_dump(&mut ckt, "x1.", &IntegrateDumpParams::default()).unwrap();
+        let gnd = Circuit::gnd();
+        ckt.vsource("VDD", ports.vdd, gnd, SourceWave::Dc(1.8));
+        ckt.vsource("VINP", ports.inp, gnd, SourceWave::Dc(1.10));
+        ckt.vsource("VINM", ports.inm, gnd, SourceWave::Dc(1.00));
+        ckt.vsource("VCP", ports.controlp, gnd, SourceWave::Dc(1.8));
+        ckt.vsource("VCM", ports.controlm, gnd, SourceWave::Dc(0.0));
+        let opts = TranOptions {
+            newton: NewtonOptions {
+                solver,
+                ..TranOptions::default().newton
+            },
+            ..TranOptions::default()
+        };
+        let mut sim = TransientSimulator::new(ckt, opts).expect("golden op converges");
+        let mut golden = vec![sim.voltage(ports.out_intp)];
+        for _ in 0..20 {
+            sim.step(5e-9).expect("golden step");
+            golden.push(sim.voltage(ports.out_intp));
+        }
+
+        let trace = run.trace("out_intp").expect("printed node");
+        assert_eq!(trace.values.len(), golden.len(), "same step grid");
+        for (i, (d, g)) in trace.values.iter().zip(&golden).enumerate() {
+            assert!(
+                (d - g).abs() < 1e-5,
+                "{solver:?} step {i}: deck {d} vs api {g}"
+            );
+        }
+    }
+}

@@ -48,7 +48,7 @@ fn injected_voltage_loop_is_denied_before_the_solver_runs() {
                 report.render()
             );
         }
-        FlowError::Receive(e) => panic!("solver error leaked past the gate: {e}"),
+        other => panic!("solver error leaked past the gate: {other}"),
     }
 }
 
