@@ -258,12 +258,14 @@ fn tiled_id_array(n_tiles: usize) -> (Circuit, Vec<NodeId>) {
 fn run_tiled_tran(
     n_tiles: usize,
     kind: SolverKind,
+    btf: bool,
     t_end: f64,
     dt: f64,
 ) -> (Vec<f64>, PerfCounters) {
     let (ckt, probes) = tiled_id_array(n_tiles);
     let mut opts = TranOptions::default();
     opts.newton.solver = kind;
+    opts.newton.btf = btf;
     let mut sim = TransientSimulator::new(ckt, opts).expect("tiled I&D dcop");
     let mut finals = vec![0.0; probes.len()];
     sim.run_until(t_end, dt, |s| {
@@ -287,8 +289,8 @@ fn sparse_vs_dense_scaling(quick: bool) -> Vec<PerfPhase> {
     println!("sparse vs dense transient (tiled I&D arrays, dt = {dt:.0e} s):");
     let mut phases = Vec::new();
     for &n in sizes {
-        let (vd, cd) = run_tiled_tran(n, SolverKind::Dense, t_end, dt);
-        let (vs, cs) = run_tiled_tran(n, SolverKind::Sparse, t_end, dt);
+        let (vd, cd) = run_tiled_tran(n, SolverKind::Dense, false, t_end, dt);
+        let (vs, cs) = run_tiled_tran(n, SolverKind::Sparse, false, t_end, dt);
         for (a, b) in vd.iter().zip(&vs) {
             assert!(
                 (a - b).abs() <= 1e-6 * a.abs().max(1.0),
@@ -310,6 +312,54 @@ fn sparse_vs_dense_scaling(quick: bool) -> Vec<PerfPhase> {
             PerfPhase::from_counters(&format!("tran_sparse_{n}x_id"), cs)
                 .with("tiles", n as f64)
                 .with("speedup_vs_dense", speedup),
+        );
+    }
+    phases
+}
+
+/// Monolithic sparse LU vs the block-triangular-form path on tiled I&D
+/// arrays: one structural analysis per topology, independent per-block
+/// factors, matching waveforms. Disconnected tiles (plus vsource-driven
+/// gate decoupling) give the BTF extraction real blocks to find.
+fn btf_scaling(quick: bool) -> Vec<PerfPhase> {
+    let sizes: &[usize] = if quick { &[2] } else { &[2, 4, 8] };
+    let (t_end, dt) = if quick {
+        (0.5e-9, 10e-12)
+    } else {
+        (1e-9, 10e-12)
+    };
+    println!("monolithic sparse vs BTF transient (tiled I&D arrays, dt = {dt:.0e} s):");
+    let mut phases = Vec::new();
+    for &n in sizes {
+        let (vm, cm) = run_tiled_tran(n, SolverKind::Sparse, false, t_end, dt);
+        let (vb, cb) = run_tiled_tran(n, SolverKind::Sparse, true, t_end, dt);
+        for (a, b) in vm.iter().zip(&vb) {
+            assert!(
+                (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                "BTF and monolithic transients diverged at {n} tile(s): {a} vs {b}"
+            );
+        }
+        assert!(
+            cb.structural_analyses >= 1,
+            "BTF path must run a structural analysis: {cb}"
+        );
+        assert!(
+            cb.btf_blocks > cb.structural_analyses,
+            "{n} disconnected tiles must decompose into more than one block \
+             per analysis: {cb}"
+        );
+        assert_eq!(
+            cm.structural_analyses, 0,
+            "monolithic baseline must not analyze structure: {cm}"
+        );
+        let speedup = cm.wall.as_secs_f64() / cb.wall.as_secs_f64();
+        println!("  {n} tile(s): monolithic {cm}");
+        println!("  {n} tile(s): btf        {cb}");
+        println!("  -> btf speedup {speedup:.2}x (matching waveforms)");
+        phases.push(
+            PerfPhase::from_counters(&format!("tran_btf_{n}x_id"), cb)
+                .with("tiles", n as f64)
+                .with("speedup_vs_monolithic", speedup),
         );
     }
     phases
@@ -599,6 +649,9 @@ fn main() {
         report.push(phase);
     }
     for phase in sparse_vs_dense_scaling(quick) {
+        report.push(phase);
+    }
+    for phase in btf_scaling(quick) {
         report.push(phase);
     }
     for phase in mc_warm_start(quick) {

@@ -253,6 +253,11 @@ impl PerfReport {
                 c.lanes_retired_early
             ));
             s.push_str(&format!(
+                "\n      \"structural_analyses\": {},",
+                c.structural_analyses
+            ));
+            s.push_str(&format!("\n      \"btf_blocks\": {},", c.btf_blocks));
+            s.push_str(&format!(
                 "\n      \"steps_per_s\": {},",
                 json_f64(c.steps_per_second())
             ));
@@ -342,6 +347,8 @@ mod tests {
         counters.batched_refactors = 4;
         counters.batched_solves = 5;
         counters.lanes_retired_early = 6;
+        counters.structural_analyses = 2;
+        counters.btf_blocks = 7;
         counters.wall = std::time::Duration::from_millis(50);
         r.push(PerfPhase::from_counters("tran_fast_path", counters));
         let json = r.to_json();
@@ -359,6 +366,8 @@ mod tests {
         assert!(json.contains("\"batched_refactors\": 4"), "{json}");
         assert!(json.contains("\"batched_solves\": 5"), "{json}");
         assert!(json.contains("\"lanes_retired_early\": 6"), "{json}");
+        assert!(json.contains("\"structural_analyses\": 2"), "{json}");
+        assert!(json.contains("\"btf_blocks\": 7"), "{json}");
         assert!(json.contains("\"wall_s\": 0.05"), "{json}");
         // Balanced braces/brackets — a cheap well-formedness check.
         let opens = json.matches('{').count();

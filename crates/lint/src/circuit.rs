@@ -33,11 +33,14 @@ pub mod process {
 /// floating/dangling nodes (`E0101`), nonphysical parameters (`E0106`),
 /// MOS geometry (`E0107`), unused models (`W0111`), voltage-source loops
 /// (`E0103`), current-source cutsets (`E0104`), DC path to ground
-/// (`W0102`) and disconnected islands (`W0105`).
+/// (`W0102`), disconnected islands (`W0105`), structural solvability over
+/// the gmin-free MNA pattern (`E0301`/`E0302`) and the interval
+/// operating-envelope interpretation (`W0303`/`W0304`).
 pub fn lint_circuit(ckt: &Circuit, artefact: &str) -> Report {
     let mut report = Report::new(artefact);
     let span = SourceSpan::artefact(artefact);
     let incidence = ckt.incidence();
+    let layout = spice::MnaLayout::new(ckt);
 
     check_node_attachment(ckt, &incidence, &span, &mut report);
     check_parameters(ckt, &span, &mut report);
@@ -45,6 +48,8 @@ pub fn lint_circuit(ckt: &Circuit, artefact: &str) -> Report {
     check_voltage_loops(ckt, &span, &mut report);
     check_current_cutsets(ckt, &incidence, &span, &mut report);
     check_dc_path_and_islands(ckt, &incidence, &span, &mut report);
+    crate::structural::check_structure(ckt, &layout, &span, &mut report);
+    crate::interval::check_operating_envelope(ckt, &incidence, &span, &mut report);
     report
 }
 

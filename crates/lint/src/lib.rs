@@ -38,12 +38,15 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod circuit;
 pub mod deck;
 pub mod graph;
+mod interval;
+mod json;
+mod structural;
 
 pub use circuit::lint_circuit;
 pub use deck::lint_deck;
@@ -58,7 +61,9 @@ use std::fmt;
 /// e.g. a MOS geometry that is merely out of process bounds rather than
 /// non-positive).
 ///
-/// `01xx` codes check a netlist/deck, `02xx` codes check a block graph.
+/// `01xx` codes check a netlist/deck, `02xx` codes check a block graph,
+/// `03xx` codes come from structural analysis of the MNA pattern and the
+/// interval operating-envelope interpreter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LintCode {
     /// `E0101` — a node dangles: a single element terminal, or only
@@ -103,11 +108,26 @@ pub enum LintCode {
     /// `E0204` — a combinational cycle in the scheduler graph with no
     /// stateful block to break it.
     CombinationalCycle,
+    /// `E0301` — an MNA equation (a node's KCL, a branch's voltage
+    /// constraint) with no independent DC term: the maximum matching over
+    /// the gmin-free pattern leaves the row unmatched.
+    NoIndependentEquation,
+    /// `E0302` — an MNA unknown (a node voltage, a branch current) no
+    /// equation determines: the matching leaves the column unmatched.
+    UndeterminedUnknown,
+    /// `W0303` — a node's statically derived DC envelope leaves the
+    /// supply rails (interval abstract interpretation over sources,
+    /// voltage branches and resistive paths).
+    OperatingEnvelopeExceeded,
+    /// `W0304` — conductances meeting at a node span a gmin-scale ratio
+    /// (or a resistance sits within an order of 1/gmin): the factorization
+    /// is predicted ill-conditioned even though the topology is sound.
+    ConductanceSpread,
 }
 
 impl LintCode {
     /// Every code, in catalog order (used by self-checks and docs).
-    pub const ALL: [LintCode; 16] = [
+    pub const ALL: [LintCode; 20] = [
         LintCode::FloatingNode,
         LintCode::NoDcPathToGround,
         LintCode::VoltageSourceLoop,
@@ -124,6 +144,10 @@ impl LintCode {
         LintCode::PortArityMismatch,
         LintCode::PortKindMismatch,
         LintCode::CombinationalCycle,
+        LintCode::NoIndependentEquation,
+        LintCode::UndeterminedUnknown,
+        LintCode::OperatingEnvelopeExceeded,
+        LintCode::ConductanceSpread,
     ];
 
     /// The stable textual code (`"E0103"`).
@@ -145,6 +169,10 @@ impl LintCode {
             LintCode::PortArityMismatch => "E0202",
             LintCode::PortKindMismatch => "E0203",
             LintCode::CombinationalCycle => "E0204",
+            LintCode::NoIndependentEquation => "E0301",
+            LintCode::UndeterminedUnknown => "E0302",
+            LintCode::OperatingEnvelopeExceeded => "W0303",
+            LintCode::ConductanceSpread => "W0304",
         }
     }
 
@@ -186,6 +214,18 @@ impl LintCode {
             LintCode::PortArityMismatch => "net driven by more than one output port",
             LintCode::PortKindMismatch => "net endpoints disagree on port kind",
             LintCode::CombinationalCycle => "combinational scheduler cycle without a state element",
+            LintCode::NoIndependentEquation => {
+                "MNA equation has no independent DC term (unmatched row)"
+            }
+            LintCode::UndeterminedUnknown => {
+                "MNA unknown pinned by no equation at DC (unmatched column)"
+            }
+            LintCode::OperatingEnvelopeExceeded => {
+                "statically derived DC envelope leaves the supply rails"
+            }
+            LintCode::ConductanceSpread => {
+                "gmin-scale conductance ratio predicts an ill-conditioned factorization"
+            }
         }
     }
 
@@ -376,6 +416,66 @@ impl Report {
         s.push_str("]}");
         s
     }
+
+    /// Parses a report back from [`Report::to_json`] output.
+    ///
+    /// Spans round-trip through their display form (`deck.cir:7`,
+    /// `bench`, `line 3`, `<unknown>`); an artefact name that itself looks
+    /// like one of those forms is reparsed as such.
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let v = json::parse(text)?;
+        let artefact = v
+            .get("artefact")
+            .and_then(json::JsonValue::as_str)
+            .ok_or("missing string field 'artefact'")?
+            .to_string();
+        let findings = v
+            .get("findings")
+            .and_then(json::JsonValue::as_array)
+            .ok_or("missing array field 'findings'")?;
+        let mut report = Report::new(artefact);
+        for (i, f) in findings.iter().enumerate() {
+            let field = |key: &str| -> Result<&str, String> {
+                f.get(key)
+                    .and_then(json::JsonValue::as_str)
+                    .ok_or_else(|| format!("finding {i}: missing string field '{key}'"))
+            };
+            let code_text = field("code")?;
+            let code = LintCode::parse(code_text)
+                .ok_or_else(|| format!("finding {i}: unknown lint code '{code_text}'"))?;
+            let severity = match field("severity")? {
+                "error" => Severity::Error,
+                "warning" => Severity::Warning,
+                "info" => Severity::Info,
+                other => return Err(format!("finding {i}: unknown severity '{other}'")),
+            };
+            report.push(
+                Diagnostic::new(code, field("subject")?, field("message")?)
+                    .with_severity(severity)
+                    .with_span(parse_span(field("span")?)),
+            );
+        }
+        Ok(report)
+    }
+}
+
+/// Inverts [`SourceSpan`]'s display form (best effort — see
+/// [`Report::from_json`]).
+fn parse_span(text: &str) -> SourceSpan {
+    if text == "<unknown>" {
+        return SourceSpan::UNKNOWN;
+    }
+    if let Some(num) = text.strip_prefix("line ") {
+        if let Ok(l) = num.parse() {
+            return SourceSpan::line(l);
+        }
+    }
+    if let Some((artefact, num)) = text.rsplit_once(':') {
+        if let Ok(l) = num.parse() {
+            return SourceSpan::line_of(artefact, l);
+        }
+    }
+    SourceSpan::artefact(text)
 }
 
 impl fmt::Display for Report {
@@ -521,6 +621,33 @@ mod tests {
         assert!(j.contains("n\\\\1"), "{j}");
         assert!(j.contains("line1\\nline2"), "{j}");
         assert!(j.contains("\"code\":\"E0101\""), "{j}");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut r = Report::new("deck \"x\"");
+        r.push(
+            Diagnostic::new(LintCode::VoltageSourceLoop, "V2", "loop via V1\nand ground")
+                .with_span(SourceSpan::line_of("deck.cir", 7)),
+        );
+        r.push(
+            Diagnostic::new(
+                LintCode::MosGeometryOutOfBounds,
+                "mshort",
+                "L below minimum",
+            )
+            .with_severity(Severity::Warning)
+            .with_span(SourceSpan::artefact("bench")),
+        );
+        r.push(Diagnostic::new(
+            LintCode::NoIndependentEquation,
+            "x",
+            "cap-only node",
+        ));
+        let back = Report::from_json(&r.to_json()).expect("round-trip parses");
+        assert_eq!(back, r);
+        assert!(Report::from_json("{").is_err());
+        assert!(Report::from_json(r#"{"artefact":"a","findings":[{"code":"E9999","severity":"error","subject":"s","message":"m","span":"<unknown>"}]}"#).is_err());
     }
 
     #[test]

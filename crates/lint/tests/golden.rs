@@ -224,6 +224,52 @@ fn w0112_unused_node() {
 }
 
 #[test]
+fn e0301_e0302_structurally_singular_deck() {
+    // x is biased only through capacitors: empty KCL row at DC (E0301)
+    // and an unknown no equation pins (E0302). The gmin crutch would let
+    // the solver "succeed" — this is the deck the ERC gate must stop.
+    let r = deck_report("V1 in 0 DC 1\nR1 in 0 1k\nC1 in x 1p\nC2 x 0 1p\n");
+    let d = only_diag(&r, LintCode::NoIndependentEquation);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.subject, "x");
+    assert!(d.message.contains("DC"), "{}", d.message);
+    let d = only_diag(&r, LintCode::UndeterminedUnknown);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.subject, "x");
+    assert!(r.has_errors());
+}
+
+#[test]
+fn w0303_operating_envelope_exceeded() {
+    // A gain-2 VCVS pushes node e to 2 V under a single 1 V supply.
+    let r = deck_report("V1 in 0 DC 1\nR1 in 0 1k\nE1 e 0 in 0 2.0\nR2 e 0 1k\n");
+    let d = only_diag(&r, LintCode::OperatingEnvelopeExceeded);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.subject, "e");
+    assert!(d.message.contains("rails"), "{}", d.message);
+}
+
+#[test]
+fn w0304_conductance_spread() {
+    // 1 Ω against 1e11 Ω at node b: an 1e11 conductance ratio, and the
+    // big resistor alone sits within an order of 1/gmin.
+    let r = deck_report("V1 a 0 DC 1\nR1 a b 1\nR2 b 0 100g\n");
+    assert_eq!(r.count(LintCode::ConductanceSpread), 2, "{}", r.render());
+    let subjects: Vec<String> = r
+        .with_code(LintCode::ConductanceSpread)
+        .map(|d| d.subject.clone())
+        .collect();
+    assert!(subjects.contains(&"r2".to_string()), "{subjects:?}");
+    assert!(subjects.contains(&"b".to_string()), "{subjects:?}");
+    assert!(
+        r.with_code(LintCode::ConductanceSpread)
+            .all(|d| d.severity == Severity::Warning),
+        "{}",
+        r.render()
+    );
+}
+
+#[test]
 fn e0201_unconnected_port() {
     let g = BlockGraph::new("golden").block(
         "integrator",
@@ -320,6 +366,7 @@ fn e0204_combinational_cycle() {
 #[test]
 fn every_code_has_a_golden_test() {
     // Meta-test: the catalog and this file must not drift apart. Each code
-    // here is exercised by at least one assertion above.
-    assert_eq!(LintCode::ALL.len(), 16);
+    // here is exercised by at least one assertion above (the 03xx codes by
+    // the golden decks below and the unit tests in structural/interval).
+    assert_eq!(LintCode::ALL.len(), 20);
 }

@@ -19,6 +19,11 @@
 //!   refactor/solve over one pinned [`SymbolicLu`] pattern that
 //!   Monte-Carlo campaigns batch structure-identical points through
 //!   (width policy via [`BatchWidth`] / `UWB_AMS_BATCH`),
+//! * [`structure`] — value-free analysis of the sparse pattern:
+//!   Hopcroft–Karp maximum matching plus coarse Dulmage–Mendelsohn
+//!   classification ([`StructureReport`], feeding the static ERC layer)
+//!   and block-triangular-form extraction with per-block LU
+//!   ([`BtfForm`] / [`BtfLu`]),
 //! * [`perf`] — [`PerfCounters`]: steps, Newton iterations, LU
 //!   factorizations vs cached reuses, wall time,
 //! * [`time`] — [`SimTime`], the femtosecond-resolution instant/duration,
@@ -45,6 +50,7 @@ pub mod linalg;
 pub mod perf;
 pub mod rescue;
 pub mod sparse;
+pub mod structure;
 pub mod time;
 pub mod trace;
 
@@ -55,5 +61,6 @@ pub use linalg::{CMatrix, DMatrix, LuFactors, Matrix, NumericFault, SingularMatr
 pub use perf::PerfCounters;
 pub use rescue::{RescueAttempt, RescueReport, RescueRung};
 pub use sparse::{NumericLu, RefactorOutcome, SolverKind, SparseMatrix, SymbolicLu};
+pub use structure::{BtfForm, BtfLu, DmClass, StructureReport};
 pub use time::SimTime;
 pub use trace::Probe;

@@ -47,6 +47,12 @@ pub struct PerfCounters {
     /// Lanes that retired from a batch (converged, stale, or failed)
     /// while other lanes in the same group were still iterating.
     pub lanes_retired_early: u64,
+    /// Structural analyses of the sparse pattern (maximum matching + BTF
+    /// extraction; once per circuit topology when the BTF path is on).
+    pub structural_analyses: u64,
+    /// Diagonal blocks exposed by block-triangular-form extraction,
+    /// summed over structural analyses.
+    pub btf_blocks: u64,
     /// Wall-clock time spent inside `step()` (transient only).
     pub wall: Duration,
 }
@@ -72,6 +78,8 @@ impl PerfCounters {
         self.batched_refactors += other.batched_refactors;
         self.batched_solves += other.batched_solves;
         self.lanes_retired_early += other.lanes_retired_early;
+        self.structural_analyses += other.structural_analyses;
+        self.btf_blocks += other.btf_blocks;
         self.wall += other.wall;
     }
 
@@ -111,7 +119,7 @@ impl std::fmt::Display for PerfCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} steps, {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {} symbolic / {} refactors / {} fallbacks, {} warm starts, {}/{} rescues, {} batched refactors / {} batched solves / {} early retires, {:.3} s wall",
+            "{} steps, {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {} symbolic / {} refactors / {} fallbacks, {} warm starts, {}/{} rescues, {} batched refactors / {} batched solves / {} early retires, {} structural analyses / {} btf blocks, {:.3} s wall",
             self.steps,
             self.newton_iterations,
             self.lu_factorizations,
@@ -126,6 +134,8 @@ impl std::fmt::Display for PerfCounters {
             self.batched_refactors,
             self.batched_solves,
             self.lanes_retired_early,
+            self.structural_analyses,
+            self.btf_blocks,
             self.wall.as_secs_f64()
         )
     }
@@ -151,6 +161,8 @@ mod tests {
             batched_refactors: 9,
             batched_solves: 10,
             lanes_retired_early: 11,
+            structural_analyses: 12,
+            btf_blocks: 13,
             wall: Duration::from_millis(10),
         };
         let b = PerfCounters {
@@ -167,6 +179,8 @@ mod tests {
             batched_refactors: 90,
             batched_solves: 100,
             lanes_retired_early: 110,
+            structural_analyses: 120,
+            btf_blocks: 130,
             wall: Duration::from_millis(100),
         };
         a.merge(&b);
@@ -183,6 +197,8 @@ mod tests {
         assert_eq!(a.batched_refactors, 99);
         assert_eq!(a.batched_solves, 110);
         assert_eq!(a.lanes_retired_early, 121);
+        assert_eq!(a.structural_analyses, 132);
+        assert_eq!(a.btf_blocks, 143);
         assert_eq!(a.wall, Duration::from_millis(110));
     }
 

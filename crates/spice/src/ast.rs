@@ -638,8 +638,20 @@ pub fn parse_ast(deck: &str) -> Result<DeckAst, SpiceError> {
                     if card.tokens.len() < 3 {
                         return Err(card_err(card.line, ".model needs a name and a type"));
                     }
+                    let name = card.tokens[1].lower();
+                    if let Some(prev) = ast.models.iter().find(|m| m.name == name) {
+                        return Err(SpiceError::Parse(ParseDiagnostic::duplicate(
+                            card.line,
+                            name.clone(),
+                            format!(
+                                ".model '{name}' already defined at line {} \
+                                 (silent redefinition would win last-one-wins)",
+                                prev.line
+                            ),
+                        )));
+                    }
                     ast.models.push(ModelCard {
-                        name: card.tokens[1].lower(),
+                        name,
                         kind: card.tokens[2].lower(),
                         line: card.line,
                     });
@@ -667,8 +679,20 @@ pub fn parse_ast(deck: &str) -> Result<DeckAst, SpiceError> {
                             }
                         }
                     }
+                    let name = card.tokens[1].lower();
+                    if let Some(prev) = ast.subckts.iter().find(|s| s.name == name) {
+                        return Err(SpiceError::Parse(ParseDiagnostic::duplicate(
+                            card.line,
+                            name.clone(),
+                            format!(
+                                ".subckt '{name}' already defined at line {} \
+                                 (silent redefinition would win last-one-wins)",
+                                prev.line
+                            ),
+                        )));
+                    }
                     current = Some(SubcktDef {
-                        name: card.tokens[1].lower(),
+                        name,
                         ports,
                         params,
                         body: Vec::new(),
@@ -777,6 +801,33 @@ pub fn parse_ast(deck: &str) -> Result<DeckAst, SpiceError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn duplicate_model_is_a_p0104() {
+        let err = parse_ast(".model nch nmos018\nV1 a 0 DC 1\n.model nch nmos018\n").unwrap_err();
+        let SpiceError::Parse(d) = err else {
+            panic!("expected a parse diagnostic, got {err:?}");
+        };
+        assert_eq!(d.code, "P0104");
+        assert_eq!(d.line, 3);
+        assert_eq!(d.token, "nch");
+        assert!(d.message.contains("line 1"), "{}", d.message);
+        assert!(d.render().contains("error[P0104] 'nch'"), "{}", d.render());
+    }
+
+    #[test]
+    fn duplicate_subckt_is_a_p0104() {
+        let err =
+            parse_ast(".subckt cell a b\nR1 a b 1k\n.ends\n.subckt cell a b\nR1 a b 2k\n.ends\n")
+                .unwrap_err();
+        let SpiceError::Parse(d) = err else {
+            panic!("expected a parse diagnostic, got {err:?}");
+        };
+        assert_eq!(d.code, "P0104");
+        assert_eq!(d.line, 4);
+        assert_eq!(d.token, "cell");
+        assert!(d.message.contains("line 1"), "{}", d.message);
+    }
 
     #[test]
     fn subckt_with_instances_and_params() {

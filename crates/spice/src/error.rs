@@ -9,7 +9,8 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseDiagnostic {
     /// Stable code: `P0101` lexical (bad number/suffix), `P0102` card
-    /// syntax, `P0103` elaboration (subcircuit expansion).
+    /// syntax, `P0103` elaboration (subcircuit expansion), `P0104`
+    /// duplicate definition (`.model`/`.subckt` redefined).
     pub code: &'static str,
     /// 1-based deck line.
     pub line: usize,
@@ -55,6 +56,19 @@ impl ParseDiagnostic {
     pub fn elaboration(line: usize, token: impl Into<String>, message: impl Into<String>) -> Self {
         ParseDiagnostic {
             code: "P0103",
+            line,
+            column: 0,
+            token: token.into(),
+            message: message.into(),
+        }
+    }
+
+    /// A duplicate-definition finding (`P0104`): a `.model` or `.subckt`
+    /// name defined more than once. Silent last-one-wins resolution is
+    /// exactly the kind of deck bug that survives to a wrong answer.
+    pub fn duplicate(line: usize, token: impl Into<String>, message: impl Into<String>) -> Self {
+        ParseDiagnostic {
+            code: "P0104",
             line,
             column: 0,
             token: token.into(),
@@ -195,6 +209,9 @@ mod tests {
         let d = ParseDiagnostic::lexical(2, 7, "1x", "unknown suffix");
         assert!(d.render().contains("'1x'"), "{}", d.render());
         assert!(d.render().contains("line 2, col 7"), "{}", d.render());
+        let d = ParseDiagnostic::duplicate(9, "cell", "already defined at line 2");
+        assert!(d.render().contains("error[P0104] 'cell'"), "{}", d.render());
+        assert!(d.render().contains("(line 9)"), "{}", d.render());
         let e = SpiceError::Singular {
             analysis: "ac",
             order: 5,

@@ -75,6 +75,7 @@ pub use dcop::{
 pub use deck::{run_deck, run_deck_with, DcSweep, DeckAnalyses, DeckRun, TranTrace};
 pub use error::{ParseDiagnostic, SpiceError};
 pub use lexer::parse_value;
+pub use mna::{dc_pattern, MnaLayout, MnaUnknown};
 pub use mosfet::{MosParams, MosType};
 pub use netlist::{parse_deck, subckt_deck, write_deck};
 pub use perf::PerfCounters;

@@ -178,6 +178,163 @@ pub fn estimate_nnz(circuit: &Circuit, layout: &MnaLayout) -> usize {
     nnz
 }
 
+/// What one MNA unknown (a row/column index of the assembled system)
+/// stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MnaUnknown {
+    /// The voltage of a node (never ground).
+    NodeVoltage(NodeId),
+    /// The branch current of the element at this index in
+    /// [`Circuit::elements`].
+    BranchCurrent(usize),
+}
+
+impl MnaLayout {
+    /// Maps unknown index `k` back to the node voltage or element branch
+    /// current it stands for (`None` when `k` is out of range).
+    pub fn unknown_of(&self, k: usize) -> Option<MnaUnknown> {
+        if k < self.n_nodes - 1 {
+            return Some(MnaUnknown::NodeVoltage(NodeId(k + 1)));
+        }
+        self.branch_index
+            .iter()
+            .find(|&(_, &u)| u == k)
+            .map(|(&elem, _)| MnaUnknown::BranchCurrent(elem))
+    }
+}
+
+/// Structural nonzero positions of the **DC** MNA matrix, *excluding*
+/// every gmin regularisation entry — the global node-to-ground floor and
+/// the MOSFET junction floors that [`assemble`] always stamps.
+///
+/// This is the honest pattern for structural solvability analysis: gmin
+/// puts a value on every node diagonal, so the assembled pattern can
+/// never show an empty row even when no element contributes a DC
+/// equation at that node. The static ERC layer runs maximum matching on
+/// *this* pattern instead, so "node has no independent DC equation"
+/// surfaces as a named diagnostic rather than a gmin-scale pivot.
+///
+/// Positions may repeat; callers deduplicate.
+///
+/// # Errors
+///
+/// [`SpiceError::InvalidParameter`] when a voltage-defined element has no
+/// branch unknown in `layout` (layout computed for a different circuit).
+pub fn dc_pattern(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+) -> Result<Vec<(usize, usize)>, SpiceError> {
+    let mut out = Vec::with_capacity(estimate_nnz(circuit, layout));
+    let branch = |idx: usize, name: &str| {
+        layout
+            .branch_unknown(idx)
+            .ok_or_else(|| SpiceError::InvalidParameter {
+                element: name.to_string(),
+                message: "voltage-defined element has no branch unknown in the MNA layout"
+                    .to_string(),
+            })
+    };
+    // A two-terminal conductance footprint between `p` and `n`.
+    let conductance = |out: &mut Vec<(usize, usize)>, p: NodeId, n: NodeId| {
+        let (up, un) = (layout.node_unknown(p), layout.node_unknown(n));
+        if let Some(i) = up {
+            out.push((i, i));
+        }
+        if let Some(j) = un {
+            out.push((j, j));
+        }
+        if let (Some(i), Some(j)) = (up, un) {
+            out.push((i, j));
+            out.push((j, i));
+        }
+    };
+    // A voltage-defined branch footprint: KCL couplings into the branch
+    // column plus the branch row reading the terminal voltages.
+    let voltage_branch = |out: &mut Vec<(usize, usize)>, p: NodeId, n: NodeId, ib: usize| {
+        if let Some(i) = layout.node_unknown(p) {
+            out.push((i, ib));
+            out.push((ib, i));
+        }
+        if let Some(j) = layout.node_unknown(n) {
+            out.push((j, ib));
+            out.push((ib, j));
+        }
+    };
+    for (idx, (name, e)) in circuit.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { p, n, .. } | Element::Diode { p, n, .. } => {
+                conductance(&mut out, *p, *n);
+            }
+            // DC opens contribute nothing; current sources only hit the RHS.
+            Element::Capacitor { .. } | Element::Isource { .. } => {}
+            Element::Vsource { p, n, .. } | Element::Inductor { p, n, .. } => {
+                let ib = branch(idx, name)?;
+                voltage_branch(&mut out, *p, *n, ib);
+            }
+            Element::Vcvs { p, n, cp, cn, .. } => {
+                let ib = branch(idx, name)?;
+                voltage_branch(&mut out, *p, *n, ib);
+                for c in [*cp, *cn] {
+                    if let Some(k) = layout.node_unknown(c) {
+                        out.push((ib, k));
+                    }
+                }
+            }
+            Element::Vccs { p, n, cp, cn, .. } => {
+                for node in [*p, *n] {
+                    if let Some(row) = layout.node_unknown(node) {
+                        for c in [*cp, *cn] {
+                            if let Some(k) = layout.node_unknown(c) {
+                                out.push((row, k));
+                            }
+                        }
+                    }
+                }
+            }
+            Element::Cccs { p, n, ctrl, .. } => {
+                let ib_ctrl = branch(*ctrl, name)?;
+                for node in [*p, *n] {
+                    if let Some(row) = layout.node_unknown(node) {
+                        out.push((row, ib_ctrl));
+                    }
+                }
+            }
+            Element::Ccvs { p, n, ctrl, .. } => {
+                let ib = branch(idx, name)?;
+                let ib_ctrl = branch(*ctrl, name)?;
+                voltage_branch(&mut out, *p, *n, ib);
+                out.push((ib, ib_ctrl));
+            }
+            Element::Switch { p, n, cp, cn, .. } => {
+                for node in [*p, *n] {
+                    if let Some(row) = layout.node_unknown(node) {
+                        for dep in [*p, *n, *cp, *cn] {
+                            if let Some(col) = layout.node_unknown(dep) {
+                                out.push((row, col));
+                            }
+                        }
+                    }
+                }
+            }
+            Element::Mosfet { d, g, s, b, .. } => {
+                // The channel linearisation: Ids rows over all four
+                // terminal columns. The gmin junction floors are omitted
+                // on purpose.
+                for node in [*d, *s] {
+                    if let Some(row) = layout.node_unknown(node) {
+                        for dep in [*g, *d, *s, *b] {
+                            if let Some(col) = layout.node_unknown(dep) {
+                                out.push((row, col));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Smooth switch conductance: log-space blend between on and off.
 pub(crate) fn switch_conductance(vc: f64, ron: f64, roff: f64, vt: f64, vs: f64) -> f64 {
     let s = 1.0 / (1.0 + (-(vc - vt) / vs).exp());
@@ -679,5 +836,32 @@ mod tests {
         let mut sol = rhs.clone();
         mat.solve_in_place(&mut sol).unwrap();
         assert!((layout.voltage(&sol, a) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_pattern_is_gmin_free_and_labels_unknowns() {
+        // V1 drives a divider; node x hangs off a capacitor only — the
+        // assembled matrix has a gmin diagonal at x, but the structural
+        // DC pattern must leave row/column x empty.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let x = c.node("x");
+        c.vsource("V1", a, NodeId::GROUND, SourceWave::Dc(1.0));
+        c.resistor("R1", a, NodeId::GROUND, 1e3);
+        c.capacitor("C1", a, x, 1e-12);
+        let layout = MnaLayout::new(&c);
+        let pat = dc_pattern(&c, &layout).unwrap();
+        let ux = layout.node_unknown(x).unwrap();
+        assert!(
+            pat.iter().all(|&(r, cc)| r != ux && cc != ux),
+            "capacitor-only node must have an empty structural row/column"
+        );
+        let ua = layout.node_unknown(a).unwrap();
+        assert!(pat.contains(&(ua, ua)), "resistor diagonal present");
+        // Labels: node unknowns then branch currents.
+        assert_eq!(layout.unknown_of(ua), Some(MnaUnknown::NodeVoltage(a)));
+        let ib = layout.branch_unknown(0).unwrap();
+        assert_eq!(layout.unknown_of(ib), Some(MnaUnknown::BranchCurrent(0)));
+        assert_eq!(layout.unknown_of(layout.size() + 7), None);
     }
 }

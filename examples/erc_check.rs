@@ -5,6 +5,7 @@
 //! ```sh
 //! cargo run --release --example erc_check                # demo
 //! cargo run --release --example erc_check -- --self-check # CI gate
+//! cargo run --release --example erc_check -- --json       # machine-readable
 //! cargo run --release --example erc_check -- --no-erc     # escape hatch
 //! ```
 //!
@@ -20,6 +21,7 @@ use uwb_ams_core::flow::Phase;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (cfg, rest) = ErcConfig::from_args(std::env::args().skip(1));
     let self_check = rest.iter().any(|a| a == "--self-check");
+    let json = rest.iter().any(|a| a == "--json");
 
     if !cfg.enabled {
         println!("--no-erc: static checks skipped (the simulator is on its own)");
@@ -28,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Every artefact the flow depends on, linted statically.
     let mut failed = false;
+    let mut reports = Vec::new();
     let bench = integrate_dump_testbench(&Default::default()).expect("builtin bench");
     let artefacts = [
         ("integrate_dump testbench (31-T cell)", bench.circuit),
@@ -36,13 +39,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     for (name, circuit) in artefacts {
         let report = lint_circuit(&circuit, name);
-        print_outcome(name, &report);
+        if !json {
+            print_outcome(name, &report);
+        }
         failed |= report.has_errors();
+        reports.push(report);
     }
     for phase in [Phase::II, Phase::III, Phase::IV] {
         let report = lint_graph(&phase_block_graph(phase));
-        print_outcome(&format!("{phase} block graph"), &report);
+        if !json {
+            print_outcome(&format!("{phase} block graph"), &report);
+        }
         failed |= report.has_errors();
+        reports.push(report);
+    }
+
+    if json {
+        // One document for the whole sweep: each artefact's full report,
+        // in lint's stable Report JSON shape.
+        let body: Vec<String> = reports.iter().map(lint::Report::to_json).collect();
+        println!("{{\"artefacts\":[{}],\"failed\":{failed}}}", body.join(","));
+        if failed {
+            std::process::exit(1);
+        }
+        return Ok(());
     }
 
     if self_check {

@@ -5,6 +5,7 @@
 //! cargo run --release --example run_deck -- path/to/deck.cir
 //! cargo run --release --example run_deck -- --no-erc deck.cir   # escape hatch
 //! cargo run --release --example run_deck -- --erc-strict deck.cir
+//! cargo run --release --example run_deck -- --json deck.cir     # machine-readable
 //! cargo run --release --example run_deck -- --self-check        # CI gate
 //! ```
 //!
@@ -23,28 +24,142 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if rest.iter().any(|a| a == "--self-check") {
         return self_check(&cfg);
     }
-    let Some(path) = rest.first() else {
-        eprintln!("usage: run_deck [--no-erc|--erc-strict] <deck.cir>");
+    let json = rest.iter().any(|a| a == "--json");
+    let Some(path) = rest.iter().find(|a| *a != "--json") else {
+        eprintln!("usage: run_deck [--no-erc|--erc-strict] [--json] <deck.cir>");
         std::process::exit(2);
     };
     let deck = std::fs::read_to_string(path)?;
     match run_deck_checked_with(&deck, &cfg, path, SolverKind::from_env()) {
         Ok(out) => {
-            if !out.report.is_clean() {
-                println!("{}", out.report.render());
+            if json {
+                println!(
+                    "{}",
+                    summarize_json(path, &out.report, Some(&out.run), None)
+                );
+            } else {
+                if !out.report.is_clean() {
+                    println!("{}", out.report.render());
+                }
+                summarize(&out.run);
             }
-            summarize(&out.run);
             Ok(())
         }
         Err(FlowError::Erc { report, .. }) => {
-            eprintln!("{path}: denied by the ERC gate\n{}", report.render());
+            if json {
+                println!(
+                    "{}",
+                    summarize_json(path, &report, None, Some("denied by the ERC gate"))
+                );
+            } else {
+                eprintln!("{path}: denied by the ERC gate\n{}", report.render());
+            }
             std::process::exit(1);
         }
         Err(e) => {
-            eprintln!("{path}: {e}");
+            if json {
+                println!(
+                    "{{\"deck\":{},\"error\":{}}}",
+                    json_str(path),
+                    json_str(&e.to_string())
+                );
+            } else {
+                eprintln!("{path}: {e}");
+            }
             std::process::exit(1);
         }
     }
+}
+
+/// Machine-readable single-deck summary: the full lint report plus the
+/// analyses that ran. `error` is set (and `run` absent) on a gate denial.
+fn summarize_json(
+    path: &str,
+    report: &lint::Report,
+    run: Option<&DeckRun>,
+    error: Option<&str>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{");
+    let _ = write!(s, "\"deck\":{},", json_str(path));
+    if let Some(e) = error {
+        let _ = write!(s, "\"error\":{},", json_str(e));
+    }
+    let _ = write!(s, "\"report\":{}", report.to_json());
+    if let Some(run) = run {
+        let _ = write!(
+            s,
+            ",\"circuit\":{{\"nodes\":{},\"elements\":{}}}",
+            run.circuit.num_nodes(),
+            run.circuit.elements().len()
+        );
+        let _ = write!(
+            s,
+            ",\"op\":{{\"iterations\":{},\"prints\":{{",
+            run.op.iterations
+        );
+        let mut first = true;
+        for name in &run.analyses.prints {
+            if let Some(id) = run.circuit.find_node(name) {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                let _ = write!(s, "{}:{}", json_str(name), run.op.voltage(id));
+            }
+        }
+        s.push_str("}}");
+        if let Some(dc) = &run.dc {
+            let _ = write!(
+                s,
+                ",\"dc\":{{\"source\":{},\"points\":{},\"warm_start_hits\":{}}}",
+                json_str(&dc.source),
+                dc.values.len(),
+                dc.warm_start_hits
+            );
+        }
+        let _ = write!(s, ",\"tran\":[");
+        for (i, trace) in run.tran.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"node\":{},\"samples\":{},\"final\":{}}}",
+                json_str(&trace.node),
+                trace.values.len(),
+                trace.values.last().copied().unwrap_or(0.0)
+            );
+        }
+        s.push(']');
+        if let Some(ac) = &run.ac {
+            let _ = write!(s, ",\"ac\":{{\"points\":{}}}", ac.freqs().len());
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// JSON string literal (RFC 8259 escaping, quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn summarize(run: &DeckRun) {

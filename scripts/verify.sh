@@ -37,6 +37,10 @@ cargo run --release --quiet --example run_deck -- --self-check
 UWB_AMS_SOLVER=dense cargo test -q --release --test deck_corpus
 UWB_AMS_SOLVER=sparse cargo test -q --release --test deck_corpus
 
+echo "== structural analysis (DM/BTF gate + permuted-LU parity) =="
+cargo test -q --release --test structural
+UWB_AMS_BTF=1 cargo run --release --quiet --example run_deck -- --self-check
+
 echo "== perf bench smoke (sparse scaling + MC warm start, --quick) =="
 cargo bench -p uwb-ams-bench --bench perf -- --quick
 
