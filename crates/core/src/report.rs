@@ -208,6 +208,22 @@ impl PerfReport {
             let c = &p.counters;
             s.push_str(&format!("\n      \"steps\": {},", c.steps));
             s.push_str(&format!(
+                "\n      \"steps_accepted\": {},",
+                c.steps_accepted()
+            ));
+            s.push_str(&format!(
+                "\n      \"steps_rejected\": {},",
+                c.steps_rejected
+            ));
+            s.push_str(&format!(
+                "\n      \"lte_evaluations\": {},",
+                c.lte_evaluations
+            ));
+            s.push_str(&format!(
+                "\n      \"order_switches\": {},",
+                c.order_switches
+            ));
+            s.push_str(&format!(
                 "\n      \"newton_iterations\": {},",
                 c.newton_iterations
             ));
@@ -339,6 +355,9 @@ mod tests {
         r.push(PerfPhase::timed("campaign \"fig6\"", 1.5).with("speedup", 3.25));
         let mut counters = sim_core::PerfCounters::new();
         counters.steps = 100;
+        counters.steps_rejected = 8;
+        counters.lte_evaluations = 108;
+        counters.order_switches = 3;
         counters.lu_factorizations = 1;
         counters.lu_reuses = 99;
         counters.symbolic_analyses = 1;
@@ -355,6 +374,10 @@ mod tests {
         assert!(json.contains("\"campaign \\\"fig6\\\"\""), "{json}");
         assert!(json.contains("\"speedup\": 3.25"), "{json}");
         assert!(json.contains("\"steps\": 100"), "{json}");
+        assert!(json.contains("\"steps_accepted\": 100"), "{json}");
+        assert!(json.contains("\"steps_rejected\": 8"), "{json}");
+        assert!(json.contains("\"lte_evaluations\": 108"), "{json}");
+        assert!(json.contains("\"order_switches\": 3"), "{json}");
         assert!(json.contains("\"lu_reuse_ratio\": 0.99"), "{json}");
         assert!(json.contains("\"symbolic_analyses\": 1"), "{json}");
         assert!(json.contains("\"numeric_refactors\": 3"), "{json}");

@@ -61,6 +61,25 @@ pub fn lint_analyses(
                 )
                 .with_span(span.clone()),
             );
+        } else if let Some((name, feature, kind)) = fastest_source_feature(circuit) {
+            // W0113: a fixed grid at `tstep` cannot resolve the fastest
+            // source transition — corners land between samples and edges
+            // smear. Adaptive stepping lands on them exactly.
+            if tran.tstep > feature * (1.0 + 1e-12) {
+                report.push(
+                    Diagnostic::new(
+                        LintCode::SmearedSourceEdge,
+                        name,
+                        format!(
+                            "fixed .tran step {:e} s is coarser than this source's {kind} \
+                             ({feature:e} s); edges will be smeared or skipped unless adaptive \
+                             stepping (UWB_AMS_ADAPTIVE=on) lands on the breakpoints",
+                            tran.tstep
+                        ),
+                    )
+                    .with_span(span.clone()),
+                );
+            }
         }
     }
     if let Some(dc) = &analyses.dc {
@@ -142,6 +161,41 @@ pub fn lint_analyses(
             );
         }
     }
+}
+
+/// The shortest positive time feature among the circuit's independent
+/// source waveforms: PULSE rise/fall/width and PWL segment durations.
+/// Returns `(element name, duration, feature kind)` of the fastest one.
+fn fastest_source_feature(circuit: &Circuit) -> Option<(String, f64, &'static str)> {
+    use spice::circuit::{Element, SourceWave};
+    let mut best: Option<(String, f64, &'static str)> = None;
+    let mut consider = |name: &str, d: f64, kind: &'static str| {
+        if d.is_finite() && d > 0.0 && best.as_ref().is_none_or(|(_, b, _)| d < *b) {
+            best = Some((name.to_string(), d, kind));
+        }
+    };
+    for (name, e) in circuit.elements() {
+        let wave = match e {
+            Element::Vsource { wave, .. } | Element::Isource { wave, .. } => wave,
+            _ => continue,
+        };
+        match wave {
+            SourceWave::Pulse {
+                rise, fall, width, ..
+            } => {
+                consider(name, *rise, "rise time");
+                consider(name, *fall, "fall time");
+                consider(name, *width, "pulse width");
+            }
+            SourceWave::Pwl(pts) => {
+                for w in pts.windows(2) {
+                    consider(name, w[1].0 - w[0].0, "PWL segment");
+                }
+            }
+            SourceWave::Dc(_) | SourceWave::Sin { .. } | SourceWave::External { .. } => {}
+        }
+    }
+    best
 }
 
 #[cfg(test)]

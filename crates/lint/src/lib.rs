@@ -98,6 +98,11 @@ pub enum LintCode {
     UnusedModel,
     /// `W0112` — a declared node no element terminal touches.
     UnusedNode,
+    /// `W0113` — a fixed `.tran` step coarser than the fastest source
+    /// feature (PULSE rise/fall/width, PWL segment): edges will be
+    /// smeared or skipped unless adaptive breakpoint stepping
+    /// (`UWB_AMS_ADAPTIVE=on`) is enabled.
+    SmearedSourceEdge,
     /// `E0201` — a block input port whose net has no driver.
     UnconnectedPort,
     /// `E0202` — a net driven by more than one output port.
@@ -127,7 +132,7 @@ pub enum LintCode {
 
 impl LintCode {
     /// Every code, in catalog order (used by self-checks and docs).
-    pub const ALL: [LintCode; 20] = [
+    pub const ALL: [LintCode; 21] = [
         LintCode::FloatingNode,
         LintCode::NoDcPathToGround,
         LintCode::VoltageSourceLoop,
@@ -140,6 +145,7 @@ impl LintCode {
         LintCode::UnknownProbe,
         LintCode::UnusedModel,
         LintCode::UnusedNode,
+        LintCode::SmearedSourceEdge,
         LintCode::UnconnectedPort,
         LintCode::PortArityMismatch,
         LintCode::PortKindMismatch,
@@ -165,6 +171,7 @@ impl LintCode {
             LintCode::UnknownProbe => "W0110",
             LintCode::UnusedModel => "W0111",
             LintCode::UnusedNode => "W0112",
+            LintCode::SmearedSourceEdge => "W0113",
             LintCode::UnconnectedPort => "E0201",
             LintCode::PortArityMismatch => "E0202",
             LintCode::PortKindMismatch => "E0203",
@@ -210,6 +217,9 @@ impl LintCode {
             LintCode::UnknownProbe => "print card names an undefined node",
             LintCode::UnusedModel => "model defined but never instantiated",
             LintCode::UnusedNode => "node declared but touched by no element",
+            LintCode::SmearedSourceEdge => {
+                "fixed .tran step coarser than the fastest source transition"
+            }
             LintCode::UnconnectedPort => "block input net has no driver",
             LintCode::PortArityMismatch => "net driven by more than one output port",
             LintCode::PortKindMismatch => "net endpoints disagree on port kind",

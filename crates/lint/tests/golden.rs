@@ -364,9 +364,46 @@ fn e0204_combinational_cycle() {
 }
 
 #[test]
+fn w0113_smeared_source_edge() {
+    // 1 ps PULSE edges under a 20 ns fixed grid: the corners fall between
+    // samples.
+    let r = deck_report(
+        "V1 in 0 PULSE(0 1 0 1p 1p 1 0)\nR1 in out 1k\nR2 out 0 1k\n.tran 20n 1u\n.print v(out)\n",
+    );
+    let d = only_diag(&r, LintCode::SmearedSourceEdge);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.subject, "v1");
+    assert!(d.message.contains("UWB_AMS_ADAPTIVE"), "{}", d.message);
+    assert!(
+        !r.has_errors(),
+        "a smeared edge is advisory: {}",
+        r.render()
+    );
+
+    // A grid at least as fine as every feature stays clean, as does a
+    // PWL whose segments outlast the step.
+    let fine = deck_report(
+        "V1 in 0 PULSE(0 1 0 2n 2n 10n 0)\nR1 in out 1k\nR2 out 0 1k\n.tran 1n 1u\n.print v(out)\n",
+    );
+    assert!(!fine.has(LintCode::SmearedSourceEdge), "{}", fine.render());
+    let pwl = deck_report(
+        "V1 in 0 PWL(0 0 10n 1 20n 0)\nR1 in out 1k\nR2 out 0 1k\n.tran 5n 40n\n.print v(out)\n",
+    );
+    assert!(!pwl.has(LintCode::SmearedSourceEdge), "{}", pwl.render());
+    let pwl_coarse = deck_report(
+        "V1 in 0 PWL(0 0 10n 1 12n 0)\nR1 in out 1k\nR2 out 0 1k\n.tran 5n 40n\n.print v(out)\n",
+    );
+    assert!(
+        pwl_coarse.has(LintCode::SmearedSourceEdge),
+        "2 ns PWL segment under a 5 ns grid: {}",
+        pwl_coarse.render()
+    );
+}
+
+#[test]
 fn every_code_has_a_golden_test() {
     // Meta-test: the catalog and this file must not drift apart. Each code
     // here is exercised by at least one assertion above (the 03xx codes by
     // the golden decks below and the unit tests in structural/interval).
-    assert_eq!(LintCode::ALL.len(), 20);
+    assert_eq!(LintCode::ALL.len(), 21);
 }

@@ -14,8 +14,22 @@ use std::time::Duration;
 /// behavioural implicit solver and the circuit DC/transient analyses).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PerfCounters {
-    /// Accepted time steps (transient only).
+    /// Accepted time steps (transient only). Under adaptive stepping this
+    /// counts only steps that passed the local-truncation-error test (or
+    /// were force-accepted at the step floor); rejected attempts land in
+    /// [`steps_rejected`](Self::steps_rejected).
     pub steps: u64,
+    /// Transient step attempts whose solve succeeded but whose estimated
+    /// local truncation error exceeded tolerance, forcing a retry at a
+    /// smaller width (adaptive stepping only).
+    pub steps_rejected: u64,
+    /// Local-truncation-error estimates computed (one per step attempt
+    /// with enough accepted history for the divided-difference predictor).
+    pub lte_evaluations: u64,
+    /// Integration-order changes: LTE-driven switches between Backward
+    /// Euler (order 1) and trapezoidal (order 2), plus the documented
+    /// one-step Backward-Euler bootstrap of a fixed-step trapezoidal run.
+    pub order_switches: u64,
     /// Newton iterations (each one assembles the MNA system once).
     pub newton_iterations: u64,
     /// LU factorizations performed.
@@ -66,6 +80,9 @@ impl PerfCounters {
     /// Adds `other` into `self` (for aggregating phases or workers).
     pub fn merge(&mut self, other: &PerfCounters) {
         self.steps += other.steps;
+        self.steps_rejected += other.steps_rejected;
+        self.lte_evaluations += other.lte_evaluations;
+        self.order_switches += other.order_switches;
         self.newton_iterations += other.newton_iterations;
         self.lu_factorizations += other.lu_factorizations;
         self.lu_reuses += other.lu_reuses;
@@ -81,6 +98,13 @@ impl PerfCounters {
         self.structural_analyses += other.structural_analyses;
         self.btf_blocks += other.btf_blocks;
         self.wall += other.wall;
+    }
+
+    /// Accepted transient steps — an explicit alias for [`steps`](Self::steps)
+    /// now that adaptive stepping distinguishes accepted from rejected
+    /// attempts.
+    pub fn steps_accepted(&self) -> u64 {
+        self.steps
     }
 
     /// Accepted steps per wall-clock second (0 when no time was recorded).
@@ -119,8 +143,11 @@ impl std::fmt::Display for PerfCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} steps, {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {} symbolic / {} refactors / {} fallbacks, {} warm starts, {}/{} rescues, {} batched refactors / {} batched solves / {} early retires, {} structural analyses / {} btf blocks, {:.3} s wall",
+            "{} steps ({} rejected, {} lte evals, {} order switches), {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {} symbolic / {} refactors / {} fallbacks, {} warm starts, {}/{} rescues, {} batched refactors / {} batched solves / {} early retires, {} structural analyses / {} btf blocks, {:.3} s wall",
             self.steps,
+            self.steps_rejected,
+            self.lte_evaluations,
+            self.order_switches,
             self.newton_iterations,
             self.lu_factorizations,
             self.lu_reuses,
@@ -149,6 +176,9 @@ mod tests {
     fn merge_accumulates_every_field() {
         let mut a = PerfCounters {
             steps: 1,
+            steps_rejected: 14,
+            lte_evaluations: 15,
+            order_switches: 16,
             newton_iterations: 2,
             lu_factorizations: 3,
             lu_reuses: 4,
@@ -167,6 +197,9 @@ mod tests {
         };
         let b = PerfCounters {
             steps: 10,
+            steps_rejected: 140,
+            lte_evaluations: 150,
+            order_switches: 160,
             newton_iterations: 20,
             lu_factorizations: 30,
             lu_reuses: 40,
@@ -185,6 +218,10 @@ mod tests {
         };
         a.merge(&b);
         assert_eq!(a.steps, 11);
+        assert_eq!(a.steps_accepted(), 11);
+        assert_eq!(a.steps_rejected, 154);
+        assert_eq!(a.lte_evaluations, 165);
+        assert_eq!(a.order_switches, 176);
         assert_eq!(a.newton_iterations, 22);
         assert_eq!(a.lu_factorizations, 33);
         assert_eq!(a.lu_reuses, 44);

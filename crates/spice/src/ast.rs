@@ -208,12 +208,15 @@ pub enum AnalysisCard {
         /// Stop frequency, Hz.
         f_stop: f64,
     },
-    /// `.tran tstep tstop`.
+    /// `.tran tstep tstop [tmax]`.
     Tran {
         /// Step, s.
         tstep: f64,
         /// Stop time, s.
         tstop: f64,
+        /// Optional ceiling on the adaptive step (classic SPICE `tmax`);
+        /// ignored by the fixed-step path.
+        tmax: Option<f64>,
     },
 }
 
@@ -748,6 +751,7 @@ pub fn parse_ast(deck: &str) -> Result<DeckAst, SpiceError> {
                     ast.analyses.push(AnalysisCard::Tran {
                         tstep: value_token(&card.tokens[1])?,
                         tstop: value_token(&card.tokens[2])?,
+                        tmax: card.tokens.get(3).map(value_token).transpose()?,
                     });
                 }
                 "print" => {

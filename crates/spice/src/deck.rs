@@ -13,16 +13,21 @@ use crate::circuit::{Circuit, NodeId};
 use crate::dcop::{dcop_with_opts, DcSolution, NewtonOptions};
 use crate::error::SpiceError;
 use crate::netlist::parse_deck;
-use crate::tran::{TranOptions, TransientSimulator};
+use crate::tran::{collect_breakpoints, AdaptiveOptions, TranOptions, TransientSimulator};
+use sim_core::perf::PerfCounters;
 use sim_core::sparse::SolverKind;
 
-/// Transient analysis request (`.tran tstep tstop`).
+/// Transient analysis request (`.tran tstep tstop [tmax]`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TranCard {
-    /// Step, s.
+    /// Step, s — the print/reporting grid, and the fixed step when the
+    /// adaptive controller is off.
     pub tstep: f64,
     /// Stop time, s.
     pub tstop: f64,
+    /// Optional adaptive step ceiling (classic SPICE `tmax`); defaults to
+    /// `8·tstep` when absent. The fixed-step path ignores it.
+    pub tmax: Option<f64>,
 }
 
 /// AC analysis request (`.ac dec n fstart fstop`).
@@ -117,6 +122,9 @@ pub struct DeckRun {
     pub dc: Option<DcSweep>,
     /// Transient traces (one per printed node) when `.tran` was present.
     pub tran: Vec<TranTrace>,
+    /// Work counters of the transient phase (accepted/rejected steps,
+    /// LTE evaluations, order switches, Newton/LU work) when `.tran` ran.
+    pub tran_counters: Option<PerfCounters>,
     /// AC sweep when `.ac` was present.
     pub ac: Option<AcSweep>,
 }
@@ -169,10 +177,11 @@ pub fn parse_analyses(deck: &str) -> Result<DeckAnalyses, SpiceError> {
                     f_stop: *f_stop,
                 });
             }
-            AnalysisCard::Tran { tstep, tstop } => {
+            AnalysisCard::Tran { tstep, tstop, tmax } => {
                 out.tran = Some(TranCard {
                     tstep: *tstep,
                     tstop: *tstop,
+                    tmax: *tmax,
                 });
             }
         }
@@ -236,6 +245,30 @@ pub fn run_deck(deck: &str) -> Result<DeckRun, SpiceError> {
 /// Propagates parse and analysis failures.
 #[allow(clippy::too_many_lines)]
 pub fn run_deck_with(deck: &str, solver: SolverKind) -> Result<DeckRun, SpiceError> {
+    run_deck_with_tran(deck, solver, AdaptiveOptions::from_env())
+}
+
+/// [`run_deck_with`] with the adaptive transient controller pinned
+/// explicitly (instead of resolving `UWB_AMS_ADAPTIVE`), so harnesses can
+/// compare the fixed-step and adaptive paths without racing on the
+/// environment.
+///
+/// Under the adaptive controller the `.tran` loop runs
+/// [`TransientSimulator::run_adaptive`] against the deck's breakpoint
+/// schedule and then linearly interpolates the accepted knots onto the
+/// same `tstep` print grid the fixed path reports — trace shapes and
+/// lengths are identical either way. The optional third `.tran` token
+/// (`tmax`) caps the adaptive step; it defaults to `8·tstep`.
+///
+/// # Errors
+///
+/// Propagates parse and analysis failures.
+#[allow(clippy::too_many_lines)]
+pub fn run_deck_with_tran(
+    deck: &str,
+    solver: SolverKind,
+    adaptive: AdaptiveOptions,
+) -> Result<DeckRun, SpiceError> {
     let circuit = parse_deck(deck)?;
     let mut analyses = parse_analyses(deck)?;
     if analyses.prints.is_empty() {
@@ -286,15 +319,22 @@ pub fn run_deck_with(deck: &str, solver: SolverKind) -> Result<DeckRun, SpiceErr
     };
 
     let mut tran = Vec::new();
+    let mut tran_counters = None;
     if let Some(card) = analyses.tran {
         // Keep the transient-tuned Newton defaults, pinning only the backend.
-        let opts = TranOptions {
+        let mut opts = TranOptions {
             newton: NewtonOptions {
                 solver,
                 ..TranOptions::default().newton
             },
+            adaptive,
             ..TranOptions::default()
         };
+        if opts.adaptive.h_max <= 0.0 {
+            if let Some(tmax) = card.tmax {
+                opts.adaptive.h_max = tmax;
+            }
+        }
         let mut sim = TransientSimulator::new(circuit.clone(), opts)?;
         // `.ic` node forcing happens after construction, overriding the
         // computed operating point exactly like capacitor `IC=` values.
@@ -304,19 +344,49 @@ pub fn run_deck_with(deck: &str, solver: SolverKind) -> Result<DeckRun, SpiceErr
                 .ok_or_else(|| SpiceError::UnknownName { name: node.clone() })?;
             sim.force_voltage(id, *v);
         }
-        let mut times = vec![0.0];
-        let mut values: Vec<Vec<f64>> = print_nodes
-            .iter()
-            .map(|&(_, id)| vec![sim.voltage(id)])
-            .collect();
         let steps = (card.tstop / card.tstep).round() as usize;
-        for _ in 0..steps {
-            sim.step(card.tstep)?;
-            times.push(sim.time());
-            for (col, &(_, id)) in values.iter_mut().zip(&print_nodes) {
-                col.push(sim.voltage(id));
+        let mut times = vec![0.0];
+        let mut values: Vec<Vec<f64>>;
+        if adaptive.enabled {
+            // Adaptive: march the LTE controller against the deck's
+            // breakpoint schedule, then resample the accepted knots onto
+            // the fixed print grid (same accumulation as the fixed loop,
+            // so reported times agree bit-for-bit across the two paths).
+            let bps = collect_breakpoints(&circuit, card.tstop);
+            let mut knot_times = vec![0.0];
+            let mut knots: Vec<Vec<f64>> = print_nodes
+                .iter()
+                .map(|&(_, id)| vec![sim.voltage(id)])
+                .collect();
+            sim.run_adaptive(card.tstop, card.tstep, &bps, |s| {
+                knot_times.push(s.time());
+                for (col, &(_, id)) in knots.iter_mut().zip(&print_nodes) {
+                    col.push(s.voltage(id));
+                }
+            })?;
+            let mut t_acc = 0.0;
+            for _ in 0..steps {
+                t_acc += card.tstep;
+                times.push(t_acc);
+            }
+            values = knots
+                .iter()
+                .map(|col| times.iter().map(|&t| interp(&knot_times, col, t)).collect())
+                .collect();
+        } else {
+            values = print_nodes
+                .iter()
+                .map(|&(_, id)| vec![sim.voltage(id)])
+                .collect();
+            for _ in 0..steps {
+                sim.step(card.tstep)?;
+                times.push(sim.time());
+                for (col, &(_, id)) in values.iter_mut().zip(&print_nodes) {
+                    col.push(sim.voltage(id));
+                }
             }
         }
+        tran_counters = Some(*sim.counters());
         tran = print_nodes
             .iter()
             .zip(values)
@@ -344,8 +414,26 @@ pub fn run_deck_with(deck: &str, solver: SolverKind) -> Result<DeckRun, SpiceErr
         op,
         dc,
         tran,
+        tran_counters,
         ac,
     })
+}
+
+/// Linear interpolation of an accepted-knot trace onto sample time `t`.
+/// Clamps outside the knot range (the first knot is `t = 0` and the last
+/// is `tstop` exactly, so clamping only absorbs grid-accumulation ulps).
+fn interp(times: &[f64], vals: &[f64], t: f64) -> f64 {
+    debug_assert_eq!(times.len(), vals.len());
+    match times.binary_search_by(|probe| probe.total_cmp(&t)) {
+        Ok(i) => vals[i],
+        Err(0) => vals[0],
+        Err(i) if i >= times.len() => vals[times.len() - 1],
+        Err(i) => {
+            let (t0, t1) = (times[i - 1], times[i]);
+            let w = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+            vals[i - 1] + (vals[i] - vals[i - 1]) * w
+        }
+    }
 }
 
 #[cfg(test)]

@@ -72,7 +72,9 @@ pub use dcop::{
     dcop, dcop_batch, dcop_batch_with, dcop_with, dcop_with_guess, dcop_with_opts, BatchPoint,
     BatchReport, BatchWorkspace, CampaignKernel, DcSolution, NewtonOptions,
 };
-pub use deck::{run_deck, run_deck_with, DcSweep, DeckAnalyses, DeckRun, TranTrace};
+pub use deck::{
+    run_deck, run_deck_with, run_deck_with_tran, DcSweep, DeckAnalyses, DeckRun, TranTrace,
+};
 pub use error::{ParseDiagnostic, SpiceError};
 pub use lexer::parse_value;
 pub use mna::{dc_pattern, MnaLayout, MnaUnknown};
@@ -85,4 +87,6 @@ pub use sim_core::faultinject::{waveform_checksum, FaultKind, FaultSchedule, Fau
 pub use sim_core::rescue::{RescueAttempt, RescueReport, RescueRung};
 pub use sim_core::sparse::SolverKind;
 pub use topology::{DcCoupling, TerminalRole};
-pub use tran::{Method as TranMethod, TranOptions, TransientSimulator};
+pub use tran::{
+    collect_breakpoints, AdaptiveOptions, Method as TranMethod, TranOptions, TransientSimulator,
+};

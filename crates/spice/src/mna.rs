@@ -81,23 +81,43 @@ impl MnaLayout {
     }
 }
 
+/// Companion-model discretisation for the *linear* capacitors of a
+/// transient assembly. Selecting the model per step (rather than baking
+/// it into the simulator's state layout) is what lets the adaptive
+/// controller switch integration order mid-run without re-deriving any
+/// state: the caller keeps one capacitor-current vector alive and merely
+/// chooses which rule consumes it.
+///
+/// Device capacitances (MOSFET Meyer caps, junction caps) always use
+/// Backward Euler regardless of this choice — their values change
+/// between steps, which breaks the trapezoidal charge bookkeeping.
+/// Inductors likewise always use the BE companion.
+#[derive(Debug, Clone, Copy)]
+pub enum CompanionModel<'a> {
+    /// Backward Euler (order 1): `i = (C/h)(v − v_prev)`.
+    BackwardEuler,
+    /// Trapezoidal (order 2): `i = (2C/h)(v − v_prev) − i_prev`, fed by
+    /// the previous capacitor currents, one slot per linear capacitor in
+    /// element order. A capacitor with no slot falls back to BE.
+    Trapezoidal {
+        /// Previous per-capacitor currents in element order.
+        cap_currents: &'a [f64],
+    },
+}
+
 /// What kind of large-signal assembly to perform.
 #[derive(Debug, Clone, Copy)]
 pub enum AssembleMode<'a> {
     /// DC: capacitors open.
     Dc,
-    /// Transient Backward-Euler step of width `h` from previous solution.
+    /// Transient step of width `h` from previous solution.
     Transient {
         /// Previous converged solution.
         x_prev: &'a [f64],
         /// Step width, s.
         h: f64,
-        /// Trapezoidal companion data: previous capacitor currents, one
-        /// slot per *linear* capacitor in element order. Empty selects
-        /// Backward Euler for everything (device capacitances always use
-        /// BE — their Meyer values change between steps, which breaks the
-        /// trapezoidal charge bookkeeping).
-        cap_currents: &'a [f64],
+        /// Discretisation rule for linear capacitors this step.
+        companion: CompanionModel<'a>,
     },
 }
 
@@ -493,12 +513,18 @@ pub fn assemble<M: Stamp>(
                 if let AssembleMode::Transient {
                     x_prev,
                     h,
-                    cap_currents,
+                    companion,
                 } = mode
                 {
                     let vp = layout.voltage(x_prev, *p) - layout.voltage(x_prev, *n);
-                    match cap_currents.get(cap_index) {
-                        Some(&i_prev) => {
+                    let i_prev = match companion {
+                        CompanionModel::Trapezoidal { cap_currents } => {
+                            cap_currents.get(cap_index).copied()
+                        }
+                        CompanionModel::BackwardEuler => None,
+                    };
+                    match i_prev {
+                        Some(i_prev) => {
                             // Trapezoidal companion:
                             // i = (2C/h)(v − v_prev) − i_prev.
                             let geq = 2.0 * c / h;

@@ -25,7 +25,7 @@ use crate::dcop::{
     dcop_with, newton_solve, DcSolution, NewtonOptions, NewtonWorkspace, GMIN_FINAL,
 };
 use crate::error::SpiceError;
-use crate::mna::{AssembleMode, MnaLayout};
+use crate::mna::{AssembleMode, CompanionModel, MnaLayout};
 use crate::perf::PerfCounters;
 use sim_core::faultinject::{FaultKind, FaultSchedule};
 use sim_core::rescue::{RescueReport, RescueRung};
@@ -226,7 +226,7 @@ fn pseudo_transient_ramp(
             AssembleMode::Transient {
                 x_prev: &prev,
                 h,
-                cap_currents: &[],
+                companion: CompanionModel::BackwardEuler,
             },
             0.0,
             externals,

@@ -7,10 +7,11 @@
 //! no external proptest crate (the build environment is offline).
 #![cfg(feature = "proptests")]
 
-use spice::circuit::{Circuit, SourceWave};
+use spice::circuit::{Circuit, NodeId, SourceWave};
 use spice::dcop::dcop;
 use spice::mosfet::{eval_mosfet, MosParams};
 use spice::netlist::parse_value;
+use spice::tran::{collect_breakpoints, AdaptiveOptions, TranOptions, TransientSimulator};
 
 struct XorShift(u64);
 
@@ -239,6 +240,135 @@ fn pulse_bounded() {
             "case {case} (seed {seed:#x}): {val} outside [{}, {}]",
             v1.min(v2),
             v1.max(v2)
+        );
+    }
+}
+
+/// A random RLC ladder: series R (sometimes with a series L) per rung,
+/// shunt C to ground, driven by a single PULSE. Returns the circuit and
+/// the observable nodes.
+fn random_rlc_ladder(rng: &mut XorShift) -> (Circuit, Vec<NodeId>) {
+    let n_rungs = 1 + rng.below(4) as usize;
+    let mut c = Circuit::new();
+    let top = c.node("n0");
+    c.vsource(
+        "V1",
+        top,
+        Circuit::gnd(),
+        SourceWave::Pulse {
+            v1: 0.0,
+            v2: rng.range(0.5, 1.8),
+            delay: 50e-9,
+            rise: 20e-9,
+            fall: 20e-9,
+            width: 500e-9,
+            period: 0.0,
+        },
+    );
+    let mut nodes = vec![top];
+    let mut prev = top;
+    for i in 0..n_rungs {
+        let n = c.node(&format!("n{}", i + 1));
+        let r = rng.log_range(300.0, 3e3);
+        if rng.below(3) == 0 {
+            // Series RL rung: L/R and sqrt(LC) stay well under the
+            // stimulus timescale so the ladder remains well-damped.
+            let mid = c.node(&format!("l{i}"));
+            c.resistor(&format!("R{i}"), prev, mid, r);
+            c.inductor(&format!("L{i}"), mid, n, rng.log_range(0.1e-6, 2e-6));
+        } else {
+            c.resistor(&format!("R{i}"), prev, n, r);
+        }
+        c.capacitor(
+            &format!("C{i}"),
+            n,
+            Circuit::gnd(),
+            rng.log_range(0.2e-9, 2e-9),
+        );
+        nodes.push(n);
+        prev = n;
+    }
+    (c, nodes)
+}
+
+/// Adaptive transient on random RLC ladders agrees with a fine
+/// fixed-step reference at the landing points, and the step controller
+/// never livelocks: rejected steps stay bounded by accepted ones.
+#[test]
+fn adaptive_rlc_ladders_match_fine_reference_without_livelock() {
+    let mut rng = XorShift(0xd1b54a32d192ed03);
+    const T_MID: f64 = 300e-9;
+    const T_STOP: f64 = 1000e-9;
+    const H_FINE: f64 = 0.5e-9;
+    for case in 0..40 {
+        let seed = rng.0;
+        let (c, nodes) = random_rlc_ladder(&mut rng);
+
+        // Fine fixed-step reference: 2000 BE steps, sampled at the two
+        // landing points the adaptive run must hit exactly.
+        let (c_ref, _) = {
+            let mut r2 = XorShift(seed);
+            random_rlc_ladder(&mut r2)
+        };
+        let mut reference = TransientSimulator::new(c_ref, TranOptions::default())
+            .unwrap_or_else(|e| panic!("case {case} (seed {seed:#x}): ref op {e}"));
+        let mut ref_mid: Option<Vec<f64>> = None;
+        let steps = (T_STOP / H_FINE).round() as usize;
+        let mid_step = (T_MID / H_FINE).round() as usize;
+        for s in 1..=steps {
+            reference
+                .step(H_FINE)
+                .unwrap_or_else(|e| panic!("case {case} (seed {seed:#x}): ref step {e}"));
+            if s == mid_step {
+                ref_mid = Some(nodes.iter().map(|&n| reference.voltage(n)).collect());
+            }
+        }
+        let ref_mid = ref_mid.expect("T_MID lies on the fine grid");
+        let ref_end: Vec<f64> = nodes.iter().map(|&n| reference.voltage(n)).collect();
+
+        let mut bps = collect_breakpoints(&c, T_STOP);
+        bps.push(T_MID);
+        let opts = TranOptions {
+            adaptive: AdaptiveOptions::on(),
+            ..Default::default()
+        };
+        let mut sim = TransientSimulator::new(c, opts)
+            .unwrap_or_else(|e| panic!("case {case} (seed {seed:#x}): op {e}"));
+        let mut mid: Option<Vec<f64>> = None;
+        sim.run_adaptive(T_STOP, 5e-9, &bps, |s| {
+            if s.time() == T_MID {
+                mid = Some(nodes.iter().map(|&n| s.voltage(n)).collect());
+            }
+        })
+        .unwrap_or_else(|e| panic!("case {case} (seed {seed:#x}): adaptive {e}"));
+        let mid = mid.unwrap_or_else(|| panic!("case {case} (seed {seed:#x}): T_MID not hit"));
+        let end: Vec<f64> = nodes.iter().map(|&n| sim.voltage(n)).collect();
+
+        for (i, ((m, rm), (e, re))) in mid
+            .iter()
+            .zip(&ref_mid)
+            .zip(end.iter().zip(&ref_end))
+            .enumerate()
+        {
+            assert!(
+                (m - rm).abs() < 2e-2,
+                "case {case} (seed {seed:#x}) node {i} at T_MID: adaptive {m} vs ref {rm}"
+            );
+            assert!(
+                (e - re).abs() < 2e-2,
+                "case {case} (seed {seed:#x}) node {i} at T_STOP: adaptive {e} vs ref {re}"
+            );
+        }
+
+        let counters = sim.counters();
+        assert!(
+            counters.steps_rejected <= 4 * counters.steps + 64,
+            "case {case} (seed {seed:#x}): livelock: {counters}"
+        );
+        assert!(
+            counters.steps < 2000,
+            "case {case} (seed {seed:#x}): adaptive used {} steps, the fine grid used 2000",
+            counters.steps
         );
     }
 }

@@ -198,7 +198,7 @@ fn summarize(run: &DeckRun) {
 /// The corpus stage: every golden deck must pass the gate and agree
 /// across the dense and sparse backends.
 fn self_check(cfg: &ErcConfig) -> Result<(), Box<dyn std::error::Error>> {
-    let decks: [(&str, &str); 6] = [
+    let decks: [(&str, &str); 8] = [
         ("rc_ladder", include_str!("../tests/decks/rc_ladder.cir")),
         (
             "diode_ladder",
@@ -211,6 +211,11 @@ fn self_check(cfg: &ErcConfig) -> Result<(), Box<dyn std::error::Error>> {
         ),
         ("id_cell", include_str!("../tests/decks/id_cell.cir")),
         ("id_array", include_str!("../tests/decks/id_array.cir")),
+        (
+            "pulse_train",
+            include_str!("../tests/decks/pulse_train.cir"),
+        ),
+        ("pwl_ramp", include_str!("../tests/decks/pwl_ramp.cir")),
     ];
     let mut failed = false;
     for (name, deck) in decks {

@@ -41,6 +41,12 @@ echo "== structural analysis (DM/BTF gate + permuted-LU parity) =="
 cargo test -q --release --test structural
 UWB_AMS_BTF=1 cargo run --release --quiet --example run_deck -- --self-check
 
+echo "== adaptive transient (order harness, breakpoint landing, off-parity) =="
+cargo test -q --release --test integration_order --test adaptive_breakpoints
+UWB_AMS_ADAPTIVE=off cargo test -q --release --test deck_corpus
+UWB_AMS_ADAPTIVE=on cargo test -q --release --test deck_corpus
+UWB_AMS_ADAPTIVE=on cargo run --release --quiet --example run_deck -- --self-check
+
 echo "== perf bench smoke (sparse scaling + MC warm start, --quick) =="
 cargo bench -p uwb-ams-bench --bench perf -- --quick
 

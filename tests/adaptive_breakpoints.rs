@@ -1,0 +1,134 @@
+//! Breakpoint honoring for the adaptive transient controller.
+//!
+//! The golden decks `pulse_train.cir` and `pwl_ramp.cir` carry sources
+//! whose corners are the whole story: a controller that steps over a
+//! PULSE edge or a PWL corner smears the waveform no matter how tight
+//! its LTE tolerance is. These tests pin two properties:
+//!
+//! 1. every breakpoint derived from the source waveforms is landed on
+//!    *exactly* (bitwise `==` on the accepted times), and
+//! 2. the deck-level adaptive run, resampled onto the `.tran` print
+//!    grid, matches the fixed-step run within 1e-6 V.
+
+use spice::deck::run_deck_with_tran;
+use spice::netlist::parse_deck;
+use spice::tran::{collect_breakpoints, AdaptiveOptions, TranOptions, TransientSimulator};
+use spice::SolverKind;
+
+const PULSE_TRAIN: &str = include_str!("decks/pulse_train.cir");
+const PWL_RAMP: &str = include_str!("decks/pwl_ramp.cir");
+
+/// Runs `deck`'s circuit under the adaptive controller and returns
+/// (breakpoint schedule, accepted times).
+fn adaptive_times(deck: &str, t_stop: f64, h0: f64) -> (Vec<f64>, Vec<f64>) {
+    let circuit = parse_deck(deck).expect("golden deck parses");
+    let bps = collect_breakpoints(&circuit, t_stop);
+    let opts = TranOptions {
+        adaptive: AdaptiveOptions::on(),
+        ..Default::default()
+    };
+    let mut sim = TransientSimulator::new(circuit, opts).expect("op converges");
+    let mut times = Vec::new();
+    sim.run_adaptive(t_stop, h0, &bps, |s| times.push(s.time()))
+        .expect("adaptive run completes");
+    (bps, times)
+}
+
+#[test]
+fn pulse_train_breakpoint_schedule_is_complete() {
+    let circuit = parse_deck(PULSE_TRAIN).unwrap();
+    let bps = collect_breakpoints(&circuit, 100e-9);
+    // PULSE(0 1.8 5n 2n 3n 10n 25n): edges at delay, +rise, +width,
+    // +fall, repeated every 25 ns inside the 100 ns window.
+    let mut want = Vec::new();
+    for k in 0..4u32 {
+        let t0 = 5e-9 + 25e-9 * f64::from(k);
+        want.extend([t0, t0 + 2e-9, t0 + 12e-9, t0 + 15e-9]);
+    }
+    for w in want {
+        assert!(
+            bps.iter().any(|&b| (b - w).abs() < 1e-21),
+            "edge {w:e} missing from schedule {bps:?}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_lands_exactly_on_every_pulse_edge() {
+    let (bps, times) = adaptive_times(PULSE_TRAIN, 100e-9, 1e-9);
+    assert!(!bps.is_empty(), "pulse train must yield breakpoints");
+    for bp in &bps {
+        assert!(
+            times.iter().any(|t| t == bp),
+            "PULSE edge {bp:e} not hit exactly; accepted times {times:?}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_lands_exactly_on_every_pwl_corner() {
+    let (bps, times) = adaptive_times(PWL_RAMP, 80e-9, 1e-9);
+    // All five interior PWL corners (t = 0 is the start, not a breakpoint).
+    for w in [10e-9, 15e-9, 20e-9, 40e-9, 45e-9, 60e-9] {
+        assert!(
+            bps.iter().any(|&b| (b - w).abs() < 1e-21),
+            "corner {w:e} missing from schedule {bps:?}"
+        );
+    }
+    for bp in &bps {
+        assert!(
+            times.iter().any(|t| t == bp),
+            "PWL corner {bp:e} not hit exactly; accepted times {times:?}"
+        );
+    }
+}
+
+/// Deck-level parity: the adaptive run, resampled onto the print grid,
+/// agrees with the fixed-step run within 1e-6 V on both solver backends
+/// — on these resistive decks both discretisations are exact between
+/// corners, so the only slack is interpolation round-off.
+#[test]
+fn adaptive_deck_traces_match_fixed_step_within_1e6() {
+    for (name, deck) in [("pulse_train", PULSE_TRAIN), ("pwl_ramp", PWL_RAMP)] {
+        for solver in [SolverKind::Dense, SolverKind::Sparse] {
+            let fixed = run_deck_with_tran(deck, solver, AdaptiveOptions::off())
+                .unwrap_or_else(|e| panic!("{name} fixed ({solver:?}): {e}"));
+            let adapt = run_deck_with_tran(deck, solver, AdaptiveOptions::on())
+                .unwrap_or_else(|e| panic!("{name} adaptive ({solver:?}): {e}"));
+            assert_eq!(fixed.tran.len(), adapt.tran.len(), "{name}: trace sets");
+            for ft in &fixed.tran {
+                let at = adapt.trace(&ft.node).expect("same print set");
+                assert_eq!(ft.times, at.times, "{name}: print grids must be identical");
+                for (i, (f, a)) in ft.values.iter().zip(&at.values).enumerate() {
+                    assert!(
+                        (f - a).abs() < 1e-6,
+                        "{name} ({solver:?}) v({}) sample {i}: fixed {f} vs adaptive {a}",
+                        ft.node
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The point of adaptive stepping: the same accuracy with fewer
+/// accepted steps. On the pulse train the fixed grid spends 100 steps;
+/// the controller should cover the flat tops and the long off period
+/// with far fewer while still hitting every edge.
+#[test]
+fn adaptive_accepts_fewer_steps_on_the_pulse_train() {
+    let fixed = run_deck_with_tran(PULSE_TRAIN, SolverKind::Dense, AdaptiveOptions::off()).unwrap();
+    let adapt = run_deck_with_tran(PULSE_TRAIN, SolverKind::Dense, AdaptiveOptions::on()).unwrap();
+    let cf = fixed.tran_counters.expect(".tran ran");
+    let ca = adapt.tran_counters.expect(".tran ran");
+    assert!(
+        ca.steps_accepted() < cf.steps_accepted(),
+        "adaptive {ca} vs fixed {cf}"
+    );
+    assert!(ca.lte_evaluations > 0, "{ca}");
+    assert_eq!(cf.lte_evaluations, 0, "fixed path never estimates LTE");
+    assert!(
+        ca.steps_rejected <= 4 * ca.steps_accepted() + 64,
+        "rejection livelock: {ca}"
+    );
+}

@@ -13,10 +13,10 @@
 //! ```
 
 use spice::circuit::{Circuit, SourceWave};
-use spice::deck::{run_deck_with, DeckRun};
+use spice::deck::{run_deck_with_tran, DeckRun};
 use spice::library::{integrate_dump, IntegrateDumpParams};
 use spice::netlist::subckt_deck;
-use spice::tran::{TranOptions, TransientSimulator};
+use spice::tran::{AdaptiveOptions, TranOptions, TransientSimulator};
 use spice::{NewtonOptions, SolverKind};
 use uwb_ams_core::{run_deck_checked_with, ErcConfig};
 
@@ -32,6 +32,8 @@ fn corpus() -> Vec<(&'static str, &'static str)> {
         ),
         ("id_cell", include_str!("decks/id_cell.cir")),
         ("id_array", include_str!("decks/id_array.cir")),
+        ("pulse_train", include_str!("decks/pulse_train.cir")),
+        ("pwl_ramp", include_str!("decks/pwl_ramp.cir")),
     ]
 }
 
@@ -189,11 +191,13 @@ fn corpus_gates_and_agrees_across_backends() {
 
 /// The deck-path I&D transient must match the Rust-API golden trace: the
 /// same cell built by the library, the same stimulus, the same step grid.
+/// Pinned to adaptive-off so the comparison against the hand-stepped API
+/// run stays valid whatever `UWB_AMS_ADAPTIVE` the harness exports.
 #[test]
 fn id_cell_deck_matches_api_golden() {
     let deck = id_cell_deck();
     for solver in [SolverKind::Dense, SolverKind::Sparse] {
-        let run = run_deck_with(&deck, solver).expect("deck runs");
+        let run = run_deck_with_tran(&deck, solver, AdaptiveOptions::off()).expect("deck runs");
 
         // API golden: identical topology, instance-style node names.
         let mut ckt = Circuit::new();
@@ -224,6 +228,84 @@ fn id_cell_deck_matches_api_golden() {
             assert!(
                 (d - g).abs() < 1e-5,
                 "{solver:?} step {i}: deck {d} vs api {g}"
+            );
+        }
+    }
+}
+
+/// `UWB_AMS_ADAPTIVE=off` parity: off-mode is the legacy fixed-step path
+/// whatever the environment says — two runs are bit-identical and carry
+/// zero adaptive bookkeeping.
+#[test]
+fn adaptive_off_parity_is_bit_exact_and_unbooked() {
+    for (name, deck) in corpus() {
+        let runs: Vec<DeckRun> = (0..2)
+            .map(|_| {
+                run_deck_with_tran(deck, SolverKind::Dense, AdaptiveOptions::off())
+                    .unwrap_or_else(|e| panic!("{name}: {e}"))
+            })
+            .collect();
+        let (a, b) = (&runs[0], &runs[1]);
+        assert_eq!(a.tran.len(), b.tran.len(), "{name}");
+        for (ta, tb) in a.tran.iter().zip(&b.tran) {
+            assert_eq!(ta.times, tb.times, "{name}: off-mode grids");
+            assert_eq!(
+                ta.values, tb.values,
+                "{name}: off-mode must be deterministic, bit for bit"
+            );
+        }
+        if let Some(c) = a.tran_counters {
+            assert_eq!(
+                c.lte_evaluations, 0,
+                "{name}: fixed path estimates no LTE: {c}"
+            );
+            assert_eq!(
+                c.steps_rejected, 0,
+                "{name}: fixed path rejects nothing: {c}"
+            );
+        }
+    }
+}
+
+/// Adaptive mode runs the whole corpus: resampled traces stay close to
+/// the fixed grid, the rejection counter stays bounded (no livelock),
+/// and on decks with long quiet stretches the controller spends fewer
+/// accepted steps than the fixed grid.
+#[test]
+fn adaptive_corpus_tracks_fixed_with_bounded_rejections() {
+    for (name, deck) in corpus() {
+        let fixed = run_deck_with_tran(deck, SolverKind::Dense, AdaptiveOptions::off())
+            .unwrap_or_else(|e| panic!("{name} fixed: {e}"));
+        let adapt = run_deck_with_tran(deck, SolverKind::Dense, AdaptiveOptions::on())
+            .unwrap_or_else(|e| panic!("{name} adaptive: {e}"));
+        assert_eq!(fixed.tran.len(), adapt.tran.len(), "{name}");
+        for ft in &fixed.tran {
+            let at = adapt.trace(&ft.node).expect("same print set");
+            assert_eq!(ft.times, at.times, "{name}: print grid is the contract");
+            // Sanity band only: on coarse grids the *fixed* run's own
+            // discretisation error dominates the gap (the equal-accuracy
+            // claim is pinned against a fine reference by the
+            // adaptive-vs-fixed bench and `tests/adaptive_breakpoints.rs`).
+            for (i, (f, a)) in ft.values.iter().zip(&at.values).enumerate() {
+                assert!(
+                    (f - a).abs() < 5e-2,
+                    "{name} v({}) sample {i}: fixed {f} vs adaptive {a}",
+                    ft.node
+                );
+            }
+        }
+        let (Some(cf), Some(ca)) = (fixed.tran_counters, adapt.tran_counters) else {
+            continue; // deck has no .tran card
+        };
+        assert!(
+            ca.steps_rejected <= 4 * ca.steps_accepted() + 64,
+            "{name}: rejection livelock: {ca}"
+        );
+        // The long-horizon decks are where adaptive pays for itself.
+        if matches!(name, "rc_ladder" | "pulse_train" | "id_cell") {
+            assert!(
+                ca.steps_accepted() < cf.steps_accepted(),
+                "{name}: adaptive {ca} vs fixed {cf}"
             );
         }
     }
