@@ -8,7 +8,18 @@
 use crate::analog::AnalogModel;
 use crate::linalg::{DMatrix, LuFactors};
 use crate::perf::PerfCounters;
+use sim_core::gmres::{gmres_solve, GmresOptions};
+use sim_core::ilu::{Ilu0, IluPattern};
 use sim_core::sparse::{NumericLu, RefactorOutcome, SolverKind, SparseMatrix, SymbolicLu};
+
+/// GMRES controls for the behavioural engine's Krylov-backed Newton
+/// solves (same ladder as the circuit engine: tight tolerance, modest
+/// budget, counted direct-LU fallback on non-convergence).
+const KRYLOV_AMS_GMRES: GmresOptions = GmresOptions {
+    restart: 30,
+    max_restarts: 10,
+    tol: 1e-12,
+};
 use std::fmt;
 use std::time::Instant;
 
@@ -40,9 +51,10 @@ pub struct SolverOptions {
     /// Linear-solver backend. The finite-difference Jacobian is always
     /// assembled densely; on the sparse path it is converted to CSC and
     /// factored through the split symbolic/numeric LU, with the symbolic
-    /// analysis pinned across steps. `Auto` decides once per solver from
-    /// the first Jacobian's size and fill. Defaults to the
-    /// `UWB_AMS_SOLVER` environment override.
+    /// analysis pinned across steps; on the Krylov path it is solved by
+    /// ILU(0)-preconditioned GMRES with a counted direct-LU fallback.
+    /// `Auto` decides once per solver from the first Jacobian's size and
+    /// fill. Defaults to the `UWB_AMS_SOLVER` environment override.
     pub solver: SolverKind,
 }
 
@@ -152,10 +164,30 @@ pub struct ImplicitSolver {
     /// Whether the active backend's factors match `jac_cached`.
     lu_valid: bool,
     /// Sticky backend decision, made at the first factorization (so one
-    /// solver never mixes dense and sparse factor caches).
-    sparse_backend: Option<bool>,
-    /// Sparse symbolic pattern + numeric factors (sparse backend only).
+    /// solver never mixes dense, sparse and Krylov factor caches).
+    backend: Option<AmsBackend>,
+    /// Sparse symbolic pattern + numeric factors (sparse backend, and the
+    /// Krylov tier's direct-LU fallback rung).
     sparse: Option<(SymbolicLu, NumericLu<f64>)>,
+    /// Krylov-tier state: the CSC Jacobian GMRES multiplies by, its ILU
+    /// pattern and the current preconditioner (Krylov backend only).
+    krylov: Option<KrylovState>,
+}
+
+/// Which linear-solver tier an [`ImplicitSolver`] committed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AmsBackend {
+    Dense,
+    Sparse,
+    Krylov,
+}
+
+/// See [`ImplicitSolver::krylov`].
+#[derive(Debug, Clone)]
+struct KrylovState {
+    mat: SparseMatrix<f64>,
+    pattern: IluPattern,
+    precond: Ilu0<f64>,
 }
 
 impl ImplicitSolver {
@@ -279,57 +311,137 @@ impl ImplicitSolver {
             } else {
                 self.jac_cached.clear();
                 self.jac_cached.extend_from_slice(jac.data());
-                self.counters.lu_factorizations += 1;
-                if self.sparse_backend.is_none() {
+                if self.backend.is_none() {
                     let nnz = jac.data().iter().filter(|v| **v != 0.0).count() + n;
-                    self.sparse_backend = Some(self.options.solver.picks_sparse(n, nnz));
+                    self.backend = Some(if self.options.solver.picks_krylov(n, nnz) {
+                        AmsBackend::Krylov
+                    } else if self.options.solver.picks_sparse(n, nnz) {
+                        AmsBackend::Sparse
+                    } else {
+                        AmsBackend::Dense
+                    });
                 }
-                if self.sparse_backend == Some(true) {
-                    let sjac = SparseMatrix::from_dense(&jac);
-                    let mut refactored = false;
-                    if let Some((sym, num)) = self.sparse.as_mut() {
-                        if sym.order() == n {
-                            match sym.refactor(&sjac, num) {
-                                RefactorOutcome::Refactored => {
-                                    self.counters.numeric_refactors += 1;
-                                    refactored = true;
-                                }
-                                RefactorOutcome::Stale => {
-                                    self.counters.pattern_fallbacks += 1;
+                match self.backend.expect("decided above") {
+                    AmsBackend::Krylov => {
+                        // The Jacobian changed: refresh the preconditioner
+                        // (the operator is rebuilt regardless — GMRES must
+                        // multiply by the exact current matrix).
+                        let sjac = SparseMatrix::from_dense(&jac);
+                        let pattern = IluPattern::analyze(&sjac);
+                        self.counters.preconditioner_builds += 1;
+                        let precond = Ilu0::factor(&pattern, &sjac);
+                        self.krylov = Some(KrylovState {
+                            mat: sjac,
+                            pattern,
+                            precond,
+                        });
+                        self.lu_valid = true;
+                    }
+                    AmsBackend::Sparse => {
+                        self.counters.lu_factorizations += 1;
+                        let sjac = SparseMatrix::from_dense(&jac);
+                        let mut refactored = false;
+                        if let Some((sym, num)) = self.sparse.as_mut() {
+                            if sym.order() == n {
+                                match sym.refactor(&sjac, num) {
+                                    RefactorOutcome::Refactored => {
+                                        self.counters.numeric_refactors += 1;
+                                        refactored = true;
+                                    }
+                                    RefactorOutcome::Stale => {
+                                        self.counters.pattern_fallbacks += 1;
+                                    }
                                 }
                             }
                         }
+                        if !refactored {
+                            self.counters.symbolic_analyses += 1;
+                            match SymbolicLu::analyze(&sjac) {
+                                Ok(pair) => self.sparse = Some(pair),
+                                Err(_) => {
+                                    self.sparse = None;
+                                    self.lu_valid = false;
+                                    return Err(SolveError::SingularJacobian { t: t_new });
+                                }
+                            }
+                        }
+                        self.lu_valid = true;
                     }
-                    if !refactored {
-                        self.counters.symbolic_analyses += 1;
-                        match SymbolicLu::analyze(&sjac) {
-                            Ok(pair) => self.sparse = Some(pair),
+                    AmsBackend::Dense => {
+                        self.counters.lu_factorizations += 1;
+                        match self.lu.factorize(&jac) {
+                            Ok(()) => self.lu_valid = true,
                             Err(_) => {
-                                self.sparse = None;
                                 self.lu_valid = false;
                                 return Err(SolveError::SingularJacobian { t: t_new });
                             }
                         }
                     }
-                    self.lu_valid = true;
-                } else {
-                    match self.lu.factorize(&jac) {
-                        Ok(()) => self.lu_valid = true,
-                        Err(_) => {
-                            self.lu_valid = false;
-                            return Err(SolveError::SingularJacobian { t: t_new });
-                        }
-                    }
                 }
             }
             let mut delta: Vec<f64> = r.iter().map(|v| -v).collect();
-            if self.sparse_backend == Some(true) {
-                match self.sparse.as_ref() {
+            match self.backend {
+                Some(AmsBackend::Krylov) => {
+                    let ks = match self.krylov.as_ref() {
+                        Some(ks) => ks,
+                        None => return Err(SolveError::SingularJacobian { t: t_new }),
+                    };
+                    let rhs = delta.clone();
+                    // Newton corrections start at zero by construction.
+                    for d in delta.iter_mut() {
+                        *d = 0.0;
+                    }
+                    let out = gmres_solve(
+                        &ks.mat,
+                        &ks.pattern,
+                        &ks.precond,
+                        &rhs,
+                        &mut delta,
+                        &KRYLOV_AMS_GMRES,
+                    );
+                    self.counters.krylov_iterations += out.iterations;
+                    self.counters.krylov_restarts += out.restarts;
+                    if !out.converged {
+                        // Counted rescue rung: demote to the direct sparse
+                        // LU on the same CSC Jacobian.
+                        self.counters.krylov_fallbacks += 1;
+                        self.counters.lu_factorizations += 1;
+                        let mut refactored = false;
+                        if let Some((sym, num)) = self.sparse.as_mut() {
+                            if sym.order() == n {
+                                match sym.refactor(&ks.mat, num) {
+                                    RefactorOutcome::Refactored => {
+                                        self.counters.numeric_refactors += 1;
+                                        refactored = true;
+                                    }
+                                    RefactorOutcome::Stale => {
+                                        self.counters.pattern_fallbacks += 1;
+                                    }
+                                }
+                            }
+                        }
+                        if !refactored {
+                            self.counters.symbolic_analyses += 1;
+                            match SymbolicLu::analyze(&ks.mat) {
+                                Ok(pair) => self.sparse = Some(pair),
+                                Err(_) => {
+                                    self.sparse = None;
+                                    self.lu_valid = false;
+                                    return Err(SolveError::SingularJacobian { t: t_new });
+                                }
+                            }
+                        }
+                        delta.clear();
+                        delta.extend_from_slice(&rhs);
+                        let (sym, num) = self.sparse.as_ref().expect("factors built above");
+                        sym.solve(num, &mut delta);
+                    }
+                }
+                Some(AmsBackend::Sparse) => match self.sparse.as_ref() {
                     Some((sym, num)) => sym.solve(num, &mut delta),
                     None => return Err(SolveError::SingularJacobian { t: t_new }),
-                }
-            } else {
-                self.lu.solve(&mut delta);
+                },
+                _ => self.lu.solve(&mut delta),
             }
             let mut step_norm = 0.0f64;
             for i in 0..n {
@@ -763,6 +875,24 @@ mod tests {
             sparse_c.lu_factorizations,
             sparse_c.symbolic_analyses + sparse_c.numeric_refactors,
             "{sparse_c}"
+        );
+
+        // Krylov tier: GMRES + ILU(0) over the same FD Jacobians, same
+        // trajectory within the parity band; every Jacobian change is a
+        // preconditioner build, and any stall is a counted direct-LU
+        // fallback rather than an error.
+        let (krylov_x, krylov_c) = run(SolverKind::Krylov);
+        for (a, b) in dense_x.iter().zip(&krylov_x) {
+            assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                "dense {a} vs krylov {b}"
+            );
+        }
+        assert!(krylov_c.preconditioner_builds >= 1, "{krylov_c}");
+        assert!(krylov_c.krylov_iterations >= 1, "{krylov_c}");
+        assert_eq!(
+            krylov_c.lu_factorizations, krylov_c.krylov_fallbacks,
+            "direct factorizations only happen on the fallback rung: {krylov_c}"
         );
     }
 

@@ -30,6 +30,11 @@
 //!    agree, the batched run must report batched counters, and the
 //!    headline campaign points/s pair (plus the speedup, asserted
 //!    ≥ 1.0×) lands in the report.
+//! 7. **Direct vs Krylov scaling** — transients of 64/256/1024-tile I&D
+//!    arrays on the direct sparse LU and on the GMRES+ILU(0) iterative
+//!    tier (`SolverKind::Krylov` forced per run), with matching
+//!    waveforms asserted, the Krylov work counters recorded, and the
+//!    Krylov speedup at the largest tier asserted ≥ 1.0×.
 //!
 //! `UWB_AMS_BENCH=full` raises the campaign to fig6's full 2000
 //! bits/point; `--quick` shrinks everything to a smoke run (and skips
@@ -66,28 +71,46 @@ fn campaign_scaling(full: bool) -> Vec<PerfPhase> {
     );
 
     let t0 = Instant::now();
-    let serial = campaign
-        .run_with_threads("serial", 1, || build_integrator(fidelity))
+    let (serial, serial_counters) = campaign
+        .run_with_threads_counters("serial", 1, || build_integrator(fidelity))
         .expect("serial campaign");
     let serial_wall = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
-    let parallel = campaign
-        .run_with_threads("serial", threads, || build_integrator(fidelity))
+    let (parallel, parallel_counters) = campaign
+        .run_with_threads_counters("serial", threads, || build_integrator(fidelity))
         .expect("parallel campaign");
     let parallel_wall = t0.elapsed().as_secs_f64();
 
+    // Curves must be bit-identical; counters carry wall time, so they are
+    // compared on the work fields instead.
     assert_eq!(
         serial, parallel,
         "parallel campaign must be bit-identical to serial"
     );
+    assert!(
+        serial_counters.newton_iterations > 0 && serial_counters.steps > 0,
+        "fig6 phases must carry real engine work: {serial_counters}"
+    );
+    assert_eq!(
+        serial_counters.newton_iterations, parallel_counters.newton_iterations,
+        "deterministic point streams must do identical work at any thread count"
+    );
     let speedup = serial_wall / parallel_wall;
+    println!("  serial : {serial_counters}");
+    println!("  parallel: {parallel_counters}");
     println!(
         "  serial {serial_wall:.2} s, parallel {parallel_wall:.2} s -> speedup {speedup:.2}x (bit-identical)"
     );
+    let points = campaign.ebn0_db.len() as f64;
+    let mut serial_phase = PerfPhase::from_counters("fig6_ber_serial", serial_counters);
+    serial_phase.wall_s = serial_wall;
+    let mut parallel_phase = PerfPhase::from_counters("fig6_ber_parallel", parallel_counters);
+    parallel_phase.wall_s = parallel_wall;
     vec![
-        PerfPhase::timed("fig6_ber_serial", serial_wall).with("threads", 1.0),
-        PerfPhase::timed("fig6_ber_parallel", parallel_wall)
+        serial_phase.with_points(points).with("threads", 1.0),
+        parallel_phase
+            .with_points(points)
             .with("threads", threads as f64)
             .with("speedup", speedup),
     ]
@@ -419,6 +442,58 @@ fn sparse_vs_dense_scaling(quick: bool) -> Vec<PerfPhase> {
     phases
 }
 
+/// Direct sparse LU vs the GMRES+ILU(0) Krylov tier on large tiled I&D
+/// arrays. The direct path refactors the Jacobian on every Newton
+/// iteration; the Krylov tier builds one ILU(0) preconditioner on the
+/// pinned pattern and rides it stale, paying only sparse mat-vecs per
+/// solve — the trade that pays off as the order grows. Waveform parity
+/// is asserted at every size; at the largest tier the Krylov run must
+/// not be slower than direct sparse.
+fn krylov_vs_direct_scaling(quick: bool) -> Vec<PerfPhase> {
+    let sizes: &[usize] = &[64, 256, 1024];
+    let (t_end, dt) = if quick {
+        (60e-12, 20e-12)
+    } else {
+        (0.2e-9, 20e-12)
+    };
+    println!("direct sparse vs Krylov transient (tiled I&D arrays, dt = {dt:.0e} s):");
+    let mut phases = Vec::new();
+    let largest = *sizes.last().expect("non-empty tier list");
+    for &n in sizes {
+        let (vs, cs) = run_tiled_tran(n, SolverKind::Sparse, false, t_end, dt);
+        let (vk, ck) = run_tiled_tran(n, SolverKind::Krylov, false, t_end, dt);
+        for (a, b) in vs.iter().zip(&vk) {
+            assert!(
+                (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                "Krylov and direct transients diverged at {n} tile(s): {a} vs {b}"
+            );
+        }
+        assert!(
+            ck.krylov_iterations > 0 && ck.preconditioner_builds >= 1,
+            "Krylov run must go through GMRES+ILU(0): {ck}"
+        );
+        let speedup = cs.wall.as_secs_f64() / ck.wall.as_secs_f64();
+        println!("  {n} tile(s): direct {cs}");
+        println!("  {n} tile(s): krylov {ck}");
+        println!("  -> krylov speedup {speedup:.2}x (matching waveforms)");
+        if n == largest {
+            assert!(
+                speedup >= 1.0,
+                "Krylov tier regressed below direct sparse at {n} tiles: {speedup:.2}x"
+            );
+        }
+        phases.push(
+            PerfPhase::from_counters(&format!("tran_direct_{n}x_id"), cs).with("tiles", n as f64),
+        );
+        phases.push(
+            PerfPhase::from_counters(&format!("tran_krylov_{n}x_id"), ck)
+                .with("tiles", n as f64)
+                .with("speedup_vs_direct", speedup),
+        );
+    }
+    phases
+}
+
 /// Monolithic sparse LU vs the block-triangular-form path on tiled I&D
 /// arrays: one structural analysis per topology, independent per-block
 /// factors, matching waveforms. Disconnected tiles (plus vsource-driven
@@ -527,9 +602,9 @@ fn mc_warm_start(quick: bool) -> Vec<PerfPhase> {
     let mut warm_phase = PerfPhase::from_counters("mc_dcop_warm", warm.counters);
     warm_phase.wall_s = warm_wall;
     vec![
-        cold_phase.with("points", points as f64),
+        cold_phase.with_points(points as f64),
         warm_phase
-            .with("points", points as f64)
+            .with_points(points as f64)
             .with("newton_iter_ratio", iter_ratio)
             .with("output_level_std_v", warm.metric_std()),
     ]
@@ -718,16 +793,16 @@ fn batched_campaign(quick: bool) -> Vec<PerfPhase> {
     scalar_phase.wall_s = scalar_wall;
     let mut batched_phase = PerfPhase::from_counters("mc_campaign_batched", batched.counters);
     batched_phase.wall_s = batched_wall;
+    // `points_per_s` is derived in the report from the first-class
+    // `points` field and the phase wall time (= points/s at best-of-3).
     vec![
         scalar_phase
-            .with("points", points as f64)
-            .with("tiles", tiles as f64)
-            .with("points_per_sec", scalar_pps),
+            .with_points(points as f64)
+            .with("tiles", tiles as f64),
         batched_phase
-            .with("points", points as f64)
+            .with_points(points as f64)
             .with("tiles", tiles as f64)
             .with("batch_width", streams as f64)
-            .with("points_per_sec", batched_pps)
             .with("speedup_vs_scalar", speedup),
     ]
 }
@@ -757,6 +832,9 @@ fn main() {
         report.push(phase);
     }
     for phase in btf_scaling(quick) {
+        report.push(phase);
+    }
+    for phase in krylov_vs_direct_scaling(quick) {
         report.push(phase);
     }
     for phase in mc_warm_start(quick) {

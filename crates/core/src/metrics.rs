@@ -6,6 +6,7 @@ use crate::report::{Series, Table};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use sim_core::PerfCounters;
 use std::time::{Duration, Instant};
 use uwb_phy::ber::BerEstimate;
 use uwb_phy::channel::{realize, Tg4aModel};
@@ -144,9 +145,35 @@ impl BerCampaign {
         threads: usize,
         make_integrator: impl Fn() -> Result<Box<dyn IntegratorBlock>, IntegratorError> + Sync,
     ) -> Result<BerCurve, ReceiveError> {
-        let points = try_run_indexed(self.ebn0_db.len(), threads, |idx| {
+        self.run_with_threads_counters(label, threads, make_integrator)
+            .map(|(curve, _)| curve)
+    }
+
+    /// [`run_with_threads`](Self::run_with_threads), additionally returning
+    /// the merged engine [`PerfCounters`] across every sweep point.
+    ///
+    /// The counters are returned *beside* the curve (not inside it) because
+    /// [`BerCurve`] equality is bit-identity — counters carry wall time,
+    /// which differs run to run even when the curve does not.
+    ///
+    /// # Errors
+    ///
+    /// Propagates integrator construction or reception failures.
+    pub fn run_with_threads_counters(
+        &self,
+        label: &str,
+        threads: usize,
+        make_integrator: impl Fn() -> Result<Box<dyn IntegratorBlock>, IntegratorError> + Sync,
+    ) -> Result<(BerCurve, PerfCounters), ReceiveError> {
+        let outcomes = try_run_indexed(self.ebn0_db.len(), threads, |idx| {
             self.run_point(idx, &make_integrator)
         })?;
+        let mut counters = PerfCounters::new();
+        let mut points = Vec::with_capacity(outcomes.len());
+        for (point, c) in outcomes {
+            counters.merge(&c);
+            points.push(point);
+        }
         let warnings = points
             .iter()
             .filter(|p| p.rescued > 0)
@@ -158,19 +185,23 @@ impl BerCampaign {
                 )
             })
             .collect();
-        Ok(BerCurve {
-            label: label.to_string(),
-            points,
-            warnings,
-        })
+        Ok((
+            BerCurve {
+                label: label.to_string(),
+                points,
+                warnings,
+            },
+            counters,
+        ))
     }
 
-    /// Measures sweep point `idx` on the caller's thread.
+    /// Measures sweep point `idx` on the caller's thread, returning the
+    /// point and the engine counters its integrator accumulated.
     fn run_point(
         &self,
         idx: usize,
         make_integrator: &(impl Fn() -> Result<Box<dyn IntegratorBlock>, IntegratorError> + Sync),
-    ) -> Result<BerPoint, ReceiveError> {
+    ) -> Result<(BerPoint, PerfCounters), ReceiveError> {
         let ebn0 = self.ebn0_db[idx];
         let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(self.seed, idx as u64));
         let mut ppm = self.receiver.ppm;
@@ -248,12 +279,15 @@ impl BerCampaign {
                 .count() as u64;
             bits += n as u64;
         }
-        Ok(BerPoint {
-            ebn0_db: ebn0,
-            errors,
-            bits,
-            rescued: receiver.integrator_rescue_events(),
-        })
+        Ok((
+            BerPoint {
+                ebn0_db: ebn0,
+                errors,
+                bits,
+                rescued: receiver.integrator_rescue_events(),
+            },
+            receiver.integrator_counters(),
+        ))
     }
 }
 
@@ -657,6 +691,25 @@ mod tests {
             .run("x", || Ok(Box::new(IdealIntegrator::default())))
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn campaign_counters_report_engine_work() {
+        let c = tiny_campaign();
+        let (curve, counters) = c
+            .run_with_threads_counters("ideal", 1, || Ok(Box::new(IdealIntegrator::default())))
+            .expect("run");
+        assert_eq!(curve.points.len(), 2);
+        assert!(
+            counters.newton_iterations > 0,
+            "BER phases must carry real engine work: {counters}"
+        );
+        assert!(counters.steps > 0, "{counters}");
+        // The curve itself is identical to the counter-less entry point.
+        let plain = c
+            .run_with_threads("ideal", 1, || Ok(Box::new(IdealIntegrator::default())))
+            .expect("run");
+        assert_eq!(curve, plain);
     }
 
     #[test]

@@ -142,6 +142,11 @@ pub struct PerfPhase {
     pub wall_s: f64,
     /// Solver work during the phase (all-zero when not applicable).
     pub counters: sim_core::PerfCounters,
+    /// Campaign points completed during the phase (Monte-Carlo / BER
+    /// sweeps); `None` for phases that are not campaigns. Serialized with
+    /// the derived `points_per_s` throughput — the ROADMAP's "campaign
+    /// points/sec" headline as a first-class recorded metric.
+    pub points: Option<f64>,
     /// Extra numeric facts (`("speedup", 3.4)`, `("threads", 8.0)` …).
     pub extra: Vec<(String, f64)>,
 }
@@ -153,6 +158,7 @@ impl PerfPhase {
             name: name.to_string(),
             wall_s,
             counters: sim_core::PerfCounters::new(),
+            points: None,
             extra: Vec::new(),
         }
     }
@@ -163,6 +169,7 @@ impl PerfPhase {
             name: name.to_string(),
             wall_s: counters.wall.as_secs_f64(),
             counters,
+            points: None,
             extra: Vec::new(),
         }
     }
@@ -172,6 +179,26 @@ impl PerfPhase {
     pub fn with(mut self, key: &str, value: f64) -> Self {
         self.extra.push((key.to_string(), value));
         self
+    }
+
+    /// Records the campaign-point count (builder style); `points_per_s`
+    /// is derived from it and the phase wall time at serialization.
+    #[must_use]
+    pub fn with_points(mut self, points: f64) -> Self {
+        self.points = Some(points);
+        self
+    }
+
+    /// Campaign points per wall-clock second (0 when no time was
+    /// recorded, `None` for non-campaign phases).
+    pub fn points_per_s(&self) -> Option<f64> {
+        self.points.map(|p| {
+            if self.wall_s > 0.0 {
+                p / self.wall_s
+            } else {
+                0.0
+            }
+        })
     }
 }
 
@@ -274,6 +301,22 @@ impl PerfReport {
             ));
             s.push_str(&format!("\n      \"btf_blocks\": {},", c.btf_blocks));
             s.push_str(&format!(
+                "\n      \"krylov_iterations\": {},",
+                c.krylov_iterations
+            ));
+            s.push_str(&format!(
+                "\n      \"krylov_restarts\": {},",
+                c.krylov_restarts
+            ));
+            s.push_str(&format!(
+                "\n      \"preconditioner_builds\": {},",
+                c.preconditioner_builds
+            ));
+            s.push_str(&format!(
+                "\n      \"krylov_fallbacks\": {},",
+                c.krylov_fallbacks
+            ));
+            s.push_str(&format!(
                 "\n      \"steps_per_s\": {},",
                 json_f64(c.steps_per_second())
             ));
@@ -285,6 +328,10 @@ impl PerfReport {
                 "\n      \"refactor_ratio\": {}",
                 json_f64(c.refactor_ratio())
             ));
+            if let (Some(points), Some(rate)) = (p.points, p.points_per_s()) {
+                s.push_str(&format!(",\n      \"points\": {}", json_f64(points)));
+                s.push_str(&format!(",\n      \"points_per_s\": {}", json_f64(rate)));
+            }
             for (k, v) in &p.extra {
                 s.push_str(&format!(",\n      {}: {}", json_string(k), json_f64(*v)));
             }
@@ -368,8 +415,13 @@ mod tests {
         counters.lanes_retired_early = 6;
         counters.structural_analyses = 2;
         counters.btf_blocks = 7;
+        counters.krylov_iterations = 11;
+        counters.krylov_restarts = 2;
+        counters.preconditioner_builds = 3;
+        counters.krylov_fallbacks = 1;
         counters.wall = std::time::Duration::from_millis(50);
         r.push(PerfPhase::from_counters("tran_fast_path", counters));
+        r.push(PerfPhase::timed("mc_campaign", 2.0).with_points(500.0));
         let json = r.to_json();
         assert!(json.contains("\"campaign \\\"fig6\\\"\""), "{json}");
         assert!(json.contains("\"speedup\": 3.25"), "{json}");
@@ -391,7 +443,16 @@ mod tests {
         assert!(json.contains("\"lanes_retired_early\": 6"), "{json}");
         assert!(json.contains("\"structural_analyses\": 2"), "{json}");
         assert!(json.contains("\"btf_blocks\": 7"), "{json}");
+        assert!(json.contains("\"krylov_iterations\": 11"), "{json}");
+        assert!(json.contains("\"krylov_restarts\": 2"), "{json}");
+        assert!(json.contains("\"preconditioner_builds\": 3"), "{json}");
+        assert!(json.contains("\"krylov_fallbacks\": 1"), "{json}");
         assert!(json.contains("\"wall_s\": 0.05"), "{json}");
+        // Campaign throughput is first-class: emitted only for phases
+        // that recorded a point count.
+        assert!(json.contains("\"points\": 500"), "{json}");
+        assert!(json.contains("\"points_per_s\": 250"), "{json}");
+        assert_eq!(json.matches("\"points_per_s\"").count(), 1, "{json}");
         // Balanced braces/brackets — a cheap well-formedness check.
         let opens = json.matches('{').count();
         assert_eq!(opens, json.matches('}').count());

@@ -1,0 +1,358 @@
+//! Zero-fill incomplete-LU preconditioner over the pinned CSC pattern.
+//!
+//! The Krylov tier ([`crate::gmres`]) needs a preconditioner that is cheap
+//! to build, cheap to apply, and — critically for the MNA re-stamp loop —
+//! reusable: the sparsity pattern is pinned after the first
+//! [`SparseMatrix`](crate::SparseMatrix) assembly, so the structural half
+//! of ILU(0) (a CSR view of the CSC storage plus diagonal pointers) is
+//! computed once per topology ([`IluPattern::analyze`]) and only the
+//! numeric triangular values are refreshed when the stamps change
+//! ([`Ilu0::factor`]). ILU(0) keeps exactly the nonzero pattern of `A`
+//! (no fill-in), so both memory and apply cost stay `O(nnz)`.
+//!
+//! Factorization breakdown — a zero, tiny, or non-finite pivot, or a
+//! structurally missing diagonal — does not fail the solve: the build
+//! demotes itself to a Jacobi (diagonal) preconditioner, and if even the
+//! diagonal is unusable, to the identity. GMRES then simply works harder,
+//! and *its* non-convergence is what escalates to the direct sparse LU
+//! (the counted rescue rung). No new failure mode enters the ladder.
+
+use crate::sparse::{SparseMatrix, SparseScalar};
+
+/// Pivot magnitude floor below which the incomplete factorization
+/// declares breakdown and demotes to Jacobi. Uses the per-scalar
+/// [`SparseScalar::mag`] convention (absolute value for `f64`, squared
+/// norm for complex), matching the direct kernels' singularity floor.
+const ILU_PIVOT_MIN: f64 = 1e-300;
+
+/// Which preconditioner a build actually produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecondKind {
+    /// Full zero-fill incomplete LU on the matrix pattern.
+    Ilu0,
+    /// Diagonal (Jacobi) scaling — the ILU factorization broke down.
+    Jacobi,
+    /// No preconditioning — even the diagonal was unusable.
+    Identity,
+}
+
+/// Structural half of the ILU(0) factorization: a CSR view of the CSC
+/// matrix (rows with ascending column indices), the CSC→CSR value
+/// permutation, and per-row diagonal pointers. Valid for every matrix
+/// that replays the same pinned pattern.
+#[derive(Debug, Clone)]
+pub struct IluPattern {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    /// For CSR slot `k`, the index of the same entry in CSC `values()`.
+    csc_of_csr: Vec<usize>,
+    /// CSR index of the diagonal entry of each row; `usize::MAX` when the
+    /// diagonal is structurally absent.
+    diag_ptr: Vec<usize>,
+}
+
+impl IluPattern {
+    /// Builds the CSR view and diagonal pointers from a compiled matrix.
+    /// Purely structural — reusable across every numeric re-stamp of the
+    /// same pattern.
+    pub fn analyze<T: SparseScalar>(matrix: &SparseMatrix<T>) -> Self {
+        let n = matrix.order();
+        let col_ptr = matrix.col_ptr();
+        let row_idx = matrix.row_idx();
+        let nnz = row_idx.len();
+
+        let mut row_counts = vec![0usize; n];
+        for &r in row_idx {
+            row_counts[r] += 1;
+        }
+        let mut row_ptr = vec![0usize; n + 1];
+        for i in 0..n {
+            row_ptr[i + 1] = row_ptr[i] + row_counts[i];
+        }
+        let mut next = row_ptr.clone();
+        let mut col_idx = vec![0usize; nnz];
+        let mut csc_of_csr = vec![0usize; nnz];
+        // Walking columns in ascending order leaves each CSR row's column
+        // indices sorted — the elimination below relies on that.
+        for j in 0..n {
+            for (off, &i) in row_idx[col_ptr[j]..col_ptr[j + 1]].iter().enumerate() {
+                let dst = next[i];
+                next[i] += 1;
+                col_idx[dst] = j;
+                csc_of_csr[dst] = col_ptr[j] + off;
+            }
+        }
+        let mut diag_ptr = vec![usize::MAX; n];
+        for i in 0..n {
+            for (k, &j) in col_idx[row_ptr[i]..row_ptr[i + 1]].iter().enumerate() {
+                if j == i {
+                    diag_ptr[i] = row_ptr[i] + k;
+                    break;
+                }
+            }
+        }
+        IluPattern {
+            n,
+            row_ptr,
+            col_idx,
+            csc_of_csr,
+            diag_ptr,
+        }
+    }
+
+    /// Matrix order the pattern was analyzed for.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+}
+
+/// Numeric preconditioner values for one matrix on a pinned
+/// [`IluPattern`]. Apply with [`apply`](Self::apply); rebuild with
+/// [`factor`](Self::factor) whenever the stamped values change enough to
+/// matter (staleness only costs GMRES iterations, never correctness —
+/// the operator itself is always the exact current matrix).
+#[derive(Debug, Clone)]
+pub struct Ilu0<T> {
+    kind: PrecondKind,
+    /// CSR-ordered L\U values (unit-diagonal L below, U on and above).
+    vals: Vec<T>,
+    /// Reciprocal diagonal for the Jacobi demotion.
+    inv_diag: Vec<T>,
+}
+
+impl<T: SparseScalar> Ilu0<T> {
+    /// The identity (no-op) preconditioner — unpreconditioned GMRES, for
+    /// tests and diagnostics.
+    pub fn identity() -> Self {
+        Ilu0 {
+            kind: PrecondKind::Identity,
+            vals: Vec::new(),
+            inv_diag: Vec::new(),
+        }
+    }
+
+    /// Factors the current values of `matrix` on `pattern`. Never fails:
+    /// breakdown demotes to Jacobi, an unusable diagonal to identity.
+    pub fn factor(pattern: &IluPattern, matrix: &SparseMatrix<T>) -> Self {
+        debug_assert_eq!(pattern.n, matrix.order());
+        let csc_vals = matrix.values();
+        let mut vals = vec![T::ZERO; pattern.col_idx.len()];
+        for (v, &src) in vals.iter_mut().zip(&pattern.csc_of_csr) {
+            *v = csc_vals[src];
+        }
+        if Self::eliminate(pattern, &mut vals) {
+            return Ilu0 {
+                kind: PrecondKind::Ilu0,
+                vals,
+                inv_diag: Vec::new(),
+            };
+        }
+        // ILU broke down: fall back to diagonal scaling built from the
+        // *original* matrix values (the partial elimination is discarded).
+        let mut inv_diag = vec![T::ZERO; pattern.n];
+        let mut usable = true;
+        for (inv, &dp) in inv_diag.iter_mut().zip(&pattern.diag_ptr) {
+            if dp == usize::MAX {
+                usable = false;
+                break;
+            }
+            let d = csc_vals[pattern.csc_of_csr[dp]];
+            if !d.finite() || d.mag() < ILU_PIVOT_MIN {
+                usable = false;
+                break;
+            }
+            // `num / d` is T::one() without requiring a `One` bound.
+            let num = d;
+            *inv = (num / d) / d;
+        }
+        if usable {
+            Ilu0 {
+                kind: PrecondKind::Jacobi,
+                vals: Vec::new(),
+                inv_diag,
+            }
+        } else {
+            Ilu0 {
+                kind: PrecondKind::Identity,
+                vals: Vec::new(),
+                inv_diag: Vec::new(),
+            }
+        }
+    }
+
+    /// In-place IKJ ILU(0) elimination on the CSR values; `true` on
+    /// success, `false` on breakdown.
+    fn eliminate(pattern: &IluPattern, vals: &mut [T]) -> bool {
+        let n = pattern.n;
+        // Scatter map: column -> CSR slot + 1 within the current row.
+        let mut pos = vec![0usize; n];
+        for i in 0..n {
+            if pattern.diag_ptr[i] == usize::MAX {
+                return false;
+            }
+            let (lo, hi) = (pattern.row_ptr[i], pattern.row_ptr[i + 1]);
+            for p in lo..hi {
+                pos[pattern.col_idx[p]] = p + 1;
+            }
+            let mut ok = true;
+            for p in lo..hi {
+                let k = pattern.col_idx[p];
+                if k >= i {
+                    break;
+                }
+                let dk = pattern.diag_ptr[k];
+                let piv = vals[dk];
+                if !piv.finite() || piv.mag() < ILU_PIVOT_MIN {
+                    ok = false;
+                    break;
+                }
+                let m = vals[p] / piv;
+                vals[p] = m;
+                for q in dk + 1..pattern.row_ptr[k + 1] {
+                    let dst = pos[pattern.col_idx[q]];
+                    if dst != 0 {
+                        let update = m * vals[q];
+                        vals[dst - 1] -= update;
+                    }
+                }
+            }
+            let diag = vals[pattern.diag_ptr[i]];
+            if !ok || !diag.finite() || diag.mag() < ILU_PIVOT_MIN {
+                for p in lo..hi {
+                    pos[pattern.col_idx[p]] = 0;
+                }
+                return false;
+            }
+            for p in lo..hi {
+                pos[pattern.col_idx[p]] = 0;
+            }
+        }
+        true
+    }
+
+    /// Which preconditioner the build produced.
+    pub fn kind(&self) -> PrecondKind {
+        self.kind
+    }
+
+    /// Solves `M z = r` in place (`r` becomes `z`). For ILU(0) this is a
+    /// unit-lower forward sweep followed by an upper backward sweep over
+    /// the CSR view; for Jacobi a diagonal scale; for identity a no-op.
+    pub fn apply(&self, pattern: &IluPattern, r: &mut [T]) {
+        debug_assert_eq!(r.len(), pattern.n);
+        match self.kind {
+            PrecondKind::Identity => {}
+            PrecondKind::Jacobi => {
+                for (x, d) in r.iter_mut().zip(&self.inv_diag) {
+                    *x = *x * *d;
+                }
+            }
+            PrecondKind::Ilu0 => {
+                let n = pattern.n;
+                // Forward: L has unit diagonal, entries strictly left of it.
+                for i in 0..n {
+                    let mut acc = r[i];
+                    for p in pattern.row_ptr[i]..pattern.diag_ptr[i] {
+                        let contrib = self.vals[p] * r[pattern.col_idx[p]];
+                        acc -= contrib;
+                    }
+                    r[i] = acc;
+                }
+                // Backward: U including the diagonal.
+                for i in (0..n).rev() {
+                    let mut acc = r[i];
+                    for p in pattern.diag_ptr[i] + 1..pattern.row_ptr[i + 1] {
+                        let contrib = self.vals[p] * r[pattern.col_idx[p]];
+                        acc -= contrib;
+                    }
+                    r[i] = acc / self.vals[pattern.diag_ptr[i]];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_from_dense(a: &[&[f64]]) -> SparseMatrix<f64> {
+        let n = a.len();
+        let mut m = SparseMatrix::new(n);
+        m.begin_assembly();
+        for (i, row) in a.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    m.add(i, j, v);
+                }
+            }
+        }
+        m.finish_assembly();
+        m
+    }
+
+    #[test]
+    fn ilu0_is_exact_on_a_triangular_friendly_pattern() {
+        // A tridiagonal matrix has no fill-in, so ILU(0) == exact LU and
+        // one apply must invert the matrix to round-off.
+        let m = matrix_from_dense(&[&[4.0, -1.0, 0.0], &[-1.0, 4.0, -1.0], &[0.0, -1.0, 4.0]]);
+        let pattern = IluPattern::analyze(&m);
+        let ilu = Ilu0::factor(&pattern, &m);
+        assert_eq!(ilu.kind(), PrecondKind::Ilu0);
+        let x_true = [1.0, -2.0, 0.5];
+        let mut rhs = m.mul_vec(&x_true);
+        ilu.apply(&pattern, &mut rhs);
+        for (got, want) in rhs.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn breakdown_demotes_to_jacobi_then_identity() {
+        // Structurally present but numerically zero leading pivot with
+        // dependent off-diagonals: ILU breaks down, diagonal unusable in
+        // row 0 -> identity.
+        let m = matrix_from_dense(&[&[0.0, 1.0], &[1.0, 1.0]]);
+        let pattern = IluPattern::analyze(&m);
+        let ilu = Ilu0::factor(&pattern, &m);
+        assert_eq!(ilu.kind(), PrecondKind::Identity);
+        let mut r = vec![3.0, 7.0];
+        ilu.apply(&pattern, &mut r);
+        assert_eq!(r, vec![3.0, 7.0]);
+
+        // Zero *interior* pivot after elimination (singular 2x2 leading
+        // block) but a healthy original diagonal -> Jacobi.
+        let m = matrix_from_dense(&[&[1.0, 2.0, 0.0], &[0.5, 1.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let pattern = IluPattern::analyze(&m);
+        let ilu = Ilu0::factor(&pattern, &m);
+        assert_eq!(ilu.kind(), PrecondKind::Jacobi);
+        let mut r = vec![2.0, 3.0, 8.0];
+        ilu.apply(&pattern, &mut r);
+        assert_eq!(r, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn pattern_reuse_across_restamps() {
+        let mut m = matrix_from_dense(&[&[2.0, -1.0], &[-1.0, 2.0]]);
+        let pattern = IluPattern::analyze(&m);
+        let first = Ilu0::factor(&pattern, &m);
+        assert_eq!(first.kind(), PrecondKind::Ilu0);
+
+        // Re-stamp different values on the same pattern; no re-analysis.
+        m.begin_assembly();
+        m.add(0, 0, 5.0);
+        m.add(0, 1, -2.0);
+        m.add(1, 0, -2.0);
+        m.add(1, 1, 5.0);
+        assert!(!m.finish_assembly(), "pattern must be pinned");
+        let second = Ilu0::factor(&pattern, &m);
+        assert_eq!(second.kind(), PrecondKind::Ilu0);
+        let x_true = [0.25, -1.5];
+        let mut rhs = m.mul_vec(&x_true);
+        second.apply(&pattern, &mut rhs);
+        for (got, want) in rhs.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+}

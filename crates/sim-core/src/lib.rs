@@ -24,6 +24,13 @@
 //!   classification ([`StructureReport`], feeding the static ERC layer)
 //!   and block-triangular-form extraction with per-block LU
 //!   ([`BtfForm`] / [`BtfLu`]),
+//! * [`ilu`] / [`gmres`] — the iterative tier: a zero-fill incomplete-LU
+//!   preconditioner ([`Ilu0`]) built once per pinned sparsity pattern
+//!   (with a Jacobi fallback on factorization breakdown) and restarted
+//!   GMRES(m) ([`gmres_solve`]) over the same [`SparseMatrix`], generic
+//!   over `f64`/`Complex64` via [`KrylovScalar`]; selected by
+//!   [`SolverKind::Krylov`] / `UWB_AMS_SOLVER=krylov`, with
+//!   non-convergence demoting to the direct sparse LU (counted),
 //! * [`perf`] — [`PerfCounters`]: steps, Newton iterations, LU
 //!   factorizations vs cached reuses, wall time,
 //! * [`time`] — [`SimTime`], the femtosecond-resolution instant/duration,
@@ -46,6 +53,8 @@
 pub mod batched;
 pub mod diag;
 pub mod faultinject;
+pub mod gmres;
+pub mod ilu;
 pub mod linalg;
 pub mod perf;
 pub mod rescue;
@@ -57,6 +66,8 @@ pub mod trace;
 pub use batched::{BatchWidth, BatchedLu, LaneOutcome};
 pub use diag::{Severity, SourceSpan};
 pub use faultinject::{waveform_checksum, FaultKind, FaultSchedule, FaultSpec};
+pub use gmres::{gmres_solve, GmresOptions, GmresOutcome, KrylovScalar};
+pub use ilu::{Ilu0, IluPattern, PrecondKind};
 pub use linalg::{CMatrix, DMatrix, LuFactors, Matrix, NumericFault, SingularMatrixError};
 pub use perf::PerfCounters;
 pub use rescue::{RescueAttempt, RescueReport, RescueRung};

@@ -67,6 +67,16 @@ pub struct PerfCounters {
     /// Diagonal blocks exposed by block-triangular-form extraction,
     /// summed over structural analyses.
     pub btf_blocks: u64,
+    /// GMRES inner (Arnoldi) iterations across all Krylov solves.
+    pub krylov_iterations: u64,
+    /// GMRES restart cycles entered after an unconverged inner sweep.
+    pub krylov_restarts: u64,
+    /// ILU(0)/Jacobi preconditioner (re)builds on the pinned pattern.
+    pub preconditioner_builds: u64,
+    /// Krylov solves that did not converge (or broke down) and were
+    /// transparently demoted to the direct sparse LU — a counted rescue
+    /// rung, never a new failure mode.
+    pub krylov_fallbacks: u64,
     /// Wall-clock time spent inside `step()` (transient only).
     pub wall: Duration,
 }
@@ -97,6 +107,10 @@ impl PerfCounters {
         self.lanes_retired_early += other.lanes_retired_early;
         self.structural_analyses += other.structural_analyses;
         self.btf_blocks += other.btf_blocks;
+        self.krylov_iterations += other.krylov_iterations;
+        self.krylov_restarts += other.krylov_restarts;
+        self.preconditioner_builds += other.preconditioner_builds;
+        self.krylov_fallbacks += other.krylov_fallbacks;
         self.wall += other.wall;
     }
 
@@ -143,7 +157,7 @@ impl std::fmt::Display for PerfCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} steps ({} rejected, {} lte evals, {} order switches), {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {} symbolic / {} refactors / {} fallbacks, {} warm starts, {}/{} rescues, {} batched refactors / {} batched solves / {} early retires, {} structural analyses / {} btf blocks, {:.3} s wall",
+            "{} steps ({} rejected, {} lte evals, {} order switches), {} Newton iters, {} LU factorizations, {} LU reuses ({:.0}% reuse), {} symbolic / {} refactors / {} fallbacks, {} warm starts, {}/{} rescues, {} batched refactors / {} batched solves / {} early retires, {} structural analyses / {} btf blocks, {} krylov iters / {} restarts / {} precond builds / {} krylov fallbacks, {:.3} s wall",
             self.steps,
             self.steps_rejected,
             self.lte_evaluations,
@@ -163,6 +177,10 @@ impl std::fmt::Display for PerfCounters {
             self.lanes_retired_early,
             self.structural_analyses,
             self.btf_blocks,
+            self.krylov_iterations,
+            self.krylov_restarts,
+            self.preconditioner_builds,
+            self.krylov_fallbacks,
             self.wall.as_secs_f64()
         )
     }
@@ -193,6 +211,10 @@ mod tests {
             lanes_retired_early: 11,
             structural_analyses: 12,
             btf_blocks: 13,
+            krylov_iterations: 17,
+            krylov_restarts: 18,
+            preconditioner_builds: 19,
+            krylov_fallbacks: 20,
             wall: Duration::from_millis(10),
         };
         let b = PerfCounters {
@@ -214,6 +236,10 @@ mod tests {
             lanes_retired_early: 110,
             structural_analyses: 120,
             btf_blocks: 130,
+            krylov_iterations: 170,
+            krylov_restarts: 180,
+            preconditioner_builds: 190,
+            krylov_fallbacks: 200,
             wall: Duration::from_millis(100),
         };
         a.merge(&b);
@@ -236,6 +262,10 @@ mod tests {
         assert_eq!(a.lanes_retired_early, 121);
         assert_eq!(a.structural_analyses, 132);
         assert_eq!(a.btf_blocks, 143);
+        assert_eq!(a.krylov_iterations, 187);
+        assert_eq!(a.krylov_restarts, 198);
+        assert_eq!(a.preconditioner_builds, 209);
+        assert_eq!(a.krylov_fallbacks, 220);
         assert_eq!(a.wall, Duration::from_millis(110));
     }
 

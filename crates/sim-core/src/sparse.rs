@@ -49,6 +49,13 @@ pub const REFACTOR_PIVOT_RATIO: f64 = 1e-3;
 /// and production-size netlists cross it quickly.
 pub const SPARSE_AUTO_MIN_ORDER: usize = 64;
 
+/// Matrix order at which the `auto` heuristic promotes a sparse-eligible
+/// system from direct LU to the preconditioned-Krylov tier. Chosen far
+/// above every golden netlist and every pre-existing bench workload (the
+/// 8-tile I&D array assembles ~350 unknowns) so the default path stays
+/// bit-exact with history; the 64-tile-and-up scaling arrays cross it.
+pub const KRYLOV_AUTO_MIN_ORDER: usize = 2048;
+
 /// Scalar abstraction shared by the real and complex sparse eliminations.
 ///
 /// `mag` follows the dense kernel's per-type pivot convention: absolute
@@ -100,17 +107,21 @@ impl SparseScalar for Complex64 {
 /// Which linear-solver backend an engine should use.
 ///
 /// Resolved from the `UWB_AMS_SOLVER` environment variable (`auto`,
-/// `dense`, `sparse`; anything else falls back to `auto`) or set
-/// explicitly on the engines' option structs.
+/// `dense`, `sparse`, `krylov`; anything else falls back to `auto`) or
+/// set explicitly on the engines' option structs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolverKind {
-    /// Size/density heuristic: sparse for large, sparse-enough systems.
+    /// Size/density heuristic: sparse for large, sparse-enough systems,
+    /// Krylov for very large ones.
     #[default]
     Auto,
     /// Always the dense kernel (bit-exact vs the pre-sparse workspace).
     Dense,
     /// Always the sparse kernel (even for tiny systems; used by tests).
     Sparse,
+    /// Preconditioned restarted GMRES over the sparse assembly, with a
+    /// transparent counted fallback to the direct sparse LU.
+    Krylov,
 }
 
 impl SolverKind {
@@ -119,6 +130,7 @@ impl SolverKind {
         match value {
             Some("dense") => SolverKind::Dense,
             Some("sparse") => SolverKind::Sparse,
+            Some("krylov") => SolverKind::Krylov,
             _ => SolverKind::Auto,
         }
     }
@@ -136,10 +148,22 @@ impl SolverKind {
     pub fn picks_sparse(self, n: usize, nnz_estimate: usize) -> bool {
         match self {
             SolverKind::Dense => false,
-            SolverKind::Sparse => true,
+            SolverKind::Sparse | SolverKind::Krylov => true,
             SolverKind::Auto => {
                 n >= SPARSE_AUTO_MIN_ORDER && nnz_estimate.saturating_mul(4) <= n * n
             }
+        }
+    }
+
+    /// Decides whether the Krylov tier should handle an order-`n` system.
+    /// `Auto` promotes only very large sparse-eligible systems
+    /// ([`KRYLOV_AUTO_MIN_ORDER`]) so every pre-existing workload keeps
+    /// its direct solver — and its exact bit patterns — unchanged.
+    pub fn picks_krylov(self, n: usize, nnz_estimate: usize) -> bool {
+        match self {
+            SolverKind::Dense | SolverKind::Sparse => false,
+            SolverKind::Krylov => true,
+            SolverKind::Auto => n >= KRYLOV_AUTO_MIN_ORDER && self.picks_sparse(n, nnz_estimate),
         }
     }
 }
@@ -1015,6 +1039,7 @@ mod tests {
         assert_eq!(SolverKind::parse(Some("dense")), SolverKind::Dense);
         assert_eq!(SolverKind::parse(Some("sparse")), SolverKind::Sparse);
         assert_eq!(SolverKind::parse(Some("auto")), SolverKind::Auto);
+        assert_eq!(SolverKind::parse(Some("krylov")), SolverKind::Krylov);
         assert_eq!(SolverKind::parse(Some("bogus")), SolverKind::Auto);
         assert_eq!(SolverKind::parse(None), SolverKind::Auto);
         // Heuristic: order floor and 25 % density cap.
@@ -1023,6 +1048,23 @@ mod tests {
         assert!(!SolverKind::Auto.picks_sparse(128, 128 * 128));
         assert!(SolverKind::Sparse.picks_sparse(2, 4));
         assert!(!SolverKind::Dense.picks_sparse(1000, 3000));
+
+        assert!(
+            SolverKind::Krylov.picks_sparse(2, 4),
+            "krylov assembles sparse"
+        );
+        assert!(SolverKind::Krylov.picks_krylov(2, 4));
+        assert!(!SolverKind::Dense.picks_krylov(10_000, 50_000));
+        assert!(!SolverKind::Sparse.picks_krylov(10_000, 50_000));
+        assert!(
+            !SolverKind::Auto.picks_krylov(512, 3000),
+            "existing tiled benches stay on direct sparse"
+        );
+        assert!(SolverKind::Auto.picks_krylov(4096, 40_000));
+        assert!(
+            !SolverKind::Auto.picks_krylov(4096, 4096 * 2048),
+            "near-dense systems never promote"
+        );
     }
 
     #[test]

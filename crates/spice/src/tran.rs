@@ -1634,7 +1634,7 @@ mod tests {
             .unwrap();
         for bp in bps {
             assert!(
-                seen.iter().any(|&t| t == bp),
+                seen.contains(&bp),
                 "breakpoint {bp:e} missing from accepted times"
             );
         }

@@ -103,6 +103,13 @@ pub trait IntegratorBlock {
     fn rescue_events(&self) -> u64 {
         0
     }
+
+    /// Snapshot of the underlying engine's full work counters (steps,
+    /// Newton iterations, factorizations, wall time), for campaign-level
+    /// aggregation. All-zero for implementations without an engine.
+    fn perf_counters(&self) -> ams_kernel::PerfCounters {
+        ams_kernel::PerfCounters::new()
+    }
 }
 
 /// Default ideal/behavioural integration constant `K` (1/s), matched to the
@@ -174,6 +181,10 @@ impl IntegratorBlock for IdealIntegrator {
     fn newton_iterations(&self) -> u64 {
         self.solver.newton_iterations()
     }
+
+    fn perf_counters(&self) -> ams_kernel::PerfCounters {
+        *self.solver.counters()
+    }
 }
 
 /// Phase IV calibrated two-pole behavioural integrator.
@@ -244,6 +255,10 @@ impl IntegratorBlock for BehavioralIntegrator {
 
     fn newton_iterations(&self) -> u64 {
         self.solver.newton_iterations()
+    }
+
+    fn perf_counters(&self) -> ams_kernel::PerfCounters {
+        *self.solver.counters()
     }
 }
 
@@ -342,6 +357,10 @@ impl IntegratorBlock for CircuitIntegrator {
 
     fn rescue_events(&self) -> u64 {
         self.sim.rescue_events()
+    }
+
+    fn perf_counters(&self) -> ams_kernel::PerfCounters {
+        *self.sim.counters()
     }
 }
 

@@ -397,6 +397,12 @@ impl Receiver {
         self.integrator.rescue_events()
     }
 
+    /// Snapshot of the I&D block's engine work counters (all-zero for
+    /// engineless fidelities).
+    pub fn integrator_counters(&self) -> ams_kernel::PerfCounters {
+        self.integrator.perf_counters()
+    }
+
     /// Advances `n` samples with the given integrate control, returning the
     /// integrator output after the last sample.
     fn advance(

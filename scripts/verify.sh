@@ -32,7 +32,7 @@ UWB_AMS_BATCH=1 cargo test -q --test batched_parity
 echo "== ERC self-check (library cells + flow partitions) =="
 cargo run --release --quiet --example erc_check -- --self-check
 
-echo "== deck corpus (golden decks through ERC + dense & sparse backends) =="
+echo "== deck corpus (golden decks through ERC + dense/sparse/krylov backends) =="
 cargo run --release --quiet --example run_deck -- --self-check
 UWB_AMS_SOLVER=dense cargo test -q --release --test deck_corpus
 UWB_AMS_SOLVER=sparse cargo test -q --release --test deck_corpus
@@ -46,6 +46,14 @@ cargo test -q --release --test integration_order --test adaptive_breakpoints
 UWB_AMS_ADAPTIVE=off cargo test -q --release --test deck_corpus
 UWB_AMS_ADAPTIVE=on cargo test -q --release --test deck_corpus
 UWB_AMS_ADAPTIVE=on cargo run --release --quiet --example run_deck -- --self-check
+
+echo "== krylov tier (GMRES+ILU(0) deck parity + corpus on the iterative tier) =="
+cargo test -q --release --test krylov_parity
+UWB_AMS_SOLVER=krylov cargo test -q --release --test deck_corpus
+UWB_AMS_SOLVER=krylov cargo run --release --quiet --example run_deck -- --self-check
+
+echo "== krylov guard (default auto path stays bit-exact on the direct tiers) =="
+cargo test -q --release --test golden_kernel --test sparse_parity
 
 echo "== perf bench smoke (sparse scaling + MC warm start, --quick) =="
 cargo bench -p uwb-ams-bench --bench perf -- --quick
